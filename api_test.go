@@ -1,0 +1,327 @@
+package powergraph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstartFlow mirrors the README quick start.
+func TestFacadeQuickstartFlow(t *testing.T) {
+	g := ConnectedGNP(48, 0.1, rand.New(rand.NewSource(1)))
+	res, err := MVCCongest(g, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, w := IsSquareVertexCover(g, res.Solution); !ok {
+		t.Fatalf("uncovered pair %v", w)
+	}
+	if res.Stats.Rounds == 0 || res.Stats.TotalBits == 0 {
+		t.Fatal("no cost recorded")
+	}
+}
+
+func TestFacadeBuilderAndIO(t *testing.T) {
+	b := NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(2, 3)
+	b.SetWeight(3, 9)
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 4 || g2.M() != 3 || g2.Weight(3) != 9 {
+		t.Fatal("round trip mangled graph")
+	}
+
+	s := NewVertexSet(4)
+	s.Add(1)
+	s.Add(3)
+	if ok, _ := IsVertexCover(g, s); !ok {
+		t.Fatal("cover check failed")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gens := []*Graph{
+		Path(5), Cycle(5), Complete(5), Star(5), Grid(2, 3),
+		Caterpillar(3, 2), RandomTree(8, rng), GNP(8, 0.5, rng),
+		ConnectedGNP(8, 0.2, rng), UnitDisk(8, 0.5, rng),
+		ConnectedUnitDisk(8, 0.4, rng),
+	}
+	for i, g := range gens {
+		if g.N() == 0 {
+			t.Fatalf("generator %d produced empty graph", i)
+		}
+	}
+	w := WithRandomWeights(Path(5), 10, rng)
+	if !w.Weighted() {
+		t.Fatal("weights missing")
+	}
+}
+
+func TestFacadeAllMVCAlgorithmsAgreeOnFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := ConnectedGNP(24, 0.2, rng)
+	sq := g.Square()
+	opt := Cost(sq, ExactVC(sq))
+
+	type run struct {
+		name  string
+		f     func() (*Result, error)
+		bound float64
+	}
+	runs := []run{
+		{"congest", func() (*Result, error) { return MVCCongest(g, 0.5, nil) }, 1.5},
+		{"clique-det", func() (*Result, error) { return MVCCliqueDeterministic(g, 0.5, nil) }, 1.5},
+		{"clique-rand", func() (*Result, error) { return MVCCliqueRandomized(g, 0.5, nil) }, 1.5},
+		{"cor17", func() (*Result, error) { return MVCCongest53(g, nil) }, 5.0 / 3},
+	}
+	for _, r := range runs {
+		res, err := r.f()
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		if ok, w := IsSquareVertexCover(g, res.Solution); !ok {
+			t.Fatalf("%s: uncovered %v", r.name, w)
+		}
+		ratio := RatioOf(Cost(sq, res.Solution), opt).Value
+		if ratio > r.bound+1e-9 {
+			t.Fatalf("%s: ratio %.4f exceeds %.4f", r.name, ratio, r.bound)
+		}
+	}
+}
+
+func TestFacadeWeightedRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := WithRandomWeights(ConnectedGNP(16, 0.2, rng), 20, rng)
+	res, err := MWVCCongest(g, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := g.Square()
+	opt := Cost(sq, ExactVC(sq))
+	if got := Cost(sq, res.Solution); float64(got) > 1.5*float64(opt)+1e-9 {
+		t.Fatalf("weighted ratio %d/%d", got, opt)
+	}
+}
+
+func TestFacadeMDSRun(t *testing.T) {
+	g := Grid(4, 4)
+	res, err := MDSCongest(g, &MDSOptions{Options: Options{Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, v := IsSquareDominatingSet(g, res.Solution); !ok {
+		t.Fatalf("undominated %d", v)
+	}
+	greedy := GreedyMDS(g.Square())
+	if ok, _ := IsDominatingSet(g.Square(), greedy); !ok {
+		t.Fatal("greedy infeasible")
+	}
+}
+
+func TestFacadeCentralized(t *testing.T) {
+	g := Caterpillar(5, 3)
+	sq := g.Square()
+	ft := FiveThirdsSquareMVC(g)
+	if ok, _ := IsVertexCover(sq, ft.Cover); !ok {
+		t.Fatal("5/3 infeasible")
+	}
+	gav := Gavril2Approx(sq)
+	if ok, _ := IsVertexCover(sq, gav); !ok {
+		t.Fatal("Gavril infeasible")
+	}
+	all := AllVerticesPowerMVC(g)
+	if all.Count() != g.N() {
+		t.Fatal("all-vertices wrong")
+	}
+	if Lemma6Bound(2) != 2 {
+		t.Fatal("bound wrong")
+	}
+}
+
+func TestFacadeExactBounded(t *testing.T) {
+	// Odd cycles are triangle-free with no degree-1 vertices, so no
+	// reduction applies and the solver must branch — tripping a 1-node
+	// budget. (Cliques, by contrast, collapse entirely under the dominance
+	// reduction without any branching.)
+	if _, err := ExactVCBounded(Cycle(9), 1); err == nil {
+		t.Fatal("expected budget error")
+	}
+	// A spider (center with three 2-paths) makes greedy MDS suboptimal
+	// (greedy takes the center, 4 total; optimal takes the three middles),
+	// so the bounded search must branch and trip a 1-node budget.
+	sb := NewBuilder(7)
+	for i := 0; i < 3; i++ {
+		sb.MustAddEdge(0, 1+2*i)     // center – middle
+		sb.MustAddEdge(1+2*i, 2+2*i) // middle – leaf
+	}
+	spider := sb.Build()
+	if _, err := ExactDSBounded(spider, 1); err == nil {
+		t.Fatal("expected budget error")
+	}
+	if s := ExactDS(spider); Cost(spider, s) != 3 {
+		t.Fatalf("spider MDS = %d, want 3", Cost(spider, s))
+	}
+	s, err := ExactVCBounded(Path(6), 0)
+	if err != nil || Cost(Path(6), s) != 3 { // MVC(P_n) = ⌊n/2⌋
+		t.Fatalf("P6 MVC: %v %v", s, err)
+	}
+}
+
+func TestFacadeLowerBoundFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := RandomIntersectingPair(2, rng)
+	if Disj(x.Bits, y.Bits) {
+		t.Fatal("intersecting pair is disjoint")
+	}
+
+	c, err := BuildCKP17MVC(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Cost(c.G, ExactVC(c.G)) != c.CoverTarget() {
+		t.Fatal("CKP17 predicate broken via facade")
+	}
+
+	if _, err := BuildWeightedMVCGadget(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildUnweightedMVCGadget(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildBCD19MDS(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildMDSGadget(x, y); err != nil {
+		t.Fatal(err)
+	}
+
+	f := CubeFamily(2)
+	if _, err := BuildSetGadgetMDS(x, y, f, true, 9); err != nil {
+		t.Fatal(err)
+	}
+
+	r := BuildDanglingPathReduction(Path(4))
+	if r.H.N() != 4+3*3 {
+		t.Fatal("dangling reduction size")
+	}
+	mr, err := BuildMergedPathReduction(Path(4))
+	if err != nil || mr.H.N() != 4+2*3+3 {
+		t.Fatalf("merged reduction: %v", err)
+	}
+}
+
+func TestFacadeTwoParty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := ConnectedGNP(12, 0.3, rng)
+	alice := NewVertexSet(12)
+	for v := 0; v < 6; v++ {
+		alice.Add(v)
+	}
+	cover, tr := Lemma25Cover(g, alice)
+	if ok, _ := IsSquareVertexCover(g, cover); !ok {
+		t.Fatal("Lemma 25 cover infeasible")
+	}
+	if tr.Total() <= 0 || tr.Total() > 32 {
+		t.Fatalf("transcript %d bits", tr.Total())
+	}
+	if Theorem19RoundLB(1<<20, 10, 1024) <= 0 {
+		t.Fatal("LB arithmetic broken")
+	}
+}
+
+// TestIntegrationDistributedOnGadgetFamilies runs the distributed
+// algorithms on the lower-bound graphs themselves — the families are
+// legitimate connected CONGEST inputs, closing the loop between the
+// upper-bound and lower-bound halves of the paper.
+func TestIntegrationDistributedOnGadgetFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x, y := RandomIntersectingPair(2, rng)
+
+	// Algorithm 1 on the Figure 3 (unweighted MVC) family.
+	u, err := BuildUnweightedMVCGadget(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.H.Connected() {
+		t.Fatal("family graph disconnected")
+	}
+	res, err := MVCCongest(u.H, 0.5, &Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, w := IsSquareVertexCover(u.H, res.Solution); !ok {
+		t.Fatalf("uncovered %v", w)
+	}
+	sq := u.H.Square()
+	opt := Cost(sq, ExactVC(sq))
+	if got := Cost(sq, res.Solution); float64(got) > 1.5*float64(opt)+1e-9 {
+		t.Fatalf("ratio %d/%d exceeds 1.5 on gadget family", got, opt)
+	}
+
+	// The weighted algorithm on the Figure 2 (weighted) family — its
+	// zero-weight path vertices exercise the Section 3.2 WLOG handling.
+	w, err := BuildWeightedMVCGadget(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := MWVCCongest(w.H, 0.5, &Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, e := IsSquareVertexCover(w.H, wres.Solution); !ok {
+		t.Fatalf("weighted run uncovered %v", e)
+	}
+	wsq := w.H.Square()
+	wopt := Cost(wsq, ExactVC(wsq))
+	if got := Cost(wsq, wres.Solution); float64(got) > 1.5*float64(wopt)+1e-9 {
+		t.Fatalf("weighted ratio %d/%d on gadget family", got, wopt)
+	}
+
+	// MDS simulation on the Figure 4 base family.
+	c, err := BuildBCD19MDS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := MDSCongest(c.G, &MDSOptions{Options: Options{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, v := IsSquareDominatingSet(c.G, mres.Solution); !ok {
+		t.Fatalf("undominated %d", v)
+	}
+}
+
+// TestIntegrationCutInstrumentation runs Algorithm 1 with cut accounting
+// on a partitioned family and checks the cut totals are consistent.
+func TestIntegrationCutInstrumentation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x, y := RandomDisjointPair(2, rng)
+	u, err := BuildUnweightedMVCGadget(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MVCCongest(u.H, 1, &Options{Seed: 1, CutA: u.Alice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CutBits <= 0 || res.Stats.CutBits > res.Stats.TotalBits {
+		t.Fatalf("cut accounting inconsistent: %d of %d", res.Stats.CutBits, res.Stats.TotalBits)
+	}
+	if res.Stats.CutMessages <= 0 || res.Stats.CutMessages > res.Stats.Messages {
+		t.Fatal("cut message accounting inconsistent")
+	}
+}

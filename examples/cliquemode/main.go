@@ -1,0 +1,54 @@
+// CONGESTED CLIQUE speed-up: the same (1+ε)-approximate G²-MVC computed
+// three ways — Theorem 1's CONGEST algorithm (O(n/ε) rounds), Corollary
+// 10's deterministic clique algorithm (O(εn + 1/ε) rounds), and Theorem
+// 11's randomized voting scheme (O(log n + 1/ε) rounds w.h.p.) — across a
+// range of network sizes, demonstrating where each model's rounds go.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"powergraph"
+)
+
+func main() {
+	const eps = 0.5
+	fmt.Printf("(1+ε)-approximate G²-MVC, ε = %.1f\n\n", eps)
+	fmt.Printf("%6s %14s %14s %14s %16s\n",
+		"n", "CONGEST", "clique-det", "clique-rand", "rand/log2(n)")
+
+	for _, n := range []int{32, 64, 128, 256} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		g := powergraph.ConnectedGNP(n, 8/float64(n), rng)
+
+		congest, err := powergraph.MVCCongest(g, eps, &powergraph.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		det, err := powergraph.MVCCliqueDeterministic(g, eps, &powergraph.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rnd, err := powergraph.MVCCliqueRandomized(g, eps, &powergraph.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range []*powergraph.Result{congest, det, rnd} {
+			if ok, _ := powergraph.IsSquareVertexCover(g, r.Solution); !ok {
+				log.Fatalf("n=%d: infeasible cover", n)
+			}
+		}
+		fmt.Printf("%6d %14d %14d %14d %16.2f\n",
+			n, congest.Stats.Rounds, det.Stats.Rounds, rnd.Stats.Rounds,
+			float64(rnd.Stats.Rounds)/math.Log2(float64(n)))
+	}
+
+	fmt.Println("\nThe CONGEST column grows linearly (Phase II ships O(n/ε) edges")
+	fmt.Println("through one leader over a BFS tree); the clique columns stay flat")
+	fmt.Println("or logarithmic because Lemma 9 ships every node's ≤1/ε edges to")
+	fmt.Println("the leader in parallel, and the voting scheme needs only O(log n)")
+	fmt.Println("iterations to drain every heavy neighborhood.")
+}

@@ -1,0 +1,59 @@
+// Network monitoring: place the fewest monitors so that every node is
+// within two hops of one — a minimum dominating set of G². This is the
+// G²-MDS problem of Theorem 28; we run the randomized O(log Δ)-
+// approximation (a CONGEST simulation of the [CD18] algorithm driven by
+// the Lemma 29 exponential-sketch estimator) and compare it against the
+// centralized greedy baseline and the exact optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"powergraph"
+)
+
+func main() {
+	// A grid-like datacenter fabric with some random rewiring.
+	rng := rand.New(rand.NewSource(11))
+	g := powergraph.ConnectedGNP(36, 0.12, rng)
+	sq := g.Square()
+	fmt.Printf("fabric: %d switches, %d links, Δ=%d\n", g.N(), g.M(), g.MaxDegree())
+
+	res, err := powergraph.MDSCongest(g, &powergraph.MDSOptions{
+		Options: powergraph.Options{Seed: 5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok, v := powergraph.IsSquareDominatingSet(g, res.Solution); !ok {
+		log.Fatalf("switch %d is more than 2 hops from every monitor", v)
+	}
+	fmt.Printf("\nTheorem 28 (randomized O(log Δ)-approx):\n")
+	fmt.Printf("  monitors: %d  %v\n", res.Solution.Count(), res.Solution)
+	fmt.Printf("  rounds: %d (polylog guarantee)  bits: %d\n",
+		res.Stats.Rounds, res.Stats.TotalBits)
+	fmt.Printf("  fallback joins: %d (0 = the w.h.p. phase budget sufficed)\n",
+		res.FallbackJoins)
+
+	greedy := powergraph.GreedyMDS(sq)
+	opt := powergraph.Cost(sq, powergraph.ExactDS(sq))
+	fmt.Printf("\ncentralized greedy on G²: %d monitors\n", greedy.Count())
+	fmt.Printf("exact optimum:            %d monitors\n", opt)
+	fmt.Printf("ratios: distributed %s · greedy %s\n",
+		powergraph.RatioOf(int64(res.Solution.Count()), opt),
+		powergraph.RatioOf(int64(greedy.Count()), opt))
+
+	// Why distance-2 domination in one sentence: a monitor sees its own
+	// traffic, its neighbors', and — via neighbor mirroring — its
+	// neighbors' neighbors'. Verify that claim for the computed placement.
+	covered := 0
+	for v := 0; v < g.N(); v++ {
+		if res.Solution.Contains(v) || g.TwoHopNeighborhood(v).Intersects(res.Solution) {
+			covered++
+		}
+	}
+	fmt.Printf("\ncoverage check: %d/%d switches within two hops of a monitor\n",
+		covered, g.N())
+}

@@ -1,0 +1,245 @@
+// Package congest simulates the synchronous CONGEST and CONGESTED CLIQUE
+// models of distributed computing ([Pel00], [LPPP03]; footnotes 1–2 of the
+// paper).
+//
+// A network is built from a communication graph G. Every node runs its
+// algorithm as a goroutine against a Node handle; rounds are barrier
+// synchronized. In each round a node may send at most one message per
+// communication link — to each G-neighbor in CONGEST, to every other node in
+// CONGESTED CLIQUE — and every message is accounted in bits and checked
+// against the bandwidth budget B = BandwidthFactor·⌈log₂ n⌉, which is the
+// "O(log n)-bit messages" constraint the paper's round bounds rely on.
+// Messages sent in round r are delivered at the start of round r+1.
+//
+// The simulator reports rounds, message count, total bits, and (optionally)
+// the bits crossing a vertex cut — the quantity bounded by the Alice–Bob
+// framework of Section 5.1.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/graph"
+)
+
+// Model selects the communication rule.
+type Model int
+
+const (
+	// CONGEST allows one B-bit message per incident G-edge per round.
+	CONGEST Model = iota
+	// CongestedClique allows one B-bit message to every other node per round.
+	CongestedClique
+)
+
+func (m Model) String() string {
+	switch m {
+	case CONGEST:
+		return "CONGEST"
+	case CongestedClique:
+		return "CONGESTED-CLIQUE"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Message is any payload with an explicit size in bits. Implementations
+// declare the size their fields would need on a real link; the simulator
+// enforces the per-round budget against it.
+type Message interface {
+	Bits() int
+}
+
+// Incoming pairs a delivered message with its sender.
+type Incoming struct {
+	From int
+	Msg  Message
+}
+
+// Config describes a simulation.
+type Config struct {
+	Graph *graph.Graph
+	Model Model
+	// BandwidthFactor scales the per-message budget B =
+	// BandwidthFactor·⌈log₂ n⌉ bits. Zero means the default of 4, enough
+	// for a constant number of IDs/weights per message as the paper's
+	// algorithms assume.
+	BandwidthFactor int
+	// MaxRounds aborts runaway algorithms. Zero means the default 1<<22.
+	MaxRounds int
+	// Seed derives every node's private random stream; runs are
+	// deterministic given a seed.
+	Seed int64
+	// CutA, when non-nil, is a vertex set A: the simulator separately
+	// counts the bits of messages crossing between A and V∖A (the cut
+	// traffic of Section 5.1's two-party reductions).
+	CutA *bitset.Set
+}
+
+// Stats aggregates the observable cost of a run.
+type Stats struct {
+	Rounds      int   // number of completed communication rounds
+	Messages    int64 // total messages delivered
+	TotalBits   int64 // total bits delivered
+	CutBits     int64 // bits crossing the configured cut (0 if no cut set)
+	CutMessages int64 // messages crossing the configured cut
+	Bandwidth   int   // the enforced per-message budget B in bits
+	// MaxRoundBits is the largest number of bits delivered in any single
+	// round — the network-wide congestion peak. Algorithms that pipeline
+	// (Lemma 2) keep it near m·B; bursty ones spike it.
+	MaxRoundBits int64
+	// MaxRoundMessages is the largest number of messages in any round.
+	MaxRoundMessages int64
+}
+
+// Result carries per-node outputs and the run statistics.
+type Result[T any] struct {
+	Outputs []T
+	Stats   Stats
+}
+
+// Handler is a node program: it runs on its own goroutine, communicates via
+// the Node handle, and returns the node's output.
+type Handler[T any] func(*Node) (T, error)
+
+// ErrMaxRounds reports that the round limit was hit before termination.
+var ErrMaxRounds = errors.New("congest: exceeded maximum round count")
+
+// IDBits returns the number of bits needed to address n distinct ids —
+// the unit "O(log n)" in all of the paper's message-size accounting.
+func IDBits(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// nodePanic is the sentinel carried by internal panics that abort a node
+// goroutine; it never escapes the package.
+type nodePanic struct{ err error }
+
+// Node is the handle a handler uses to interact with the simulation.
+// A Node must only be used from the goroutine running its handler.
+type Node struct {
+	id     int
+	eng    *engine
+	rng    *rand.Rand
+	inbox  []Incoming
+	outbox map[int]Message
+	round  int
+}
+
+// ID returns this node's identifier (0…n-1). The paper's algorithms use ids
+// for symmetry breaking; uniqueness is all that is required.
+func (nd *Node) ID() int { return nd.id }
+
+// N returns the number of nodes in the network (global knowledge, as is
+// standard in CONGEST).
+func (nd *Node) N() int { return nd.eng.g.N() }
+
+// Round returns the current round number, starting from 0.
+func (nd *Node) Round() int { return nd.round }
+
+// Bandwidth returns the per-message budget B in bits.
+func (nd *Node) Bandwidth() int { return nd.eng.bandwidth }
+
+// Degree returns this node's degree in the input graph G.
+func (nd *Node) Degree() int { return nd.eng.g.Degree(nd.id) }
+
+// Neighbors returns this node's G-neighbors as a shared, sorted, read-only
+// slice (the knowledge a CONGEST node starts with).
+func (nd *Node) Neighbors() []int { return nd.eng.g.Adj(nd.id) }
+
+// Weight returns this node's input weight (1 on unweighted graphs).
+func (nd *Node) Weight() int64 { return nd.eng.g.Weight(nd.id) }
+
+// Rand returns this node's private deterministic random stream.
+func (nd *Node) Rand() *rand.Rand { return nd.rng }
+
+// Send queues a B-bit-bounded message to the given destination for delivery
+// next round. It returns an error if the destination is not reachable under
+// the model, if a message was already queued to it this round, or if the
+// message exceeds the bandwidth budget.
+func (nd *Node) Send(to int, m Message) error {
+	if err := nd.sendCheck(to, m); err != nil {
+		return err
+	}
+	nd.outbox[to] = m
+	return nil
+}
+
+func (nd *Node) sendCheck(to int, m Message) error {
+	if to < 0 || to >= nd.eng.g.N() || to == nd.id {
+		return fmt.Errorf("congest: node %d: invalid destination %d", nd.id, to)
+	}
+	if nd.eng.model == CONGEST && !nd.eng.g.HasEdge(nd.id, to) {
+		return fmt.Errorf("congest: node %d: %d is not a neighbor", nd.id, to)
+	}
+	if _, dup := nd.outbox[to]; dup {
+		return fmt.Errorf("congest: node %d: second message to %d in round %d", nd.id, to, nd.round)
+	}
+	if b := m.Bits(); b > nd.eng.bandwidth {
+		return fmt.Errorf("congest: node %d: message of %d bits exceeds budget %d", nd.id, b, nd.eng.bandwidth)
+	}
+	return nil
+}
+
+// MustSend is Send for messages that are correct by construction; a failure
+// aborts the whole simulation with the underlying error (it is converted to
+// an error return of Run, never a caller-visible panic).
+func (nd *Node) MustSend(to int, m Message) {
+	if err := nd.Send(to, m); err != nil {
+		panic(nodePanic{err})
+	}
+}
+
+// Broadcast sends m to every neighbor (CONGEST) or every other node
+// (CONGESTED CLIQUE).
+func (nd *Node) Broadcast(m Message) {
+	if nd.eng.model == CongestedClique {
+		for to := 0; to < nd.eng.g.N(); to++ {
+			if to != nd.id {
+				nd.MustSend(to, m)
+			}
+		}
+		return
+	}
+	for _, to := range nd.Neighbors() {
+		nd.MustSend(to, m)
+	}
+}
+
+// Recv returns the messages delivered at the start of the current round
+// (i.e. sent during the previous round), sorted by sender id. The slice is
+// shared and must not be modified.
+func (nd *Node) Recv() []Incoming { return nd.inbox }
+
+// RecvFrom returns the message delivered this round from the given sender,
+// if any.
+func (nd *Node) RecvFrom(from int) (Message, bool) {
+	for _, in := range nd.inbox {
+		if in.From == from {
+			return in.Msg, true
+		}
+	}
+	return nil, false
+}
+
+// NextRound submits this round's messages and blocks until every node has
+// done the same; it then makes the messages sent to this node available via
+// Recv.
+func (nd *Node) NextRound() {
+	nd.eng.arrive <- arrival{id: nd.id, done: false}
+	select {
+	case <-nd.eng.resume[nd.id]:
+		nd.round++
+	case <-nd.eng.abort:
+		panic(nodePanic{errAborted})
+	}
+}
+
+var errAborted = errors.New("congest: simulation aborted")

@@ -1,0 +1,222 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"powergraph/internal/bitset"
+)
+
+type arrival struct {
+	id   int
+	done bool
+}
+
+type engine struct {
+	g         graphLike
+	model     Model
+	bandwidth int
+	maxRounds int
+	cutA      *bitset.Set
+
+	nodes  []*Node
+	arrive chan arrival
+	resume []chan struct{}
+	abort  chan struct{}
+
+	mu       sync.Mutex
+	firstErr error
+
+	doneCount int
+	stats     Stats
+}
+
+// graphLike is the slice of the graph API the engine needs; it exists so
+// the engine never mutates the shared graph.
+type graphLike interface {
+	N() int
+	Degree(v int) int
+	Adj(v int) []int
+	HasEdge(u, v int) bool
+	Weight(v int) int64
+}
+
+func (e *engine) setErr(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+}
+
+func (e *engine) getErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.firstErr
+}
+
+// Run executes handler on every node of cfg.Graph under the configured
+// model and returns each node's output plus run statistics. Outputs[i] is
+// node i's return value.
+//
+// The first error — from a handler, a MustSend violation, or the round
+// limit — aborts the run and is returned. Runs are deterministic for a
+// fixed Config (including Seed): node goroutines interact only at the
+// round barrier, and every node's randomness comes from its private stream.
+func Run[T any](cfg Config, handler Handler[T]) (*Result[T], error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("congest: nil graph")
+	}
+	n := cfg.Graph.N()
+	if n == 0 {
+		return &Result[T]{}, nil
+	}
+	bwf := cfg.BandwidthFactor
+	if bwf == 0 {
+		bwf = 4
+	}
+	if bwf < 1 {
+		return nil, fmt.Errorf("congest: bandwidth factor %d < 1", bwf)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 1 << 22
+	}
+	eng := &engine{
+		g:         cfg.Graph,
+		model:     cfg.Model,
+		bandwidth: bwf * IDBits(n),
+		maxRounds: maxRounds,
+		cutA:      cfg.CutA,
+		arrive:    make(chan arrival, 2*n),
+		resume:    make([]chan struct{}, n),
+		abort:     make(chan struct{}),
+	}
+	eng.stats.Bandwidth = eng.bandwidth
+	eng.nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		eng.resume[i] = make(chan struct{}, 1)
+		eng.nodes[i] = &Node{
+			id:     i,
+			eng:    eng,
+			rng:    rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i) + 1)),
+			outbox: make(map[int]Message),
+		}
+	}
+
+	outputs := make([]T, n)
+	for i := 0; i < n; i++ {
+		go func(nd *Node) {
+			defer func() {
+				if r := recover(); r != nil {
+					if np, ok := r.(nodePanic); ok {
+						if np.err != errAborted {
+							eng.setErr(np.err)
+						}
+					} else {
+						eng.setErr(fmt.Errorf("congest: node %d panicked: %v", nd.id, r))
+					}
+				}
+				eng.arrive <- arrival{id: nd.id, done: true}
+			}()
+			out, err := handler(nd)
+			if err != nil {
+				eng.setErr(fmt.Errorf("congest: node %d: %w", nd.id, err))
+				return
+			}
+			outputs[nd.id] = out
+		}(eng.nodes[i])
+	}
+
+	runErr := eng.loop()
+	// Unblock any node still parked at the barrier and wait for every
+	// goroutine to finish, so no goroutine outlives Run.
+	close(eng.abort)
+	for eng.doneCount < n {
+		if a := <-eng.arrive; a.done {
+			eng.doneCount++
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := eng.getErr(); err != nil {
+		return nil, err
+	}
+	return &Result[T]{Outputs: outputs, Stats: eng.stats}, nil
+}
+
+// loop drives barrier rounds until every node's handler has returned, a
+// handler fails, or the round limit is reached. It returns the abort cause,
+// or nil on clean termination.
+func (e *engine) loop() error {
+	active := len(e.nodes)
+	for round := 0; ; round++ {
+		if round > e.maxRounds {
+			return fmt.Errorf("%w (%d)", ErrMaxRounds, e.maxRounds)
+		}
+		waiting := make([]int, 0, active)
+		for got := 0; got < active; got++ {
+			a := <-e.arrive
+			if a.done {
+				e.doneCount++
+			} else {
+				waiting = append(waiting, a.id)
+			}
+		}
+		if err := e.getErr(); err != nil {
+			return err
+		}
+		active = len(waiting)
+		if active == 0 {
+			return nil
+		}
+		e.stats.Rounds++
+		e.deliver()
+		sort.Ints(waiting)
+		for _, id := range waiting {
+			e.resume[id] <- struct{}{}
+		}
+	}
+}
+
+// deliver moves all outboxes into inboxes, accounting bits. Senders are
+// processed in id order so every inbox is sorted by sender.
+func (e *engine) deliver() {
+	for _, nd := range e.nodes {
+		nd.inbox = nd.inbox[:0]
+	}
+	var roundBits, roundMsgs int64
+	for _, nd := range e.nodes {
+		if len(nd.outbox) == 0 {
+			continue
+		}
+		dests := make([]int, 0, len(nd.outbox))
+		for to := range nd.outbox {
+			dests = append(dests, to)
+		}
+		sort.Ints(dests)
+		for _, to := range dests {
+			m := nd.outbox[to]
+			b := int64(m.Bits())
+			e.stats.Messages++
+			e.stats.TotalBits += b
+			roundBits += b
+			roundMsgs++
+			if e.cutA != nil && e.cutA.Contains(nd.id) != e.cutA.Contains(to) {
+				e.stats.CutBits += b
+				e.stats.CutMessages++
+			}
+			e.nodes[to].inbox = append(e.nodes[to].inbox, Incoming{From: nd.id, Msg: m})
+		}
+		nd.outbox = make(map[int]Message, len(nd.outbox))
+	}
+	if roundBits > e.stats.MaxRoundBits {
+		e.stats.MaxRoundBits = roundBits
+	}
+	if roundMsgs > e.stats.MaxRoundMessages {
+		e.stats.MaxRoundMessages = roundMsgs
+	}
+}

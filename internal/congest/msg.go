@@ -1,0 +1,54 @@
+package congest
+
+import "math/bits"
+
+// Shared small message types. Algorithms with richer payloads define their
+// own Message implementations; these cover the common cases and keep bit
+// accounting honest.
+
+// Flag is a 1-bit message (presence/absence signals, wave tokens).
+type Flag struct{}
+
+// Bits returns the size of the flag message.
+func (Flag) Bits() int { return 1 }
+
+// Int carries a single non-negative integer of explicit width. Width must
+// be at least the value's natural length; constructors below compute it.
+type Int struct {
+	V     int64
+	Width int
+}
+
+// Bits returns the declared width.
+func (m Int) Bits() int { return m.Width }
+
+// NewInt packs v into its natural width (minimum 1 bit). v must be ≥ 0.
+func NewInt(v int64) Int {
+	w := bits.Len64(uint64(v))
+	if w == 0 {
+		w = 1
+	}
+	return Int{V: v, Width: w}
+}
+
+// NewIntWidth packs v with a fixed width, for protocols whose analysis
+// charges a fixed field size (e.g. an id field of ⌈log₂ n⌉ bits).
+func NewIntWidth(v int64, width int) Int {
+	return Int{V: v, Width: width}
+}
+
+// Pair carries two non-negative integers with explicit widths (e.g. an
+// (id, value) report).
+type Pair struct {
+	A, B           int64
+	WidthA, WidthB int
+}
+
+// Bits returns the total declared width.
+func (m Pair) Bits() int { return m.WidthA + m.WidthB }
+
+// NewPair packs two values with id-width fields for a network of n nodes.
+func NewPair(n int, a, b int64) Pair {
+	w := IDBits(n)
+	return Pair{A: a, B: b, WidthA: w, WidthB: w}
+}

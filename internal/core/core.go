@@ -1,0 +1,148 @@
+// Package core implements the paper's primary contributions as executable
+// distributed algorithms on the CONGEST / CONGESTED CLIQUE simulator:
+//
+//   - Theorem 1: deterministic (1+ε)-approximate G²-MVC in O(n/ε) CONGEST
+//     rounds (Algorithm 1);
+//   - Theorem 7: deterministic (1+ε)-approximate G²-MWVC in O(n·log n/ε)
+//     CONGEST rounds;
+//   - Corollary 10: deterministic (1+ε)-approximate G²-MVC in O(εn + 1/ε)
+//     CONGESTED CLIQUE rounds;
+//   - Theorem 11: randomized (1+ε)-approximate G²-MVC in O(log n + 1/ε)
+//     CONGESTED CLIQUE rounds via the voting scheme;
+//   - Corollary 17: 5/3-approximate G²-MVC in O(n) CONGEST rounds with
+//     polynomial-time local computation;
+//   - Theorem 28: randomized O(log Δ)-approximate G²-MDS in polylog(n)
+//     CONGEST rounds, simulating the [CD18] algorithm with the Lemma 29
+//     2-hop cardinality estimator.
+//
+// All algorithms communicate over the input graph G only; the square G² is
+// never materialized by the distributed code (only by checkers and local
+// leader computations, as in the paper).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/congest"
+	"powergraph/internal/exact"
+	"powergraph/internal/graph"
+)
+
+// LocalSolver computes a vertex cover of a (small, reconstructed) graph at
+// the leader during Phase II. Algorithm 1 uses an exact solver; Corollary 17
+// swaps in the centralized 5/3-approximation for polynomial local work.
+type LocalSolver func(*graph.Graph) *bitset.Set
+
+// Options tune a distributed run. The zero value is ready to use.
+type Options struct {
+	// Seed drives all node-local randomness (deterministic per seed).
+	Seed int64
+	// BandwidthFactor overrides the per-message budget multiplier
+	// (B = factor·⌈log₂ n⌉ bits). Zero selects each algorithm's default.
+	BandwidthFactor int
+	// MaxRounds aborts runaway executions; zero selects the engine default.
+	MaxRounds int
+	// LocalSolver overrides the leader's Phase-II solver (default exact).
+	LocalSolver LocalSolver
+	// CutA, when non-nil, makes the run report bits crossing the given
+	// vertex cut (Section 5.1 instrumentation).
+	CutA *bitset.Set
+}
+
+func (o *Options) localSolver() LocalSolver {
+	if o != nil && o.LocalSolver != nil {
+		return o.LocalSolver
+	}
+	return exact.VertexCover
+}
+
+func (o *Options) seed() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.Seed
+}
+
+func (o *Options) bandwidthFactor(def int) int {
+	if o != nil && o.BandwidthFactor != 0 {
+		return o.BandwidthFactor
+	}
+	return def
+}
+
+func (o *Options) maxRounds() int {
+	if o == nil {
+		return 0
+	}
+	return o.MaxRounds
+}
+
+func (o *Options) cutA() *bitset.Set {
+	if o == nil {
+		return nil
+	}
+	return o.CutA
+}
+
+// Result is the outcome of a distributed cover/dominating-set computation.
+type Result struct {
+	// Solution holds the selected vertices (cover or dominating set).
+	Solution *bitset.Set
+	// PhaseISize is the number of vertices committed during Phase I
+	// (the set S of Algorithm 1); -1 when not applicable.
+	PhaseISize int
+	// FallbackJoins counts vertices that joined the MDS solution through
+	// the unconditional-feasibility fallback after the w.h.p. phase budget
+	// (0 w.h.p.; only set by ApproxMDSCongest).
+	FallbackJoins int
+	// Stats is the simulator's cost accounting for the whole run.
+	Stats congest.Stats
+}
+
+// nodeOut is the per-node output assembled into a Result.
+type nodeOut struct {
+	InSolution bool
+	InPhaseI   bool
+}
+
+func assemble(outs []nodeOut, stats congest.Stats) *Result {
+	sol := bitset.New(len(outs))
+	phase1 := 0
+	for i, o := range outs {
+		if o.InSolution {
+			sol.Add(i)
+		}
+		if o.InPhaseI {
+			phase1++
+		}
+	}
+	return &Result{Solution: sol, PhaseISize: phase1, Stats: stats}
+}
+
+// epsilonToL converts ε into the paper's l = ⌈1/ε⌉ so that ε' = 1/l ≤ ε is
+// the unit fraction Algorithm 1 actually runs with (proof of Theorem 1).
+func epsilonToL(eps float64) (int, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return 0, fmt.Errorf("core: epsilon must be positive, got %v", eps)
+	}
+	if eps > 1 {
+		eps = 1
+	}
+	l := int(math.Ceil(1/eps - 1e-12))
+	if l < 1 {
+		l = 1
+	}
+	return l, nil
+}
+
+// requireConnected rejects inputs the leader-based Phase II cannot serve:
+// on a disconnected graph the BFS tree and the gather/flood primitives
+// would silently operate on one component only.
+func requireConnected(g *graph.Graph) error {
+	if g.N() > 0 && !g.Connected() {
+		return fmt.Errorf("core: input graph must be connected (run per component)")
+	}
+	return nil
+}

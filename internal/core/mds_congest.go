@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+
+	"powergraph/internal/congest"
+	"powergraph/internal/estimate"
+	"powergraph/internal/graph"
+)
+
+// MDSOptions tunes the Theorem 28 simulation.
+type MDSOptions struct {
+	Options
+	// SampleFactor sets r = SampleFactor·⌈log₂ n⌉ estimator repetitions per
+	// phase (Lemma 29 uses r = Θ(log n)). Zero selects the default of 3.
+	SampleFactor int
+	// PhaseFactor scales the number of phases
+	// T = PhaseFactor·(⌈log₂ n⌉+1)·(⌈log₂ Δ²⌉+2); [CD18] needs
+	// O(log n·log Δ) phases w.h.p. Zero selects the default of 2.
+	PhaseFactor int
+}
+
+// quantMsg carries one quantized exponential sample (step-1 minima floods).
+type quantMsg struct {
+	Q     int64
+	Width int
+}
+
+func (m quantMsg) Bits() int { return m.Width }
+
+// candValMsg carries a per-candidate quantized minimum (step-4 vote
+// estimation): the candidate id plus the sample.
+type candValMsg struct {
+	Cand   int64
+	Q      int64
+	WidthC int
+	WidthQ int
+}
+
+func (m candValMsg) Bits() int { return m.WidthC + m.WidthQ }
+
+// rankIDMsg floods the lexicographically minimal (rank, id) candidate
+// within two hops (step-3 voting).
+type rankIDMsg struct {
+	Rank, ID       int64
+	WidthR, WidthI int
+}
+
+func (m rankIDMsg) Bits() int { return m.WidthR + m.WidthI }
+
+// ApproxMDSCongest runs Theorem 28: a randomized O(log Δ)-approximation for
+// minimum dominating set on G², communicating over G in the CONGEST model,
+// in polylog(n) rounds. It simulates the [CD18] MDS algorithm on G² using
+// the Lemma 29 exponential-sketch estimator for every quantity a node would
+// need from its 2-hop neighborhood:
+//
+//  1. each vertex estimates its coverage C_v (uncovered vertices within two
+//     hops) with r = Θ(log n) two-round min-floods and rounds it to a power
+//     of two (ρ̃_v);
+//  2. vertices whose ρ̃ is maximal within four hops in G (two hops in G²)
+//     become candidates;
+//  3. candidates draw random ranks; every uncovered vertex votes for the
+//     minimal (rank, id) candidate within two hops;
+//  4. candidates estimate their vote count with per-candidate min-floods
+//     (intermediate nodes forward, to each neighboring candidate, only that
+//     candidate's minimum — the congestion-avoiding trick of Section 6.1);
+//  5. a candidate with votes ≥ C̃_v/8 joins the dominating set;
+//  6. a two-round flood marks everything within two hops of a new member
+//     covered.
+//
+// After the w.h.p. phase budget, any still-uncovered vertex joins the
+// dominating set itself (feasibility is unconditional; Result.FallbackJoins
+// reports how many did, which is 0 w.h.p.).
+func ApproxMDSCongest(g *graph.Graph, opts *MDSOptions) (*Result, error) {
+	if opts == nil {
+		opts = &MDSOptions{}
+	}
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	idw := congest.IDBits(n)
+	sampleFactor := opts.SampleFactor
+	if sampleFactor == 0 {
+		sampleFactor = 3
+	}
+	phaseFactor := opts.PhaseFactor
+	if phaseFactor == 0 {
+		phaseFactor = 2
+	}
+	r := sampleFactor * idw
+	if r < 4 {
+		r = 4
+	}
+	delta := g.MaxDegree()
+	logDelta2 := congest.IDBits(delta*delta+2) + 1
+	phases := phaseFactor * (idw + 1) * logDelta2
+
+	fracBits := 2*idw + 4
+	qWidth := estimate.IntBits + fracBits
+	rankW := 4 * idw
+	rankMax := int64(1) << uint(rankW)
+	// Largest message: candidate id + quantized value. Pick the bandwidth
+	// factor so it fits (Θ(log n) with a bigger constant than the MVC
+	// algorithms, as the estimator payloads are wider).
+	needBits := idw + qWidth
+	bwf := opts.Options.BandwidthFactor
+	if bwf == 0 {
+		bwf = (needBits + idw - 1) / idw
+		if bwf < 8 {
+			bwf = 8
+		}
+	}
+
+	cfg := congest.Config{
+		Graph:           g,
+		Model:           congest.CONGEST,
+		BandwidthFactor: bwf,
+		MaxRounds:       opts.Options.MaxRounds,
+		Seed:            opts.Options.Seed,
+		CutA:            opts.Options.CutA,
+	}
+	res, err := congest.Run(cfg, func(nd *congest.Node) (nodeOut, error) {
+		covered := false
+		inDS := false
+		rng := nd.Rand()
+
+		for phase := 0; phase < phases; phase++ {
+			// Step 1: estimate C_v = |uncovered ∩ ball₂(v)| via r
+			// two-round min-floods of quantized Exp(1) samples.
+			minima := make([]float64, 0, r)
+			sawAny := true
+			for j := 0; j < r; j++ {
+				var own int64 = -1 // -1 = no sample to contribute
+				if !covered {
+					own = estimate.Quantize(estimate.Sample(rng), fracBits)
+				}
+				m1 := minFlood(nd, own, qWidth)
+				m2 := minFlood(nd, m1, qWidth)
+				if m2 < 0 {
+					sawAny = false
+					continue
+				}
+				minima = append(minima, estimate.Dequantize(m2, fracBits))
+			}
+			var dTilde float64
+			var rho int64
+			if sawAny && len(minima) == r {
+				dTilde = estimate.FromMinima(minima)
+				if dTilde > float64(n) {
+					dTilde = float64(n) // clamp: can never cover more than n
+				}
+				rho = estimate.RoundUpPow2(dTilde)
+			}
+
+			// Step 2: candidates are 4-hop (G-distance) maxima of ρ̃.
+			maxRho := rho
+			for hop := 0; hop < 4; hop++ {
+				sendNeighborsG(nd, congest.NewIntWidth(maxRho, idw+2))
+				nd.NextRound()
+				for _, in := range nd.Recv() {
+					if v := in.Msg.(congest.Int).V; v > maxRho {
+						maxRho = v
+					}
+				}
+			}
+			candidate := rho > 0 && rho >= maxRho
+
+			// Step 3: candidates draw ranks; uncovered vertices vote for
+			// the minimal (rank, id) candidate within two hops.
+			var myRank int64 = -1
+			if candidate {
+				myRank = rng.Int63n(rankMax)
+			}
+			r1, id1, fromNbr := rankFlood(nd, myRank, int64(nd.ID()), rankW, idw)
+			_, id2, _ := rankFlood(nd, r1, id1, rankW, idw)
+			candNbrs := fromNbr // which G-neighbors are candidates (direct senders in flood 1)
+			voteFor := -1
+			if !covered && id2 >= 0 {
+				voteFor = int(id2)
+			}
+
+			// Step 4: estimate per-candidate vote counts with r repetitions
+			// of a two-round per-candidate min-flood.
+			voteMinima := make([]float64, 0, r)
+			gotVotes := true
+			for j := 0; j < r; j++ {
+				var own int64 = -1
+				if voteFor != -1 {
+					own = estimate.Quantize(estimate.Sample(rng), fracBits)
+				}
+				// Round A: voters broadcast (candidate, sample).
+				if own >= 0 {
+					sendNeighborsG(nd, candValMsg{Cand: int64(voteFor), Q: own, WidthC: idw, WidthQ: qWidth})
+				}
+				nd.NextRound()
+				perCand := map[int64]int64{}
+				if own >= 0 {
+					perCand[int64(voteFor)] = own
+				}
+				for _, in := range nd.Recv() {
+					m, ok := in.Msg.(candValMsg)
+					if !ok {
+						continue
+					}
+					if cur, seen := perCand[m.Cand]; !seen || m.Q < cur {
+						perCand[m.Cand] = m.Q
+					}
+				}
+				// Round B: forward each neighboring candidate its minimum.
+				for _, u := range nd.Neighbors() {
+					if !candNbrs[u] {
+						continue
+					}
+					if q, ok := perCand[int64(u)]; ok {
+						nd.MustSend(u, candValMsg{Cand: int64(u), Q: q, WidthC: idw, WidthQ: qWidth})
+					}
+				}
+				nd.NextRound()
+				best := int64(-1)
+				if candidate {
+					if q, ok := perCand[int64(nd.ID())]; ok {
+						best = q
+					}
+					for _, in := range nd.Recv() {
+						m, ok := in.Msg.(candValMsg)
+						if !ok || m.Cand != int64(nd.ID()) {
+							continue
+						}
+						if best < 0 || m.Q < best {
+							best = m.Q
+						}
+					}
+				}
+				if best < 0 {
+					gotVotes = false
+					continue
+				}
+				voteMinima = append(voteMinima, estimate.Dequantize(best, fracBits))
+			}
+
+			// Step 5: join on votes ≥ C̃_v/8.
+			joined := false
+			if candidate && gotVotes && len(voteMinima) == r {
+				votes := estimate.FromMinima(voteMinima)
+				if votes > float64(n) {
+					votes = float64(n)
+				}
+				if votes >= dTilde/8 {
+					inDS = true
+					joined = true
+					covered = true
+				}
+			}
+
+			// Step 6: two-round coverage flood from new members.
+			if joined {
+				sendNeighborsG(nd, congest.Flag{})
+			}
+			nd.NextRound()
+			relay := joined || len(nd.Recv()) > 0
+			if len(nd.Recv()) > 0 {
+				covered = true
+			}
+			if relay {
+				sendNeighborsG(nd, congest.Flag{})
+			}
+			nd.NextRound()
+			if len(nd.Recv()) > 0 {
+				covered = true
+			}
+		}
+
+		// Unconditional feasibility: leftover uncovered vertices join.
+		fallback := false
+		if !covered {
+			inDS = true
+			fallback = true
+		}
+		return nodeOut{InSolution: inDS, InPhaseI: fallback}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := assemble(res.Outputs, res.Stats)
+	out.FallbackJoins = out.PhaseISize
+	out.PhaseISize = -1
+	return out, nil
+}
+
+// minFlood performs one round of minimum aggregation: nodes with own ≥ 0
+// send it to all G-neighbors; everyone returns the minimum of its own value
+// and everything received (-1 if nothing was seen).
+func minFlood(nd *congest.Node, own int64, width int) int64 {
+	if own >= 0 {
+		sendNeighborsG(nd, quantMsg{Q: own, Width: width})
+	}
+	nd.NextRound()
+	best := own
+	for _, in := range nd.Recv() {
+		m, ok := in.Msg.(quantMsg)
+		if !ok {
+			continue
+		}
+		if best < 0 || m.Q < best {
+			best = m.Q
+		}
+	}
+	return best
+}
+
+// rankFlood performs one round of lexicographic (rank, id) minimum
+// aggregation; rank < 0 means "no value". It also reports which neighbors
+// sent a value this round (used to detect neighboring candidates in the
+// first hop of the flood).
+func rankFlood(nd *congest.Node, rank, id int64, rankW, idW int) (int64, int64, map[int]bool) {
+	if rank >= 0 {
+		sendNeighborsG(nd, rankIDMsg{Rank: rank, ID: id, WidthR: rankW, WidthI: idW})
+	}
+	nd.NextRound()
+	bestR, bestID := rank, id
+	senders := make(map[int]bool)
+	for _, in := range nd.Recv() {
+		m, ok := in.Msg.(rankIDMsg)
+		if !ok {
+			continue
+		}
+		senders[in.From] = true
+		if bestR < 0 || m.Rank < bestR || (m.Rank == bestR && m.ID < bestID) {
+			bestR, bestID = m.Rank, m.ID
+		}
+	}
+	if bestR < 0 {
+		bestID = -1
+	}
+	return bestR, bestID, senders
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/congest"
+	"powergraph/internal/graph"
+)
+
+// rankMsg announces a candidate's random rank (drawn from [n⁴], exactly the
+// 4·⌈log₂ n⌉ bits the paper's voting scheme budgets for).
+type rankMsg struct {
+	Rank  int64
+	Width int
+}
+
+func (m rankMsg) Bits() int { return m.Width }
+
+// ApproxMVCCliqueRandomized runs Theorem 11: a randomized
+// (1+ε)-approximation for G²-MVC in the CONGESTED CLIQUE in O(log n + 1/ε)
+// rounds, w.h.p.
+//
+// Each iteration, every live vertex votes for its incident candidate with
+// the highest random rank; a candidate succeeding on ≥ dR(c)/8 votes moves
+// its whole neighborhood into the cover. The potential Φ = Σ_c dR(c) drops
+// by an expected constant factor per iteration (Claim 1), so O(log n)
+// iterations suffice w.h.p.; after 8·log₂n + 16 iterations the ranks switch
+// to the node ids, which makes the globally maximal candidate always
+// succeed and guarantees termination unconditionally. Phase II is Lemma 9's
+// direct O(1/ε)-round gather.
+func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Result, error) {
+	if _, err := epsilonToL(eps); err != nil {
+		return nil, err
+	}
+	if eps > 1 {
+		return &Result{Solution: bitset.Full(g.N()), PhaseISize: g.N()}, nil
+	}
+	if err := requireConnected(g); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	solver := opts.localSolver()
+	// Threshold: a vertex is a candidate while dR(c) > 8/ε + 2 (it "leaves
+	// C" as soon as its live degree drops to the threshold or below).
+	tau := int(math.Ceil(8/eps)) + 2
+	randomIters := 8*congest.IDBits(n) + 16
+	rankW := 4 * congest.IDBits(n)
+	rankMax := int64(1) << uint(rankW)
+
+	cfg := congest.Config{
+		Graph:           g,
+		Model:           congest.CongestedClique,
+		BandwidthFactor: opts.bandwidthFactor(4),
+		MaxRounds:       opts.maxRounds(),
+		Seed:            opts.seed(),
+		CutA:            opts.cutA(),
+	}
+	res, err := congest.Run(cfg, func(nd *congest.Node) (nodeOut, error) {
+		inR, inS := true, false
+		succeeded := false
+		idw := congest.IDBits(n)
+
+		for it := 0; ; it++ {
+			// Round 1: live-status exchange over G-edges.
+			sendNeighborsG(nd, congest.NewIntWidth(boolBit(inR), 1))
+			nd.NextRound()
+			live := make([]int, 0, nd.Degree())
+			for _, in := range nd.Recv() {
+				if in.Msg.(congest.Int).V == 1 {
+					live = append(live, in.From)
+				}
+			}
+			dR := len(live)
+			candidate := !succeeded && dR > tau
+
+			// Round 2: global termination OR via the clique.
+			nd.Broadcast(congest.NewIntWidth(boolBit(candidate), 1))
+			nd.NextRound()
+			any := candidate
+			for _, in := range nd.Recv() {
+				if in.Msg.(congest.Int).V == 1 {
+					any = true
+				}
+			}
+			if !any {
+				break
+			}
+
+			// Round 3: candidates announce ranks to their G-neighbors.
+			// After the w.h.p. horizon, ranks deterministically become the
+			// candidate's id, forcing the global maximum to succeed.
+			var myRank int64
+			if candidate {
+				if it < randomIters {
+					myRank = nd.Rand().Int63n(rankMax)
+				} else {
+					myRank = int64(nd.ID())
+				}
+				sendNeighborsG(nd, rankMsg{Rank: myRank, Width: rankW})
+			}
+			nd.NextRound()
+			voteFor := -1
+			var bestRank int64 = -1
+			if inR {
+				for _, in := range nd.Recv() {
+					m, ok := in.Msg.(rankMsg)
+					if !ok {
+						continue
+					}
+					// Highest rank wins; ties break toward the higher id
+					// (deterministic, consistent at every voter).
+					if m.Rank > bestRank || (m.Rank == bestRank && in.From > voteFor) {
+						bestRank = m.Rank
+						voteFor = in.From
+					}
+				}
+			}
+
+			// Round 4: voters announce their chosen candidate to all
+			// G-neighbors; candidates count votes naming them.
+			if voteFor != -1 {
+				sendNeighborsG(nd, congest.NewIntWidth(int64(voteFor), idw))
+			}
+			nd.NextRound()
+			votes := 0
+			for _, in := range nd.Recv() {
+				if m, ok := in.Msg.(congest.Int); ok && int(m.V) == nd.ID() {
+					votes++
+				}
+			}
+			success := candidate && votes*8 >= dR
+
+			// Round 5: successful candidates move N(c) into S.
+			if success {
+				sendNeighborsG(nd, congest.Flag{})
+				succeeded = true
+			}
+			nd.NextRound()
+			if len(nd.Recv()) > 0 {
+				inS = true
+				inR = false
+			}
+		}
+
+		sol := cliquePhaseII(nd, inR, tau, solver)
+		return nodeOut{InSolution: inS || sol, InPhaseI: inS}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assemble(res.Outputs, res.Stats), nil
+}

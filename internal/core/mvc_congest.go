@@ -1,0 +1,173 @@
+package core
+
+import (
+	"powergraph/internal/bitset"
+	"powergraph/internal/congest"
+	"powergraph/internal/congest/primitives"
+	"powergraph/internal/graph"
+)
+
+// ApproxMVCCongest runs Algorithm 1 (Theorem 1): a deterministic
+// (1+ε)-approximation for minimum vertex cover on G², communicating only
+// over G in the CONGEST model, in O(n/ε) rounds.
+//
+// Phase I repeatedly selects centers c whose live neighborhood N(c) ∩ R
+// exceeds 1/ε and moves that whole neighborhood (a clique of G²) into the
+// cover; simultaneous selections are made conflict-free by the paper's
+// 2-hop maximum-ID rule. Phase II elects a leader, gathers the O(n/ε)-size
+// edge set F of Lemma 2 with pipelining over a BFS tree, reconstructs
+// H = G²[U] locally (Lemma 3), solves it with the configured LocalSolver
+// (exact by default), and floods the solution back.
+//
+// The input graph must be connected (Phase II routes everything through one
+// leader). ε must be positive; for ε > 1 the paper's trivial 0-round
+// 2-approximation (all vertices, Lemma 6) is returned.
+func ApproxMVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, error) {
+	l, err := epsilonToL(eps)
+	if err != nil {
+		return nil, err
+	}
+	if eps > 1 {
+		return &Result{Solution: bitset.Full(g.N()), PhaseISize: g.N()}, nil
+	}
+	if err := requireConnected(g); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	solver := opts.localSolver()
+
+	// Each productive Phase-I iteration removes at least l+1 vertices from
+	// R, so ⌊n/(l+1)⌋+1 lockstep iterations guarantee global quiescence
+	// without a termination-detection protocol.
+	iterations := n/(l+1) + 1
+
+	cfg := congest.Config{
+		Graph:           g,
+		Model:           congest.CONGEST,
+		BandwidthFactor: opts.bandwidthFactor(4),
+		MaxRounds:       opts.maxRounds(),
+		Seed:            opts.seed(),
+		CutA:            opts.cutA(),
+	}
+	res, err := congest.Run(cfg, func(nd *congest.Node) (nodeOut, error) {
+		inR, inC := true, true
+		inS := false
+		idw := congest.IDBits(n)
+
+		inRNbrs := make(map[int]bool, nd.Degree())
+		for _, u := range nd.Neighbors() {
+			inRNbrs[u] = true
+		}
+
+		// Phase I.
+		for it := 0; it < iterations; it++ {
+			// Round 1: exchange R-status.
+			nd.Broadcast(congest.NewIntWidth(boolBit(inR), 1))
+			nd.NextRound()
+			dR := 0
+			for _, in := range nd.Recv() {
+				live := in.Msg.(congest.Int).V == 1
+				inRNbrs[in.From] = live
+				if live {
+					dR++
+				}
+			}
+			// Candidate: still a potential center with > 1/ε = l live
+			// neighbors (the loop guard of Algorithm 1).
+			candidate := inC && dR > l
+			// Rounds 2–3: 2-hop max-ID symmetry breaking among candidates.
+			val := int64(0)
+			if candidate {
+				val = int64(nd.ID()) + 1
+			}
+			maxVal := primitives.TwoHopMax(nd, val)
+			selected := candidate && maxVal == int64(nd.ID())+1
+			// Round 4: selected centers move N(c) into S.
+			if selected {
+				nd.Broadcast(congest.Flag{})
+				inC = false
+			} else {
+				// Stay in lockstep; no message.
+			}
+			nd.NextRound()
+			for range nd.Recv() {
+				// A JOIN from any selected center puts us into the cover.
+				inS = true
+				inR = false
+				break
+			}
+		}
+
+		// One more status round so everyone knows which neighbors are in
+		// U = V \ S = R.
+		nd.Broadcast(congest.NewIntWidth(boolBit(inR), 1))
+		nd.NextRound()
+		uNbrs := make([]int, 0, nd.Degree())
+		for _, in := range nd.Recv() {
+			if in.Msg.(congest.Int).V == 1 {
+				uNbrs = append(uNbrs, in.From)
+			}
+		}
+
+		// Phase II: leader learns F = {{v,u} ∈ E : u ∈ U} (Lemma 2).
+		leader := primitives.MinIDLeader(nd)
+		tree := primitives.BFSTree(nd, leader)
+		items := make([]congest.Message, 0, len(uNbrs))
+		for _, u := range uNbrs {
+			items = append(items, congest.NewPair(n, int64(nd.ID()), int64(u)))
+		}
+		gathered := primitives.GatherAtRoot(nd, tree, items)
+
+		// Leader-local reconstruction (Lemma 3) and solve.
+		var solutionIDs []congest.Message
+		if nd.ID() == leader {
+			cover := leaderSolveRemainder(n, gathered, solver)
+			for _, v := range cover.Elements() {
+				solutionIDs = append(solutionIDs, congest.NewIntWidth(int64(v), idw))
+			}
+		}
+		all := primitives.FloodItemsFromRoot(nd, tree, solutionIDs)
+		inRStar := false
+		for _, m := range all {
+			if m.(congest.Int).V == int64(nd.ID()) {
+				inRStar = true
+			}
+		}
+		return nodeOut{InSolution: inS || inRStar, InPhaseI: inS}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assemble(res.Outputs, res.Stats), nil
+}
+
+// leaderSolveRemainder rebuilds H = G²[U] from the gathered edge set F per
+// Lemma 3 and returns the configured solver's cover of H, in original ids.
+// Each gathered item is a (v, u) pair asserting edge {v,u} ∈ E with u ∈ U.
+func leaderSolveRemainder(n int, gathered []congest.Message, solver LocalSolver) *bitset.Set {
+	u := bitset.New(n)
+	b := graph.NewBuilder(n)
+	for _, m := range gathered {
+		p := m.(congest.Pair)
+		u.Add(int(p.B))
+		if _, err := b.AddEdgeIfAbsent(int(p.A), int(p.B)); err != nil {
+			panic(err) // malformed item: an engine/protocol bug, not user input
+		}
+	}
+	fGraph := b.Build()
+	h, orig := fGraph.Square().InducedSubgraph(u)
+	local := solver(h)
+	out := bitset.New(n)
+	local.ForEach(func(i int) bool {
+		out.Add(orig[i])
+		return true
+	})
+	return out
+}
+
+func boolBit(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"powergraph/internal/exact"
+	"powergraph/internal/graph"
+	"powergraph/internal/verify"
+)
+
+func TestApproxMVCCongestRandomizedSmallGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(18)
+		g := graph.ConnectedGNP(n, 0.25, rng)
+		eps := []float64{1, 0.5}[trial%2]
+		res, err := ApproxMVCCongestRandomized(g, eps, &Options{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMVCResult(t, g, eps, res)
+	}
+}
+
+func TestApproxMVCCongestRandomizedDenseFiresPhaseI(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := graph.ConnectedGNP(48, 0.5, rng)
+	res, err := ApproxMVCCongestRandomized(g, 0.5, &Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PhaseISize == 0 {
+		t.Fatal("voting Phase I never fired on a dense graph")
+	}
+	if ok, _ := verify.IsSquareVertexCover(g, res.Solution); !ok {
+		t.Fatal("infeasible")
+	}
+}
+
+func TestApproxMVCCongestRandomizedMatchesGuaranteeAcrossSeeds(t *testing.T) {
+	g := graph.Caterpillar(6, 6)
+	sq := g.Square()
+	opt := verify.Cost(sq, exact.VertexCover(sq))
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := ApproxMVCCongestRandomized(g, 0.5, &Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := verify.IsSquareVertexCover(g, res.Solution); !ok {
+			t.Fatalf("seed %d infeasible", seed)
+		}
+		got := verify.Cost(sq, res.Solution)
+		if float64(got) > 1.5*float64(opt)+1e-9 {
+			t.Fatalf("seed %d: ratio %d/%d", seed, got, opt)
+		}
+	}
+}
+
+func TestApproxMVCCongestRandomizedRejectsBadInput(t *testing.T) {
+	if _, err := ApproxMVCCongestRandomized(graph.Path(4), 0, nil); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(2, 3)
+	if _, err := ApproxMVCCongestRandomized(b.Build(), 0.5, nil); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestConnectivityValidationAcrossAlgorithms(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(2, 3)
+	g := b.Build()
+	if _, err := ApproxMVCCongest(g, 0.5, nil); err == nil {
+		t.Fatal("MVC accepted disconnected graph")
+	}
+	if _, err := ApproxMWVCCongest(g, 0.5, nil); err == nil {
+		t.Fatal("MWVC accepted disconnected graph")
+	}
+	if _, err := ApproxMVCCliqueDeterministic(g, 0.5, nil); err == nil {
+		t.Fatal("clique-det accepted disconnected graph")
+	}
+	if _, err := ApproxMVCCliqueRandomized(g, 0.5, nil); err == nil {
+		t.Fatal("clique-rand accepted disconnected graph")
+	}
+	// MDS has no leader: disconnected inputs are legitimate (each
+	// component runs independently).
+	res, err := ApproxMDSCongest(g, &MDSOptions{Options: Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, v := verify.IsSquareDominatingSet(g, res.Solution); !ok {
+		t.Fatalf("disconnected MDS leaves %d undominated", v)
+	}
+}

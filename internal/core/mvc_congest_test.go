@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/centralized"
+	"powergraph/internal/exact"
+	"powergraph/internal/graph"
+	"powergraph/internal/verify"
+)
+
+func checkMVCResult(t *testing.T, g *graph.Graph, eps float64, res *Result) {
+	t.Helper()
+	if ok, w := verify.IsSquareVertexCover(g, res.Solution); !ok {
+		t.Fatalf("not a vertex cover of G², witness %v", w)
+	}
+	sq := g.Square()
+	opt := verify.Cost(sq, exact.VertexCover(sq))
+	got := verify.Cost(sq, res.Solution)
+	if opt == 0 {
+		if got != 0 {
+			t.Fatalf("OPT=0 but got %d", got)
+		}
+		return
+	}
+	if float64(got) > (1+eps)*float64(opt)+1e-9 {
+		t.Fatalf("ratio %d/%d = %.4f exceeds 1+ε = %.4f",
+			got, opt, float64(got)/float64(opt), 1+eps)
+	}
+}
+
+func TestApproxMVCCongestSmallGraphs(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"single":  graph.NewBuilder(1).Build(),
+		"edge":    graph.Path(2),
+		"path7":   graph.Path(7),
+		"cycle8":  graph.Cycle(8),
+		"star10":  graph.Star(10),
+		"grid3x4": graph.Grid(3, 4),
+		"cat":     graph.Caterpillar(4, 3),
+	}
+	for name, g := range cases {
+		for _, eps := range []float64{1, 0.5, 0.25} {
+			res, err := ApproxMVCCongest(g, eps, nil)
+			if err != nil {
+				t.Fatalf("%s eps=%v: %v", name, eps, err)
+			}
+			checkMVCResult(t, g, eps, res)
+		}
+	}
+}
+
+func TestApproxMVCCongestRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 12; trial++ {
+		n := 5 + rng.Intn(20)
+		g := graph.ConnectedGNP(n, 0.15, rng)
+		eps := []float64{1, 0.5, 1.0 / 3}[trial%3]
+		res, err := ApproxMVCCongest(g, eps, &Options{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMVCResult(t, g, eps, res)
+	}
+}
+
+func TestApproxMVCCongestEpsGreaterThanOne(t *testing.T) {
+	g := graph.Cycle(6)
+	res, err := ApproxMVCCongest(g, 2.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Count() != 6 {
+		t.Fatalf("expected all-vertices shortcut, got %d", res.Solution.Count())
+	}
+	if res.Stats.Rounds != 0 {
+		t.Fatalf("shortcut should use 0 rounds, used %d", res.Stats.Rounds)
+	}
+	// Lemma 6: all-vertices is a 2-approximation on G².
+	sq := g.Square()
+	opt := verify.Cost(sq, exact.VertexCover(sq))
+	if float64(6) > 2*float64(opt) {
+		t.Fatalf("all-vertices ratio exceeds 2: 6 vs opt %d", opt)
+	}
+}
+
+func TestApproxMVCCongestInvalidEps(t *testing.T) {
+	g := graph.Path(3)
+	for _, eps := range []float64{0, -1} {
+		if _, err := ApproxMVCCongest(g, eps, nil); err == nil {
+			t.Fatalf("eps=%v accepted", eps)
+		}
+	}
+}
+
+func TestApproxMVCCongestPhaseIBound(t *testing.T) {
+	// Lemma 5: the Phase-I set S alone is a (1+ε)-approximation of the
+	// optimum cover of G²[S]. Check it on caterpillars, which force Phase I
+	// to fire (high-degree spine vertices).
+	g := graph.Caterpillar(6, 6)
+	eps := 0.5
+	res, err := ApproxMVCCongest(g, eps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PhaseISize == 0 {
+		t.Fatal("expected Phase I to select at least one center on a caterpillar")
+	}
+	checkMVCResult(t, g, eps, res)
+}
+
+func TestApproxMVCCongestRoundsScaling(t *testing.T) {
+	// Theorem 1: rounds = O(n/ε). Check rounds grow ≈ linearly in n for
+	// fixed ε (ratio n=120 vs n=60 below 3×) and are finite for small ε.
+	rounds := func(n int, eps float64) int {
+		g := graph.Path(n)
+		res, err := ApproxMVCCongest(g, eps, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Rounds
+	}
+	r60 := rounds(60, 0.5)
+	r120 := rounds(120, 0.5)
+	if r120 < r60 {
+		t.Fatalf("rounds shrank with n: %d vs %d", r60, r120)
+	}
+	if float64(r120) > 3.2*float64(r60) {
+		t.Fatalf("rounds super-linear: n=60→%d, n=120→%d", r60, r120)
+	}
+}
+
+func TestApproxMVCCongestWithFiveThirdsSolver(t *testing.T) {
+	// Corollary 17 configuration: Phase II solves with the centralized 5/3
+	// algorithm instead of the exact solver; with ε = 1/2 the overall
+	// guarantee is max(3/2, 5/3) = 5/3.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 8; trial++ {
+		n := 5 + rng.Intn(14)
+		g := graph.ConnectedGNP(n, 0.2, rng)
+		res, err := ApproxMVCCongest(g, 0.5, &Options{
+			LocalSolver: func(h *graph.Graph) *bitset.Set { return centralized.FiveThirdsOnGraph(h).Cover },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := verify.IsSquareVertexCover(g, res.Solution); !ok {
+			t.Fatal("5/3-solver run produced infeasible cover")
+		}
+		sq := g.Square()
+		opt := verify.Cost(sq, exact.VertexCover(sq))
+		got := verify.Cost(sq, res.Solution)
+		if opt > 0 && float64(got) > 5.0/3.0*float64(opt)+1e-9 {
+			t.Fatalf("ratio %d/%d exceeds 5/3", got, opt)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/congest"
+	"powergraph/internal/congest/primitives"
+	"powergraph/internal/graph"
+)
+
+// edgeOrWeight is the Phase-II gather item of the weighted algorithm: either
+// an F-edge report {A,B} with B ∈ U, or a weight report (A = vertex, B =
+// its weight). One tag bit distinguishes them.
+type edgeOrWeight struct {
+	IsWeight bool
+	A, B     int64
+	WA, WB   int
+}
+
+func (m edgeOrWeight) Bits() int { return 1 + m.WA + m.WB }
+
+// ApproxMWVCCongest runs the weighted variant of Algorithm 1 (Theorem 7): a
+// deterministic (1+ε)-approximation for minimum weighted vertex cover on
+// G² in O(n·log n/ε) CONGEST rounds.
+//
+// Phase I picks centers by weight classes: N(c) is partitioned into the
+// classes N_i(c) of geometrically increasing weight, and a class is "ripe"
+// when its maximum live weight w*_i(c) is at most W_i(c)·ε/(1+ε) — then
+// adding N_i(c) ∩ R to the cover costs at most (1+ε) times what any optimal
+// cover pays on that clique of G². A fidelity note: the paper's pseudocode
+// removes a processed center from C after handling a single class; we keep
+// the center eligible while any class remains ripe, which is what the |F|
+// bound of Lemma 8 (and hence the Phase-II round bound) actually requires.
+//
+// Vertex weights must be non-negative and fit in 3·⌈log₂ n⌉-1 bits (the
+// paper's O(log n)-bit weight assumption); zero-weight vertices join the
+// cover for free upfront, as in Section 3.2. The graph must be connected.
+func ApproxMWVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("core: epsilon must be positive, got %v", eps)
+	}
+	if err := requireConnected(g); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	idw := congest.IDBits(n)
+	maxWBits := 3*idw - 1
+	if maxWBits < 1 {
+		maxWBits = 1
+	}
+	for v := 0; v < n; v++ {
+		w := g.Weight(v)
+		if w < 0 {
+			return nil, fmt.Errorf("core: negative weight %d at vertex %d", w, v)
+		}
+		if bits.Len64(uint64(w)) > maxWBits {
+			return nil, fmt.Errorf("core: weight %d at vertex %d exceeds the O(log n)-bit budget (%d bits)", w, v, maxWBits)
+		}
+	}
+	solver := opts.localSolver()
+	ratio := eps / (1 + eps)
+
+	// Every ripe class has at least (1+ε)/ε = 1 + 1/ε members, so a
+	// productive iteration removes at least ⌊1+1/ε⌋ vertices from R and
+	// this many lockstep iterations guarantees quiescence.
+	minRemoval := int(1 + 1/eps)
+	if minRemoval < 1 {
+		minRemoval = 1
+	}
+	iterations := n/minRemoval + 1
+
+	cfg := congest.Config{
+		Graph:           g,
+		Model:           congest.CONGEST,
+		BandwidthFactor: opts.bandwidthFactor(4),
+		MaxRounds:       opts.maxRounds(),
+		Seed:            opts.seed(),
+		CutA:            opts.cutA(),
+	}
+	res, err := congest.Run(cfg, func(nd *congest.Node) (nodeOut, error) {
+		inR := nd.Weight() > 0 // zero-weight vertices start in the cover
+		inS := !inR
+
+		// Round 0: learn neighbor weights (w is already bounded to fit).
+		nd.Broadcast(congest.NewIntWidth(nd.Weight(), maxWBits))
+		nd.NextRound()
+		nbrWeight := make(map[int]int64, nd.Degree())
+		for _, in := range nd.Recv() {
+			nbrWeight[in.From] = in.Msg.(congest.Int).V
+		}
+		// Fixed class structure over the full neighborhood N(c).
+		wMin := int64(0)
+		for _, w := range nbrWeight {
+			if w > 0 && (wMin == 0 || w < wMin) {
+				wMin = w
+			}
+		}
+		classOf := func(u int) int {
+			w := nbrWeight[u]
+			if w <= 0 || wMin == 0 {
+				return -1 // zero-weight: pre-covered, never in a class
+			}
+			c := 0
+			for t := wMin; t*2 <= w; t *= 2 {
+				c++
+			}
+			return c
+		}
+
+		inRNbr := make(map[int]bool, nd.Degree())
+		for _, u := range nd.Neighbors() {
+			inRNbr[u] = nbrWeight[u] > 0
+		}
+
+		// ripeMembers returns the union of N_i(c) ∩ R over all ripe classes
+		// i (condition (7): w*_i ≤ W_i · ε/(1+ε)).
+		ripeMembers := func() []int {
+			type agg struct {
+				sum, max int64
+				members  []int
+			}
+			classes := map[int]*agg{}
+			for _, u := range nd.Neighbors() {
+				if !inRNbr[u] {
+					continue
+				}
+				ci := classOf(u)
+				if ci < 0 {
+					continue
+				}
+				a := classes[ci]
+				if a == nil {
+					a = &agg{}
+					classes[ci] = a
+				}
+				w := nbrWeight[u]
+				a.sum += w
+				if w > a.max {
+					a.max = w
+				}
+				a.members = append(a.members, u)
+			}
+			var out []int
+			for _, a := range classes {
+				if float64(a.max) <= float64(a.sum)*ratio+1e-12 {
+					out = append(out, a.members...)
+				}
+			}
+			return out
+		}
+
+		// Phase I.
+		for it := 0; it < iterations; it++ {
+			nd.Broadcast(congest.NewIntWidth(boolBit(inR), 1))
+			nd.NextRound()
+			for _, in := range nd.Recv() {
+				inRNbr[in.From] = in.Msg.(congest.Int).V == 1
+			}
+			ripe := ripeMembers()
+			val := int64(0)
+			if len(ripe) > 0 {
+				val = int64(nd.ID()) + 1
+			}
+			maxVal := primitives.TwoHopMax(nd, val)
+			selected := len(ripe) > 0 && maxVal == int64(nd.ID())+1
+			if selected {
+				for _, u := range ripe {
+					nd.MustSend(u, congest.Flag{})
+				}
+			}
+			nd.NextRound()
+			if len(nd.Recv()) > 0 {
+				inS = true
+				inR = false
+			}
+		}
+
+		// Final status round: learn which neighbors are in U = R.
+		nd.Broadcast(congest.NewIntWidth(boolBit(inR), 1))
+		nd.NextRound()
+		uNbrs := make([]int, 0, nd.Degree())
+		for _, in := range nd.Recv() {
+			if in.Msg.(congest.Int).V == 1 {
+				uNbrs = append(uNbrs, in.From)
+			}
+		}
+
+		// Phase II: gather F plus the weights of U-vertices, solve at the
+		// leader, flood the solution.
+		leader := primitives.MinIDLeader(nd)
+		tree := primitives.BFSTree(nd, leader)
+		items := make([]congest.Message, 0, len(uNbrs)+1)
+		for _, u := range uNbrs {
+			items = append(items, edgeOrWeight{A: int64(nd.ID()), B: int64(u), WA: idw, WB: idw})
+		}
+		if inR {
+			items = append(items, edgeOrWeight{IsWeight: true, A: int64(nd.ID()), B: nd.Weight(), WA: idw, WB: maxWBits})
+		}
+		gathered := primitives.GatherAtRoot(nd, tree, items)
+
+		var solutionIDs []congest.Message
+		if nd.ID() == leader {
+			cover := leaderSolveWeightedRemainder(n, gathered, solver)
+			for _, v := range cover.Elements() {
+				solutionIDs = append(solutionIDs, congest.NewIntWidth(int64(v), idw))
+			}
+		}
+		all := primitives.FloodItemsFromRoot(nd, tree, solutionIDs)
+		inRStar := false
+		for _, m := range all {
+			if m.(congest.Int).V == int64(nd.ID()) {
+				inRStar = true
+			}
+		}
+		return nodeOut{InSolution: inS || inRStar, InPhaseI: inS}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assemble(res.Outputs, res.Stats), nil
+}
+
+// leaderSolveWeightedRemainder rebuilds the weighted H = G²[U] from the
+// gathered F-edges and weight reports, and solves it with the given solver.
+func leaderSolveWeightedRemainder(n int, gathered []congest.Message, solver LocalSolver) *bitset.Set {
+	u := bitset.New(n)
+	weights := make(map[int]int64)
+	b := graph.NewBuilder(n)
+	for _, m := range gathered {
+		p := m.(edgeOrWeight)
+		if p.IsWeight {
+			u.Add(int(p.A))
+			weights[int(p.A)] = p.B
+			continue
+		}
+		u.Add(int(p.B))
+		if _, err := b.AddEdgeIfAbsent(int(p.A), int(p.B)); err != nil {
+			panic(err)
+		}
+	}
+	for v, w := range weights {
+		b.SetWeight(v, w)
+	}
+	fGraph := b.Build()
+	h, orig := fGraph.Square().InducedSubgraph(u)
+	local := solver(h)
+	out := bitset.New(n)
+	local.ForEach(func(i int) bool {
+		out.Add(orig[i])
+		return true
+	})
+	return out
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"powergraph/internal/exact"
+	"powergraph/internal/graph"
+	"powergraph/internal/verify"
+)
+
+func checkMWVCResult(t *testing.T, g *graph.Graph, eps float64, res *Result) {
+	t.Helper()
+	if ok, w := verify.IsSquareVertexCover(g, res.Solution); !ok {
+		t.Fatalf("not a vertex cover of G², witness %v", w)
+	}
+	sq := g.Square()
+	opt := verify.Cost(sq, exact.VertexCover(sq))
+	got := verify.Cost(sq, res.Solution)
+	if opt == 0 {
+		if got != 0 {
+			t.Fatalf("OPT=0 but cover weighs %d", got)
+		}
+		return
+	}
+	if float64(got) > (1+eps)*float64(opt)+1e-6 {
+		t.Fatalf("weighted ratio %d/%d = %.4f exceeds 1+ε = %.4f",
+			got, opt, float64(got)/float64(opt), 1+eps)
+	}
+}
+
+func TestApproxMWVCCongestUnitWeights(t *testing.T) {
+	// With all-1 weights the weighted algorithm must match the unweighted
+	// guarantee.
+	for _, g := range []*graph.Graph{graph.Path(8), graph.Star(9), graph.Caterpillar(4, 3)} {
+		for _, eps := range []float64{1, 0.5} {
+			res, err := ApproxMWVCCongest(g, eps, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkMWVCResult(t, g, eps, res)
+		}
+	}
+}
+
+func TestApproxMWVCCongestRandomWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(14)
+		g := graph.WithRandomWeights(graph.ConnectedGNP(n, 0.2, rng), 30, rng)
+		eps := []float64{1, 0.5, 0.25}[trial%3]
+		res, err := ApproxMWVCCongest(g, eps, &Options{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMWVCResult(t, g, eps, res)
+	}
+}
+
+func TestApproxMWVCCongestZeroWeights(t *testing.T) {
+	// Zero-weight vertices join the cover for free (Section 3.2 WLOG), so
+	// the solution weight must ignore them entirely.
+	b := graph.NewBuilder(6)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(2, 3)
+	b.MustAddEdge(3, 4)
+	b.MustAddEdge(4, 5)
+	for v := 0; v < 6; v++ {
+		if v%2 == 0 {
+			b.SetWeight(v, 0)
+		} else {
+			b.SetWeight(v, 5)
+		}
+	}
+	g := b.Build()
+	res, err := ApproxMWVCCongest(g, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMWVCResult(t, g, 0.5, res)
+	// All zero-weight vertices must be in the cover (they're free).
+	for v := 0; v < 6; v += 2 {
+		if !res.Solution.Contains(v) {
+			t.Fatalf("zero-weight vertex %d missing from cover", v)
+		}
+	}
+}
+
+func TestApproxMWVCCongestHeavyLightMix(t *testing.T) {
+	// A star with a heavy center and light leaves: in the square (a
+	// clique), the optimum avoids exactly one vertex — the heaviest.
+	b := graph.NewBuilder(7)
+	for v := 1; v < 7; v++ {
+		b.MustAddEdge(0, v)
+		b.SetWeight(v, 1)
+	}
+	b.SetWeight(0, 100)
+	g := b.Build()
+	res, err := ApproxMWVCCongest(g, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMWVCResult(t, g, 0.25, res)
+	if res.Solution.Contains(0) {
+		// OPT = 6 (all leaves); taking the center costs 100+. A (1+ε)
+		// solution can't afford it.
+		t.Fatal("heavy center selected despite cheap alternative")
+	}
+}
+
+func TestApproxMWVCCongestRejectsBadInput(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := ApproxMWVCCongest(g, 0, nil); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	// Oversized weight: exceeds the O(log n)-bit assumption.
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(2, 3)
+	b.SetWeight(0, 1<<40)
+	if _, err := ApproxMWVCCongest(b.Build(), 0.5, nil); err == nil {
+		t.Fatal("oversized weight accepted")
+	}
+}
+
+func TestApproxMWVCPhaseIFiresOnWeightedCaterpillar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.WithRandomWeights(graph.Caterpillar(5, 8), 4, rng)
+	res, err := ApproxMWVCCongest(g, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PhaseISize == 0 {
+		t.Fatal("expected Phase I selections on a heavy-degree caterpillar")
+	}
+	checkMWVCResult(t, g, 0.5, res)
+}

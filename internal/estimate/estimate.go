@@ -1,0 +1,120 @@
+// Package estimate implements the randomized cardinality estimator of
+// Lemma 29/30 (a simplified Mosk-Aoyama–Shah [MS06] sketch): to estimate
+// k = |U|, every element of U draws r independent Exp(1) variables; the
+// coordinate-wise minimum over U is Exp(k)-distributed, so the reciprocal
+// of the average of the r minima concentrates around k (Cramér / Lemma 30).
+//
+// The distributed MDS algorithm (Theorem 28) aggregates these minima over
+// 2-hop neighborhoods with two CONGEST rounds per repetition; messages
+// carry fixed-point quantized values so the O(log n)-bit accounting stays
+// honest ("O(log n) bits of precision suffice", Section 6.1).
+package estimate
+
+import (
+	"math"
+	"math/rand"
+)
+
+// IntBits is the integer part width of quantized exponential samples. An
+// Exp(1) draw exceeds 63 with probability e⁻⁶³, so capping there biases
+// minima by a negligible amount.
+const IntBits = 6
+
+// maxValue is the largest representable quantized sample for a given
+// fractional width.
+func maxValue(fracBits int) int64 {
+	return (int64(1) << uint(IntBits+fracBits)) - 1
+}
+
+// Sample draws a standard exponential variable.
+func Sample(rng *rand.Rand) float64 {
+	return rng.ExpFloat64()
+}
+
+// Quantize converts w ≥ 0 to fixed point with the given fractional width,
+// saturating at the representable maximum. Quantization uses floor, which
+// commutes with minimum — the aggregate of quantized values equals the
+// quantized aggregate.
+func Quantize(w float64, fracBits int) int64 {
+	if w < 0 {
+		w = 0
+	}
+	q := int64(math.Floor(w * float64(int64(1)<<uint(fracBits))))
+	if m := maxValue(fracBits); q > m {
+		return m
+	}
+	return q
+}
+
+// Dequantize converts a fixed-point value back to float.
+func Dequantize(q int64, fracBits int) float64 {
+	return float64(q) / float64(int64(1)<<uint(fracBits))
+}
+
+// FromMinima converts the r collected minima W̃_1…W̃_r into the cardinality
+// estimate d̃ = r / Σ W̃_j (the reciprocal of the empirical mean of Exp(k)
+// variables). A zero sum — possible after quantization when k is huge —
+// returns +Inf; callers clamp to their known universe size.
+func FromMinima(minima []float64) float64 {
+	var sum float64
+	for _, w := range minima {
+		sum += w
+	}
+	if sum == 0 {
+		return math.Inf(1)
+	}
+	return float64(len(minima)) / sum
+}
+
+// Cardinality simulates the full estimator centrally: k elements, r
+// repetitions. Used by tests and benchmarks to validate the concentration
+// bound of Lemma 30 independently of the network machinery.
+func Cardinality(k, r int, rng *rand.Rand) float64 {
+	if k <= 0 {
+		return 0
+	}
+	minima := make([]float64, r)
+	for j := range minima {
+		m := math.Inf(1)
+		for i := 0; i < k; i++ {
+			if w := Sample(rng); w < m {
+				m = w
+			}
+		}
+		minima[j] = m
+	}
+	return FromMinima(minima)
+}
+
+// QuantizedCardinality is Cardinality with the same fixed-point pipeline the
+// distributed algorithm uses, validating that quantization does not break
+// the concentration guarantee.
+func QuantizedCardinality(k, r, fracBits int, rng *rand.Rand) float64 {
+	if k <= 0 {
+		return 0
+	}
+	minima := make([]float64, r)
+	for j := range minima {
+		m := maxValue(fracBits)
+		for i := 0; i < k; i++ {
+			if q := Quantize(Sample(rng), fracBits); q < m {
+				m = q
+			}
+		}
+		minima[j] = Dequantize(m, fracBits)
+	}
+	return FromMinima(minima)
+}
+
+// RoundUpPow2 rounds d up to the next power of two (the "rounded density"
+// ρ_v of [CD18] step 1); values ≤ 1 round to 1.
+func RoundUpPow2(d float64) int64 {
+	if d <= 1 {
+		return 1
+	}
+	p := int64(1)
+	for float64(p) < d {
+		p <<= 1
+	}
+	return p
+}

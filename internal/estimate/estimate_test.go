@@ -1,0 +1,152 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	const fb = 16
+	for _, w := range []float64{0, 0.001, 0.5, 1, 3.25, 62.9} {
+		q := Quantize(w, fb)
+		back := Dequantize(q, fb)
+		if math.Abs(back-w) > 1.0/float64(int64(1)<<fb)+1e-12 {
+			t.Fatalf("round trip %f -> %d -> %f", w, q, back)
+		}
+	}
+	// Saturation.
+	if q := Quantize(1e9, fb); q != maxValue(fb) {
+		t.Fatalf("no saturation: %d", q)
+	}
+	if q := Quantize(-1, fb); q != 0 {
+		t.Fatalf("negative not clamped: %d", q)
+	}
+}
+
+func TestQuantizeMonotone(t *testing.T) {
+	// Floor quantization commutes with min: w1 ≤ w2 ⇒ Q(w1) ≤ Q(w2).
+	prop := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		return Quantize(a, 20) <= Quantize(b, 20)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromMinima(t *testing.T) {
+	// Mean of minima 0.5 ⇒ estimated rate 1/0.5 = 2.
+	if got := FromMinima([]float64{0.5, 0.5}); got != 2 {
+		t.Fatalf("FromMinima = %f", got)
+	}
+	if got := FromMinima([]float64{0.25, 0.25, 0.25, 0.25}); got != 4 {
+		t.Fatalf("FromMinima = %f", got)
+	}
+	if !math.IsInf(FromMinima([]float64{0, 0}), 1) {
+		t.Fatal("zero sum should be +Inf")
+	}
+}
+
+func TestCardinalityConcentration(t *testing.T) {
+	// Lemma 30: with r = Θ(log n) samples the estimate is within (1±ε)·k
+	// w.h.p. Use r = 96 and ε = 0.5; failures should be ≪ 1% per trial.
+	rng := rand.New(rand.NewSource(42))
+	const r = 96
+	for _, k := range []int{1, 2, 5, 20, 100, 1000} {
+		bad := 0
+		const trials = 50
+		for i := 0; i < trials; i++ {
+			est := Cardinality(k, r, rng)
+			if est < 0.5*float64(k) || est > 1.5*float64(k) {
+				bad++
+			}
+		}
+		if bad > 2 {
+			t.Fatalf("k=%d: %d/%d estimates outside (0.5k, 1.5k)", k, bad, trials)
+		}
+	}
+}
+
+func TestQuantizedCardinalityMatchesExact(t *testing.T) {
+	// Quantization with enough fractional bits must not change the
+	// concentration behaviour.
+	rng := rand.New(rand.NewSource(7))
+	const r, fb = 96, 20
+	for _, k := range []int{3, 50, 500} {
+		bad := 0
+		const trials = 40
+		for i := 0; i < trials; i++ {
+			est := QuantizedCardinality(k, r, fb, rng)
+			if est < 0.5*float64(k) || est > 1.5*float64(k) {
+				bad++
+			}
+		}
+		if bad > 2 {
+			t.Fatalf("k=%d: %d/%d quantized estimates off", k, bad, trials)
+		}
+	}
+}
+
+func TestCardinalityZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if Cardinality(0, 10, rng) != 0 {
+		t.Fatal("k=0 should estimate 0")
+	}
+	if QuantizedCardinality(0, 10, 16, rng) != 0 {
+		t.Fatal("k=0 quantized should estimate 0")
+	}
+}
+
+func TestErrorShrinksWithSamples(t *testing.T) {
+	// More repetitions → smaller relative error (on average). Compare mean
+	// absolute relative error at r=8 vs r=256.
+	rng := rand.New(rand.NewSource(9))
+	meanErr := func(r int) float64 {
+		const k, trials = 50, 60
+		var sum float64
+		for i := 0; i < trials; i++ {
+			est := Cardinality(k, r, rng)
+			sum += math.Abs(est-k) / k
+		}
+		return sum / trials
+	}
+	e8, e256 := meanErr(8), meanErr(256)
+	if e256 >= e8 {
+		t.Fatalf("error did not shrink: r=8→%.3f r=256→%.3f", e8, e256)
+	}
+}
+
+func TestRoundUpPow2(t *testing.T) {
+	cases := map[float64]int64{0: 1, 0.3: 1, 1: 1, 1.1: 2, 2: 2, 2.5: 4, 17: 32, 1024: 1024}
+	for in, want := range cases {
+		if got := RoundUpPow2(in); got != want {
+			t.Errorf("RoundUpPow2(%f) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSampleIsExponential(t *testing.T) {
+	// Mean ≈ 1, P(X > 1) ≈ 1/e.
+	rng := rand.New(rand.NewSource(3))
+	const n = 200000
+	var sum float64
+	over := 0
+	for i := 0; i < n; i++ {
+		w := Sample(rng)
+		sum += w
+		if w > 1 {
+			over++
+		}
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("mean = %f", mean)
+	}
+	if p := float64(over) / n; math.Abs(p-1/math.E) > 0.01 {
+		t.Fatalf("P(X>1) = %f", p)
+	}
+}

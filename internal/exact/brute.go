@@ -1,0 +1,67 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/graph"
+)
+
+// maxBruteN bounds the brute-force solvers: they enumerate all 2^n subsets.
+const maxBruteN = 22
+
+// BruteVertexCover finds a minimum-weight vertex cover by enumerating all
+// subsets. It panics if g has more than 22 vertices; it exists only to
+// validate the branch-and-bound solvers in tests.
+func BruteVertexCover(g *graph.Graph) *bitset.Set {
+	return bruteMin(g, func(s *bitset.Set) bool {
+		for _, e := range g.Edges() {
+			if !s.Contains(e[0]) && !s.Contains(e[1]) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// BruteDominatingSet finds a minimum-weight dominating set by enumerating
+// all subsets; same size restriction as BruteVertexCover.
+func BruteDominatingSet(g *graph.Graph) *bitset.Set {
+	return bruteMin(g, func(s *bitset.Set) bool {
+		for v := 0; v < g.N(); v++ {
+			if !s.Contains(v) && !g.AdjRow(v).Intersects(s) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func bruteMin(g *graph.Graph, feasible func(*bitset.Set) bool) *bitset.Set {
+	n := g.N()
+	if n > maxBruteN {
+		panic(fmt.Sprintf("exact: brute force limited to %d vertices, got %d", maxBruteN, n))
+	}
+	var best *bitset.Set
+	bestCost := int64(math.MaxInt64)
+	s := bitset.New(n)
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		s.Clear()
+		var cost int64
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				s.Add(v)
+				cost += g.Weight(v)
+			}
+		}
+		if cost >= bestCost {
+			continue
+		}
+		if feasible(s) {
+			best = s.Clone()
+			bestCost = cost
+		}
+	}
+	return best
+}

@@ -1,0 +1,214 @@
+// Package exact provides exact (optimal) solvers for minimum (weighted)
+// vertex cover and minimum (weighted) dominating set, via branch and bound
+// over bitsets, plus brute-force reference solvers used to validate them.
+//
+// The paper's algorithms repeatedly assume an exact oracle: Algorithm 1's
+// Phase II has a leader "compute an optimal solution R* of the VC problem on
+// H = G²[U]" with unbounded local computation, and every lower-bound lemma
+// (Lemmas 21, 24, 34, 40, 43) is a statement about exact optima of gadget
+// graphs. These solvers are that oracle. They are tuned for the graph sizes
+// that appear in those roles (≈ up to a few hundred vertices for VC with
+// small covers, and structured gadget graphs for DS), not for arbitrary
+// dense instances.
+package exact
+
+import (
+	"errors"
+	"math"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/graph"
+)
+
+// ErrBudgetExceeded is returned by the bounded solvers when the search
+// explores more branch-and-bound nodes than the caller allowed.
+var ErrBudgetExceeded = errors.New("exact: search budget exceeded")
+
+// VertexCover returns a minimum-weight vertex cover of g (minimum
+// cardinality when g is unweighted). The search is exhaustive.
+func VertexCover(g *graph.Graph) *bitset.Set {
+	s, err := VertexCoverBounded(g, 0)
+	if err != nil {
+		panic("exact: unreachable: unbounded search returned error")
+	}
+	return s
+}
+
+// VertexCoverBounded is VertexCover with a branch-and-bound node budget;
+// maxNodes == 0 means unlimited. On budget exhaustion it returns
+// ErrBudgetExceeded and no solution.
+func VertexCoverBounded(g *graph.Graph, maxNodes int64) (*bitset.Set, error) {
+	s := &vcSolver{
+		g:        g,
+		n:        g.N(),
+		maxNodes: maxNodes,
+		bestCost: math.MaxInt64,
+	}
+	// Initial incumbent: all non-isolated vertices (always feasible).
+	init := bitset.New(g.N())
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > 0 {
+			init.Add(v)
+		}
+	}
+	s.bestSet = init
+	s.bestCost = g.SetWeightOf(init)
+
+	active := bitset.Full(g.N())
+	cover := bitset.New(g.N())
+	if err := s.solve(active, cover, 0); err != nil {
+		return nil, err
+	}
+	return s.bestSet, nil
+}
+
+type vcSolver struct {
+	g        *graph.Graph
+	n        int
+	bestSet  *bitset.Set
+	bestCost int64
+	nodes    int64
+	maxNodes int64
+}
+
+// activeDegree is |N(v) ∩ active|.
+func (s *vcSolver) activeDegree(v int, active *bitset.Set) int {
+	return s.g.AdjRow(v).IntersectionCount(active)
+}
+
+// matchingLB greedily matches active edges; each matched edge forces at
+// least min(w(u), w(v)) additional cover weight, and the edges are disjoint,
+// so the sum is a valid lower bound on the cost of covering what remains.
+func (s *vcSolver) matchingLB(active *bitset.Set) int64 {
+	avail := active.Clone()
+	var lb int64
+	for u := avail.First(); u != -1; u = avail.NextAfter(u) {
+		nbrs := s.g.AdjRow(u).Intersect(avail)
+		v := nbrs.First()
+		if v == -1 {
+			continue
+		}
+		wu, wv := s.g.Weight(u), s.g.Weight(v)
+		if wu < wv {
+			lb += wu
+		} else {
+			lb += wv
+		}
+		avail.Remove(u)
+		avail.Remove(v)
+	}
+	return lb
+}
+
+// solve explores the subproblem where `active` vertices remain and `cover`
+// (cost `cost`) has been committed. It mutates its arguments; callers pass
+// clones when branching.
+func (s *vcSolver) solve(active, cover *bitset.Set, cost int64) error {
+	s.nodes++
+	if s.maxNodes > 0 && s.nodes > s.maxNodes {
+		return ErrBudgetExceeded
+	}
+	if cost >= s.bestCost {
+		return nil
+	}
+
+	// Reductions (repeat to fixpoint): drop isolated vertices; apply the
+	// dominance rule — for an edge {u,v} with N[v] ∩ active ⊆ N[u] ∩ active
+	// and w(u) ≤ w(v), some optimal cover of the subproblem contains u
+	// (swap v for u in any cover avoiding u: v's other neighbors are all
+	// u's neighbors, hence already in the cover). Degree-1 is the special
+	// case where v's closed active neighborhood is exactly {u, v}. Squares
+	// of graphs are triangle-rich, where this rule collapses most of the
+	// instance without branching.
+	for {
+		changed := false
+		for v := active.First(); v != -1; v = active.NextAfter(v) {
+			if !active.Contains(v) {
+				continue // removed earlier in this sweep
+			}
+			nv := s.g.AdjRow(v).Intersect(active)
+			if nv.Empty() {
+				active.Remove(v)
+				changed = true
+				continue
+			}
+			// Zero-weight vertices cover their edges for free.
+			if s.g.Weight(v) == 0 {
+				cover.Add(v)
+				active.Remove(v)
+				changed = true
+				continue
+			}
+			for u := nv.First(); u != -1; u = nv.NextAfter(u) {
+				if s.g.Weight(u) > s.g.Weight(v) {
+					continue
+				}
+				rest := nv.Clone()
+				rest.Remove(u)
+				nu := s.g.AdjRow(u).Intersect(active)
+				if rest.SubsetOf(nu) {
+					cover.Add(u)
+					cost += s.g.Weight(u)
+					active.Remove(u)
+					changed = true
+					if cost >= s.bestCost {
+						return nil
+					}
+					break // v's neighborhood changed; rescan
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Find the highest-active-degree vertex; if no active edges remain the
+	// committed cover is feasible for the whole graph.
+	branch, branchDeg := -1, 0
+	for v := active.First(); v != -1; v = active.NextAfter(v) {
+		if d := s.activeDegree(v, active); d > branchDeg {
+			branch, branchDeg = v, d
+		}
+	}
+	if branch == -1 {
+		if cost < s.bestCost {
+			s.bestCost = cost
+			s.bestSet = cover.Clone()
+		}
+		return nil
+	}
+
+	if cost+s.matchingLB(active) >= s.bestCost {
+		return nil
+	}
+
+	// Branch A: take `branch` into the cover.
+	{
+		a := active.Clone()
+		c := cover.Clone()
+		a.Remove(branch)
+		c.Add(branch)
+		if err := s.solve(a, c, cost+s.g.Weight(branch)); err != nil {
+			return err
+		}
+	}
+	// Branch B: exclude `branch` ⇒ all of its active neighbors enter.
+	{
+		a := active.Clone()
+		c := cover.Clone()
+		extra := int64(0)
+		nbrs := s.g.AdjRow(branch).Intersect(active)
+		nbrs.ForEach(func(u int) bool {
+			c.Add(u)
+			a.Remove(u)
+			extra += s.g.Weight(u)
+			return true
+		})
+		a.Remove(branch)
+		if err := s.solve(a, c, cost+extra); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The edge-list format is a line-oriented text encoding used by the cmd/
+// tools to pass graphs between runs:
+//
+//	n <vertexCount>
+//	w <v> <weight>        (optional, any number of lines)
+//	e <u> <v>             (one line per edge)
+//
+// Lines starting with '#' and blank lines are ignored.
+
+// WriteEdgeList encodes g in the edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	if g.Weighted() {
+		for v := 0; v < g.N(); v++ {
+			if _, err := fmt.Fprintf(bw, "w %d %d\n", v, g.Weight(v)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "e %d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList decodes a graph from the edge-list format.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var b *Builder
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "n":
+			if b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate n directive", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: malformed n directive", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNo, fields[1])
+			}
+			b = NewBuilder(n)
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before n directive", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge", lineNo)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge endpoints", lineNo)
+			}
+			if err := b.AddEdge(u, v); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+		case "w":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: weight before n directive", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed weight", lineNo)
+			}
+			v, err1 := strconv.Atoi(fields[1])
+			wt, err2 := strconv.ParseInt(fields[2], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight line", lineNo)
+			}
+			b.SetWeight(v, wt)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing n directive")
+	}
+	return b.Build(), nil
+}
+
+// DOT renders the graph in Graphviz DOT format for debugging gadget
+// constructions.
+func DOT(g *Graph) string {
+	var sb strings.Builder
+	sb.WriteString("graph G {\n")
+	for v := 0; v < g.N(); v++ {
+		fmt.Fprintf(&sb, "  %d [label=%q];\n", v, g.Name(v))
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  %d -- %d;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

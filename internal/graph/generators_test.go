@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPathCycleComplete(t *testing.T) {
+	if g := Path(1); g.M() != 0 {
+		t.Fatal("Path(1) has edges")
+	}
+	if g := Path(4); g.M() != 3 || g.Diameter() != 3 {
+		t.Fatalf("Path(4): m=%d diam=%d", g.M(), g.Diameter())
+	}
+	if g := Cycle(5); g.M() != 5 || g.MaxDegree() != 2 {
+		t.Fatalf("Cycle(5): m=%d Δ=%d", g.M(), g.MaxDegree())
+	}
+	if g := Complete(6); g.M() != 15 || g.Diameter() != 1 {
+		t.Fatalf("K6: m=%d diam=%d", g.M(), g.Diameter())
+	}
+	if g := Star(7); g.M() != 6 || g.Degree(0) != 6 {
+		t.Fatalf("Star(7): m=%d deg0=%d", g.M(), g.Degree(0))
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Edges: 3*3 horizontal + 2*4 vertical = 17.
+	if g.M() != 17 {
+		t.Fatalf("M = %d, want 17", g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("grid disconnected")
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 10, 50} {
+		g := RandomTree(n, rng)
+		if g.M() != n-1 && n > 0 {
+			if !(n == 1 && g.M() == 0) {
+				t.Fatalf("tree n=%d m=%d", n, g.M())
+			}
+		}
+		if !g.Connected() {
+			t.Fatalf("tree n=%d disconnected", n)
+		}
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(5, 3)
+	if g.N() != 20 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() != 4+15 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("caterpillar disconnected")
+	}
+	// Spine vertex 2 has degree 2 (spine) + 3 (legs).
+	if g.Degree(2) != 5 {
+		t.Fatalf("Degree(2) = %d", g.Degree(2))
+	}
+}
+
+func TestConnectedGNP(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10; i++ {
+		g := ConnectedGNP(30, 0.02, rng)
+		if !g.Connected() {
+			t.Fatal("ConnectedGNP produced disconnected graph")
+		}
+		if g.M() < 29 {
+			t.Fatalf("too few edges for connectivity: %d", g.M())
+		}
+	}
+}
+
+func TestConnectedUnitDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := ConnectedUnitDisk(40, 0.2, rng)
+	if !g.Connected() {
+		t.Fatal("ConnectedUnitDisk disconnected")
+	}
+}
+
+func TestRandomBipartiteIsBipartite(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := RandomBipartite(10, 12, 0.5, rng)
+	for _, e := range g.Edges() {
+		inLeft := func(v int) bool { return v < 10 }
+		if inLeft(e[0]) == inLeft(e[1]) {
+			t.Fatalf("same-side edge %v", e)
+		}
+	}
+}
+
+func TestWithRandomWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := WithRandomWeights(Path(10), 100, rng)
+	if !g.Weighted() {
+		t.Fatal("not weighted")
+	}
+	for v := 0; v < g.N(); v++ {
+		if w := g.Weight(v); w < 1 || w > 100 {
+			t.Fatalf("weight out of range: %d", w)
+		}
+	}
+	if g.M() != 9 {
+		t.Fatal("edges changed")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := WithRandomWeights(ConnectedGNP(25, 0.15, rng), 50, rng)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g2.Weight(v) != g.Weight(v) {
+			t.Fatalf("weight of %d changed", v)
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if g.HasEdge(u, v) != g2.HasEdge(u, v) {
+				t.Fatalf("edge {%d,%d} changed", u, v)
+			}
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"e 0 1",             // edge before n
+		"n 2\nn 3",          // duplicate n
+		"n 2\ne 0 2",        // out of range
+		"n 2\ne 0 0",        // self loop
+		"n 2\nz 1 2",        // unknown directive
+		"n -1",              // negative n
+		"n 2\ne 0 1\ne 0 1", // duplicate edge
+		"",                  // missing n
+		"n 2\nw 0",          // malformed weight
+		"n 2\ne 0",          // malformed edge
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q: expected error", c)
+		}
+	}
+}
+
+func TestReadEdgeListIgnoresComments(t *testing.T) {
+	in := "# comment\n\nn 3\n# another\ne 0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 1 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	b := NewBuilder(2)
+	b.MustAddEdge(0, 1)
+	b.SetName(0, "hub")
+	out := DOT(b.Build())
+	if !strings.Contains(out, `"hub"`) || !strings.Contains(out, "0 -- 1") {
+		t.Fatalf("DOT output missing parts:\n%s", out)
+	}
+}
+
+func TestTraversalHelpers(t *testing.T) {
+	g := Path(6)
+	dist, parent := g.BFS(0)
+	for i, d := range dist {
+		if d != i {
+			t.Fatalf("dist[%d] = %d", i, d)
+		}
+	}
+	if parent[0] != -1 || parent[3] != 2 {
+		t.Fatalf("parents: %v", parent)
+	}
+	if g.Eccentricity(0) != 5 || g.Eccentricity(3) != 3 {
+		t.Fatal("eccentricity wrong")
+	}
+	if g.Dist(1, 4) != 3 {
+		t.Fatal("Dist wrong")
+	}
+
+	// Disconnected graph.
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(2, 3)
+	h := b.Build()
+	if h.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if h.Diameter() != -1 {
+		t.Fatal("diameter of disconnected should be -1")
+	}
+	comps := h.Components()
+	if len(comps) != 2 || comps[0].Count() != 2 || comps[1].Count() != 2 {
+		t.Fatalf("components: %v", comps)
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	if _, ok := Path(5).FindTriangle(); ok {
+		t.Fatal("path has a triangle?")
+	}
+	tri, ok := Complete(4).FindTriangle()
+	if !ok || tri != [3]int{0, 1, 2} {
+		t.Fatalf("K4 triangle = %v ok=%v", tri, ok)
+	}
+	if got := Complete(4).CountTriangles(); got != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", got)
+	}
+	if got := Complete(5).CountTriangles(); got != 10 {
+		t.Fatalf("K5 triangles = %d, want 10", got)
+	}
+	if got := Cycle(3).CountTriangles(); got != 1 {
+		t.Fatalf("C3 triangles = %d", got)
+	}
+}
+
+func TestGreedyMaximalMatchingIsMaximalMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 20; i++ {
+		g := GNP(20, 0.2, rng)
+		m := g.GreedyMaximalMatching()
+		used := make(map[int]bool)
+		for _, e := range m {
+			if used[e[0]] || used[e[1]] {
+				t.Fatal("not a matching")
+			}
+			used[e[0]] = true
+			used[e[1]] = true
+			if !g.HasEdge(e[0], e[1]) {
+				t.Fatal("matched non-edge")
+			}
+		}
+		// Maximality: no edge with both endpoints unmatched.
+		for _, e := range g.Edges() {
+			if !used[e[0]] && !used[e[1]] {
+				t.Fatalf("matching not maximal: edge %v free", e)
+			}
+		}
+	}
+}
+
+func TestIsClique(t *testing.T) {
+	g := Complete(5)
+	all := g.AdjRow(0).Clone()
+	all.Add(0)
+	if !g.IsClique(all) {
+		t.Fatal("K5 not a clique?")
+	}
+	p := Path(4)
+	s := p.AdjRow(1).Clone() // {0, 2}
+	s.Add(1)
+	if p.IsClique(s) {
+		t.Fatal("path segment is not a clique")
+	}
+}

@@ -1,0 +1,255 @@
+// Package graph provides the static undirected graph substrate used by every
+// other package in this repository: adjacency storage with both sorted
+// neighbor lists and bitset rows, vertex weights, power-graph (G², Gʳ)
+// computation, generators, and basic traversal algorithms.
+//
+// Graphs are immutable after construction via Builder, which makes them safe
+// to share across the goroutine-per-node CONGEST simulator without locking.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"powergraph/internal/bitset"
+)
+
+// Graph is an immutable, simple (no self-loops, no multi-edges), undirected
+// graph on vertices {0, …, n-1} with optional positive vertex weights.
+//
+// All accessors are safe for concurrent use because the structure never
+// changes after Build.
+type Graph struct {
+	n       int
+	m       int
+	adj     [][]int       // sorted neighbor lists
+	rows    []*bitset.Set // adjacency bitsets, rows[v].Contains(u) iff {u,v} ∈ E
+	weights []int64       // per-vertex weights; nil means all weights are 1
+	names   []string      // optional debug names; nil means "v<i>"
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n       int
+	edges   map[[2]int]struct{}
+	weights []int64
+	names   []string
+}
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n, edges: make(map[[2]int]struct{})}
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate edges
+// are rejected with an error so construction bugs in gadget builders surface
+// immediately rather than silently producing the wrong graph.
+func (b *Builder) AddEdge(u, v int) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]int{u, v}
+	if _, dup := b.edges[key]; dup {
+		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	b.edges[key] = struct{}{}
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; for use in generators and
+// tests where the arguments are known valid by construction.
+func (b *Builder) MustAddEdge(u, v int) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// AddEdgeIfAbsent inserts {u,v} unless it already exists; it still rejects
+// out-of-range endpoints and self-loops. It reports whether the edge was
+// newly added. Gadget constructions that share vertices use this to merge
+// parallel requirements.
+func (b *Builder) AddEdgeIfAbsent(u, v int) (added bool, err error) {
+	err = b.AddEdge(u, v)
+	if err == nil {
+		return true, nil
+	}
+	if u != v && u >= 0 && v >= 0 && u < b.n && v < b.n {
+		return false, nil // duplicate: tolerated
+	}
+	return false, err
+}
+
+// SetWeight assigns weight w to vertex v. Weights default to 1.
+func (b *Builder) SetWeight(v int, w int64) {
+	if v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: SetWeight index %d out of range", v))
+	}
+	if b.weights == nil {
+		b.weights = make([]int64, b.n)
+		for i := range b.weights {
+			b.weights[i] = 1
+		}
+	}
+	b.weights[v] = w
+}
+
+// SetName assigns a debug name to vertex v (used by gadget constructions so
+// test failures identify vertices as e.g. "a1_3" or "DP[e]{2}").
+func (b *Builder) SetName(v int, name string) {
+	if v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: SetName index %d out of range", v))
+	}
+	if b.names == nil {
+		b.names = make([]string, b.n)
+	}
+	b.names[v] = name
+}
+
+// Build produces the immutable Graph. The Builder may be reused afterwards,
+// but further mutations do not affect the built graph.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		n:    b.n,
+		m:    len(b.edges),
+		adj:  make([][]int, b.n),
+		rows: make([]*bitset.Set, b.n),
+	}
+	deg := make([]int, b.n)
+	for e := range b.edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.adj[v] = make([]int, 0, deg[v])
+		g.rows[v] = bitset.New(b.n)
+	}
+	for e := range b.edges {
+		u, v := e[0], e[1]
+		g.adj[u] = append(g.adj[u], v)
+		g.adj[v] = append(g.adj[v], u)
+		g.rows[u].Add(v)
+		g.rows[v].Add(u)
+	}
+	for v := 0; v < b.n; v++ {
+		sort.Ints(g.adj[v])
+	}
+	if b.weights != nil {
+		g.weights = make([]int64, b.n)
+		copy(g.weights, b.weights)
+	}
+	if b.names != nil {
+		g.names = make([]string, b.n)
+		copy(g.names, b.names)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree Δ of the graph (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// Adj returns the sorted neighbor list of v as a shared read-only view.
+// Callers must not modify the returned slice; use Neighbors for a copy.
+func (g *Graph) Adj(v int) []int { return g.adj[v] }
+
+// Neighbors returns a fresh copy of the sorted neighbor list of v.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	copy(out, g.adj[v])
+	return out
+}
+
+// AdjRow returns the adjacency bitset of v as a shared read-only view.
+// Callers must not modify the returned set; Clone it before mutating.
+func (g *Graph) AdjRow(v int) *bitset.Set { return g.rows[v] }
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	return g.rows[u].Contains(v)
+}
+
+// Weighted reports whether the graph carries non-default vertex weights.
+func (g *Graph) Weighted() bool { return g.weights != nil }
+
+// Weight returns the weight of vertex v (1 if the graph is unweighted).
+func (g *Graph) Weight(v int) int64 {
+	if g.weights == nil {
+		return 1
+	}
+	return g.weights[v]
+}
+
+// TotalWeight returns the sum of all vertex weights.
+func (g *Graph) TotalWeight() int64 {
+	var t int64
+	for v := 0; v < g.n; v++ {
+		t += g.Weight(v)
+	}
+	return t
+}
+
+// SetWeightOf returns a fresh sum of weights over the vertex set s.
+func (g *Graph) SetWeightOf(s *bitset.Set) int64 {
+	var t int64
+	s.ForEach(func(v int) bool {
+		t += g.Weight(v)
+		return true
+	})
+	return t
+}
+
+// Name returns the debug name of v, defaulting to "v<i>".
+func (g *Graph) Name(v int) string {
+	if g.names != nil && g.names[v] != "" {
+		return g.names[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// Edges returns all edges as canonical (u < v) pairs, sorted.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// ClosedNeighborhood returns N[v] = N(v) ∪ {v} as a fresh bitset.
+func (g *Graph) ClosedNeighborhood(v int) *bitset.Set {
+	s := g.rows[v].Clone()
+	s.Add(v)
+	return s
+}

@@ -1,0 +1,237 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(2, 3)
+	g := b.Build()
+
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d, want 4, 3", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge(0,1) false")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(0, 0) {
+		t.Fatal("spurious edge")
+	}
+	if got := g.Neighbors(1); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Neighbors(1) = %v", got)
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Fatal("bad degrees")
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+}
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 0); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := b.AddEdge(0, 3); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Fatal("negative accepted")
+	}
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 0); err == nil {
+		t.Fatal("duplicate (reversed) accepted")
+	}
+	added, err := b.AddEdgeIfAbsent(1, 0)
+	if err != nil || added {
+		t.Fatalf("AddEdgeIfAbsent dup: added=%v err=%v", added, err)
+	}
+	added, err = b.AddEdgeIfAbsent(1, 2)
+	if err != nil || !added {
+		t.Fatalf("AddEdgeIfAbsent new: added=%v err=%v", added, err)
+	}
+	if _, err := b.AddEdgeIfAbsent(0, 0); err == nil {
+		t.Fatal("AddEdgeIfAbsent self-loop accepted")
+	}
+}
+
+func TestWeights(t *testing.T) {
+	b := NewBuilder(3)
+	b.MustAddEdge(0, 1)
+	g := b.Build()
+	if g.Weighted() {
+		t.Fatal("unweighted graph reports Weighted")
+	}
+	if g.Weight(0) != 1 || g.TotalWeight() != 3 {
+		t.Fatal("default weights wrong")
+	}
+
+	b2 := NewBuilder(3)
+	b2.MustAddEdge(0, 1)
+	b2.SetWeight(2, 10)
+	g2 := b2.Build()
+	if !g2.Weighted() {
+		t.Fatal("weighted graph reports unweighted")
+	}
+	if g2.Weight(0) != 1 || g2.Weight(2) != 10 || g2.TotalWeight() != 12 {
+		t.Fatalf("weights: %d %d %d", g2.Weight(0), g2.Weight(2), g2.TotalWeight())
+	}
+}
+
+func TestNames(t *testing.T) {
+	b := NewBuilder(2)
+	b.MustAddEdge(0, 1)
+	b.SetName(0, "alpha")
+	g := b.Build()
+	if g.Name(0) != "alpha" || g.Name(1) != "v1" {
+		t.Fatalf("names: %q %q", g.Name(0), g.Name(1))
+	}
+}
+
+func TestEdgesCanonical(t *testing.T) {
+	b := NewBuilder(4)
+	b.MustAddEdge(3, 1)
+	b.MustAddEdge(2, 0)
+	g := b.Build()
+	want := [][2]int{{0, 2}, {1, 3}}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges = %v, want %v", got, want)
+	}
+}
+
+func TestSquareOfPath(t *testing.T) {
+	// P5 squared: i~j iff |i-j| ≤ 2.
+	g := Path(5).Square()
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			want := v-u <= 2
+			if g.HasEdge(u, v) != want {
+				t.Errorf("P5²: edge {%d,%d} = %v, want %v", u, v, g.HasEdge(u, v), want)
+			}
+		}
+	}
+}
+
+func TestSquareOfStarIsClique(t *testing.T) {
+	// A star's square is complete: every leaf pair is at distance 2.
+	g := Star(6).Square()
+	if g.M() != 15 {
+		t.Fatalf("Star(6)² has %d edges, want 15", g.M())
+	}
+}
+
+func TestPowerProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := ConnectedGNP(20, 0.1, rng)
+	if d := g.Diameter(); d < 2 {
+		t.Skip("diameter too small for meaningful power test")
+	}
+	p1 := g.Power(1)
+	if p1.M() != g.M() {
+		t.Fatalf("Power(1) changed edge count: %d vs %d", p1.M(), g.M())
+	}
+	p2 := g.Power(2)
+	p3 := g.Power(3)
+	// Distance characterization.
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			d := g.Dist(u, v)
+			if got, want := p2.HasEdge(u, v), d >= 1 && d <= 2; got != want {
+				t.Fatalf("G²: {%d,%d} edge=%v dist=%d", u, v, got, d)
+			}
+			if got, want := p3.HasEdge(u, v), d >= 1 && d <= 3; got != want {
+				t.Fatalf("G³: {%d,%d} edge=%v dist=%d", u, v, got, d)
+			}
+		}
+	}
+}
+
+func TestQuickPowerMonotoneAndSymmetric(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(18)
+		g := GNP(n, 0.25, rng)
+		g2 := g.Square()
+		// G ⊆ G² and symmetry (HasEdge is symmetric by construction; check
+		// via both orders anyway).
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if g.HasEdge(u, v) && !g2.HasEdge(u, v) {
+					return false
+				}
+				if g2.HasEdge(u, v) != g2.HasEdge(v, u) {
+					return false
+				}
+			}
+		}
+		// (G²)² == G⁴.
+		g4a := g2.Square()
+		g4b := g.Power(4)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if g4a.HasEdge(u, v) != g4b.HasEdge(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoHopNeighborhood(t *testing.T) {
+	g := Path(5)
+	got := g.TwoHopNeighborhood(0).Elements()
+	if !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("N²(0) = %v", got)
+	}
+	got = g.TwoHopNeighborhood(2).Elements()
+	if !reflect.DeepEqual(got, []int{0, 1, 3, 4}) {
+		t.Fatalf("N²(2) = %v", got)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Cycle(5)
+	keep := g.AdjRow(0).Clone() // {1, 4}
+	keep.Add(0)
+	sub, orig := g.InducedSubgraph(keep)
+	if sub.N() != 3 {
+		t.Fatalf("sub.N = %d", sub.N())
+	}
+	if !reflect.DeepEqual(orig, []int{0, 1, 4}) {
+		t.Fatalf("orig = %v", orig)
+	}
+	// 0-1 and 0-4 edges survive; 1-4 is not an edge of C5.
+	if sub.M() != 2 {
+		t.Fatalf("sub.M = %d", sub.M())
+	}
+}
+
+func TestSquareInducedMeasuresDistanceInG(t *testing.T) {
+	// Section 2: G²[S] keeps an edge {u,v}, u,v ∈ S iff dist_G(u,v) ≤ 2 —
+	// even when every connecting path leaves S.
+	g := Path(3) // 0-1-2
+	s := g.AdjRow(1).Clone()
+	s.Add(0)
+	s.Add(2)
+	s.Remove(1) // S = {0, 2}
+	sub, orig := g.SquareInduced(s)
+	if sub.N() != 2 || sub.M() != 1 {
+		t.Fatalf("G²[{0,2}]: n=%d m=%d, want 2,1", sub.N(), sub.M())
+	}
+	if !reflect.DeepEqual(orig, []int{0, 2}) {
+		t.Fatalf("orig = %v", orig)
+	}
+}

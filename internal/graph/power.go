@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"fmt"
+
+	"powergraph/internal/bitset"
+)
+
+// Square returns G² = (V, F) where {u,v} ∈ F iff 0 < dist_G(u,v) ≤ 2.
+//
+// Vertex weights and names carry over unchanged. This is the object the
+// paper's problems (G²-MVC, G²-MDS) are defined on; the distributed
+// algorithms never materialize it (they communicate over G only), but the
+// checkers, exact solvers, and centralized algorithms do.
+func (g *Graph) Square() *Graph {
+	return g.Power(2)
+}
+
+// Power returns Gʳ, connecting u and v iff 0 < dist_G(u,v) ≤ r.
+// Power(1) returns a structural copy of g. r must be ≥ 1.
+func (g *Graph) Power(r int) *Graph {
+	if r < 1 {
+		panic(fmt.Sprintf("graph: Power(%d) with r < 1", r))
+	}
+	// Iteratively expand reach sets: reach_{k+1}[v] = reach_k[v] ∪
+	// ⋃_{u ∈ N(v)} reach_k[u]. Starting from reach_1 = N[v], after r-1
+	// expansions reach[v] = ball of radius r around v.
+	reach := make([]*bitset.Set, g.n)
+	for v := 0; v < g.n; v++ {
+		reach[v] = g.ClosedNeighborhood(v)
+	}
+	for k := 1; k < r; k++ {
+		next := make([]*bitset.Set, g.n)
+		for v := 0; v < g.n; v++ {
+			s := reach[v].Clone()
+			for _, u := range g.adj[v] {
+				s.Or(reach[u])
+			}
+			next[v] = s
+		}
+		reach = next
+	}
+	b := NewBuilder(g.n)
+	for v := 0; v < g.n; v++ {
+		reach[v].ForEach(func(u int) bool {
+			if u > v {
+				b.MustAddEdge(v, u)
+			}
+			return true
+		})
+	}
+	g.copyAttrsTo(b)
+	return b.Build()
+}
+
+func (g *Graph) copyAttrsTo(b *Builder) {
+	if g.weights != nil {
+		for v := 0; v < g.n; v++ {
+			b.SetWeight(v, g.weights[v])
+		}
+	}
+	if g.names != nil {
+		for v := 0; v < g.n; v++ {
+			if g.names[v] != "" {
+				b.SetName(v, g.names[v])
+			}
+		}
+	}
+}
+
+// InducedSubgraph returns the subgraph of g induced by the vertex set keep,
+// along with the mapping orig[i] = original id of new vertex i.
+// Weights and names of kept vertices carry over.
+func (g *Graph) InducedSubgraph(keep *bitset.Set) (sub *Graph, orig []int) {
+	orig = keep.Elements()
+	index := make(map[int]int, len(orig))
+	for i, v := range orig {
+		index[v] = i
+	}
+	b := NewBuilder(len(orig))
+	for i, v := range orig {
+		if g.weights != nil {
+			b.SetWeight(i, g.weights[v])
+		}
+		if g.names != nil && g.names[v] != "" {
+			b.SetName(i, g.names[v])
+		}
+		for _, u := range g.adj[v] {
+			if j, ok := index[u]; ok && i < j {
+				b.MustAddEdge(i, j)
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+// SquareInduced returns G²[S]: the subgraph of the square induced by S,
+// where distance is measured in g (the paper's notation, Section 2). The
+// returned mapping orig translates new ids back to ids in g.
+func (g *Graph) SquareInduced(s *bitset.Set) (sub *Graph, orig []int) {
+	return g.Square().InducedSubgraph(s)
+}
+
+// TwoHopNeighborhood returns N²(v): all vertices at distance 1 or 2 from v
+// in g, excluding v itself.
+func (g *Graph) TwoHopNeighborhood(v int) *bitset.Set {
+	s := g.rows[v].Clone()
+	for _, u := range g.adj[v] {
+		s.Or(g.rows[u])
+	}
+	s.Remove(v)
+	return s
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickPowerChainMonotone: G ⊆ G² ⊆ G³ ⊆ … as edge sets, and every Gʳ
+// degree respects deg_{Gʳ}(v) ≤ Δ + Δ² + … + Δʳ.
+func TestQuickPowerChainMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		g := GNP(n, 0.25, rng)
+		prev := g
+		for r := 2; r <= 4; r++ {
+			cur := g.Power(r)
+			for u := 0; u < n; u++ {
+				for _, v := range prev.Adj(u) {
+					if !cur.HasEdge(u, v) {
+						return false
+					}
+				}
+			}
+			prev = cur
+		}
+		// Degree bound on the square.
+		sq := g.Square()
+		d := g.MaxDegree()
+		for v := 0; v < n; v++ {
+			if sq.Degree(v) > d+d*d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPowerStabilizesAtDiameter: for r ≥ diameter, Gʳ is complete
+// (connected inputs).
+func TestQuickPowerStabilizesAtDiameter(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		g := ConnectedGNP(n, 0.3, rng)
+		d := g.Diameter()
+		gr := g.Power(d)
+		return gr.M() == n*(n-1)/2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSquareNeighborhoodCharacterization: N_{G²}(v) equals the 2-hop
+// neighborhood helper for every vertex.
+func TestQuickSquareNeighborhoodCharacterization(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		g := GNP(n, 0.3, rng)
+		sq := g.Square()
+		for v := 0; v < n; v++ {
+			ball := g.TwoHopNeighborhood(v)
+			if ball.Count() != sq.Degree(v) {
+				return false
+			}
+			okAll := true
+			ball.ForEach(func(u int) bool {
+				if !sq.HasEdge(u, v) {
+					okAll = false
+				}
+				return okAll
+			})
+			if !okAll {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPowerPreservesWeightsAndNames: attributes survive Power and
+// InducedSubgraph.
+func TestPowerPreservesWeightsAndNames(t *testing.T) {
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(2, 3)
+	b.SetWeight(2, 7)
+	b.SetName(3, "tail")
+	g := b.Build()
+	sq := g.Square()
+	if sq.Weight(2) != 7 || sq.Name(3) != "tail" {
+		t.Fatal("square dropped attributes")
+	}
+	keep := g.AdjRow(2).Clone()
+	keep.Add(2)
+	sub, orig := sq.InducedSubgraph(keep)
+	for i, v := range orig {
+		if sub.Weight(i) != sq.Weight(v) {
+			t.Fatal("induced subgraph dropped weights")
+		}
+	}
+}
+
+func TestPowerInvalidR(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Power(0) should panic")
+		}
+	}()
+	Path(3).Power(0)
+}

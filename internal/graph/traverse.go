@@ -1,0 +1,171 @@
+package graph
+
+import "powergraph/internal/bitset"
+
+// BFS runs a breadth-first search from src and returns the distance to every
+// vertex (-1 for unreachable) and the BFS parent of every vertex (-1 for src
+// and unreachable vertices). Ties between parents are broken toward the
+// smallest id, which keeps distributed-tree constructions deterministic.
+func (g *Graph) BFS(src int) (dist, parent []int) {
+	dist = make([]int, g.n)
+	parent = make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.adj[v] {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				parent[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// Connected reports whether the graph is connected (true for n ≤ 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist, _ := g.BFS(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components as vertex sets, ordered by
+// their smallest member.
+func (g *Graph) Components() []*bitset.Set {
+	seen := bitset.New(g.n)
+	var comps []*bitset.Set
+	for v := 0; v < g.n; v++ {
+		if seen.Contains(v) {
+			continue
+		}
+		dist, _ := g.BFS(v)
+		comp := bitset.New(g.n)
+		for u, d := range dist {
+			if d >= 0 {
+				comp.Add(u)
+				seen.Add(u)
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Eccentricity returns the maximum distance from v to any reachable vertex.
+func (g *Graph) Eccentricity(v int) int {
+	dist, _ := g.BFS(v)
+	e := 0
+	for _, d := range dist {
+		if d > e {
+			e = d
+		}
+	}
+	return e
+}
+
+// Diameter returns the diameter of a connected graph (max pairwise
+// distance); it returns -1 if the graph is disconnected.
+func (g *Graph) Diameter() int {
+	if !g.Connected() {
+		return -1
+	}
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if e := g.Eccentricity(v); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// Dist returns the length of a shortest u–v path, or -1 if disconnected.
+func (g *Graph) Dist(u, v int) int {
+	dist, _ := g.BFS(u)
+	return dist[v]
+}
+
+// FindTriangle returns the lexicographically smallest triangle (u < v < w,
+// mutually adjacent) if one exists, and ok=false otherwise. The centralized
+// 5/3-approximation's part-1 loop uses this repeatedly.
+func (g *Graph) FindTriangle() (t [3]int, ok bool) {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if v <= u {
+				continue
+			}
+			common := g.rows[u].Intersect(g.rows[v])
+			if w := common.NextAfter(v); w != -1 {
+				return [3]int{u, v, w}, true
+			}
+		}
+	}
+	return [3]int{}, false
+}
+
+// CountTriangles returns the number of triangles in the graph.
+func (g *Graph) CountTriangles() int {
+	c := 0
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if v <= u {
+				continue
+			}
+			common := g.rows[u].Intersect(g.rows[v])
+			for w := common.NextAfter(v); w != -1; w = common.NextAfter(w) {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// GreedyMaximalMatching returns an inclusion-maximal matching computed by
+// scanning edges in lexicographic order. Used both as the Gavril 2-approx
+// substrate and as a lower bound inside the exact VC solver.
+func (g *Graph) GreedyMaximalMatching() [][2]int {
+	matched := bitset.New(g.n)
+	var match [][2]int
+	for u := 0; u < g.n; u++ {
+		if matched.Contains(u) {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if v > u && !matched.Contains(v) {
+				matched.Add(u)
+				matched.Add(v)
+				match = append(match, [2]int{u, v})
+				break
+			}
+		}
+	}
+	return match
+}
+
+// IsClique reports whether the vertex set s induces a clique in g.
+func (g *Graph) IsClique(s *bitset.Set) bool {
+	ok := true
+	s.ForEach(func(u int) bool {
+		s.ForEach(func(v int) bool {
+			if v > u && !g.HasEdge(u, v) {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	})
+	return ok
+}

@@ -1,0 +1,145 @@
+package lowerbound
+
+import (
+	"math/rand"
+	"testing"
+
+	"powergraph/internal/exact"
+	"powergraph/internal/verify"
+)
+
+func TestBCD19Structure(t *testing.T) {
+	x, y := NewMatrix(4), NewMatrix(4)
+	c, err := BuildBCD19MDS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.G.N() != 4*4+12*2 {
+		t.Fatalf("n = %d, want 40", c.G.N())
+	}
+	// Complement encoding: a¹₁ connects to all t's, never f's.
+	for j := 0; j < c.LogK; j++ {
+		if !c.G.HasEdge(c.A1[0], c.TA1[j]) || c.G.HasEdge(c.A1[0], c.FA1[j]) {
+			t.Fatal("complement encoding wrong for a1_1")
+		}
+	}
+	// Rows are independent sets (no clique edges, unlike the MVC family).
+	if c.G.HasEdge(c.A1[0], c.A1[1]) {
+		t.Fatal("row set is not independent")
+	}
+	// Cut is O(log k): two crossing edges per 6-cycle.
+	if cut := c.CutSize(); cut != 4*c.LogK {
+		t.Fatalf("cut = %d, want %d", cut, 4*c.LogK)
+	}
+	if _, err := BuildBCD19MDS(NewMatrix(3), NewMatrix(3)); err == nil {
+		t.Fatal("k=3 accepted")
+	}
+}
+
+func TestBCD19SixCycleDominatingPairs(t *testing.T) {
+	// The 6-cycle's 2-vertex dominating sets must be exactly the three
+	// antipodal letter pairs — that is what encodes a consistent bit.
+	c, err := BuildBCD19MDS(NewMatrix(2), NewMatrix(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc := []int{c.FA1[0], c.TA1[0], c.UA1[0], c.FB1[0], c.TB1[0], c.UB1[0]}
+	inCycle := map[int]bool{}
+	for _, v := range cyc {
+		inCycle[v] = true
+	}
+	dominatesCycle := func(a, b int) bool {
+		for _, v := range cyc {
+			if v == a || v == b || c.G.HasEdge(v, a) || c.G.HasEdge(v, b) {
+				continue
+			}
+			return false
+		}
+		return true
+	}
+	want := map[[2]int]bool{
+		{c.FA1[0], c.FB1[0]}: true,
+		{c.TA1[0], c.TB1[0]}: true,
+		{c.UA1[0], c.UB1[0]}: true,
+	}
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			a, b := cyc[i], cyc[j]
+			key := [2]int{min2(a, b), max2(a, b)}
+			wantOK := want[key] || want[[2]int{max2(a, b), min2(a, b)}]
+			if got := dominatesCycle(a, b); got != wantOK {
+				t.Fatalf("pair (%s,%s): dominates=%v want %v",
+					c.G.Name(a), c.G.Name(b), got, wantOK)
+			}
+		}
+	}
+}
+
+// TestBCD19PredicateExhaustive verifies the Figure 4 predicate for all 256
+// input pairs at k=2: MDS(G_{x,y}) ≤ 4·log₂k+2 iff DISJ(x,y) = false.
+func TestBCD19PredicateExhaustive(t *testing.T) {
+	k := 2
+	EnumerateMatrices(k, func(x Matrix) {
+		EnumerateMatrices(k, func(y Matrix) {
+			c, err := BuildBCD19MDS(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := verify.Cost(c.G, exact.DominatingSet(c.G))
+			disj := Disj(x.Bits, y.Bits)
+			if (opt <= c.DomTarget()) == disj {
+				t.Fatalf("x=%v y=%v: MDS=%d, W=%d, DISJ=%v — predicate misaligned",
+					x.Bits, y.Bits, opt, c.DomTarget(), disj)
+			}
+		})
+	})
+}
+
+func TestBCD19WitnessDomSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		k := []int{2, 4}[trial%2]
+		x, y := RandomIntersectingPair(k, rng)
+		var wi, wj int
+		for i := 1; i <= k && wi == 0; i++ {
+			for j := 1; j <= k; j++ {
+				if x.At(i, j) && y.At(i, j) {
+					wi, wj = i, j
+					break
+				}
+			}
+		}
+		c, err := BuildBCD19MDS(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := c.WitnessDomSet(wi, wj)
+		if ok, v := verify.IsDominatingSet(c.G, ds); !ok {
+			t.Fatalf("witness not dominating: %s undominated", c.G.Name(v))
+		}
+		if got := int64(ds.Count()); got != c.DomTarget() {
+			t.Fatalf("witness size %d, want %d", got, c.DomTarget())
+		}
+	}
+}
+
+func TestBCD19PredicateSampledK4(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 6; trial++ {
+		var x, y Matrix
+		if trial%2 == 0 {
+			x, y = RandomIntersectingPair(4, rng)
+		} else {
+			x, y = RandomDisjointPair(4, rng)
+		}
+		c, err := BuildBCD19MDS(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := verify.Cost(c.G, exact.DominatingSet(c.G))
+		disj := Disj(x.Bits, y.Bits)
+		if (opt <= c.DomTarget()) == disj {
+			t.Fatalf("k=4 trial %d: MDS=%d W=%d DISJ=%v", trial, opt, c.DomTarget(), disj)
+		}
+	}
+}

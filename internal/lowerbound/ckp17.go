@@ -1,0 +1,203 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/graph"
+)
+
+// CKP17MVC is the [CKP17] minimum-vertex-cover lower-bound graph G_{x,y}
+// (Figure 1): four size-k cliques of row vertices (A1, A2, B1, B2), one
+// 4-cycle bit gadget per bit and side pair, binary-representation edges
+// from rows to bit gadgets, and input edges a¹ᵢ–a²ⱼ iff x_{ij}=0 (resp.
+// b¹ᵢ–b²ⱼ iff y_{ij}=0).
+//
+// Its defining property (verified exhaustively in tests): G_{x,y} has a
+// vertex cover of size W = 4(k-1) + 4·log₂k iff DISJ(x,y) = false, and
+// every vertex cover has size ≥ W.
+type CKP17MVC struct {
+	K    int
+	LogK int
+	G    *graph.Graph
+
+	// Row vertex ids; index i-1 holds row i's vertex.
+	A1, A2, B1, B2 []int
+	// Bit gadget vertex ids per bit j (0-based); pair 1 couples A1/B1,
+	// pair 2 couples A2/B2.
+	TA1, FA1, TB1, FB1 []int
+	TA2, FA2, TB2, FB2 []int
+
+	// Alice is the V_A side of the two-party partition (rows A1, A2 and
+	// the A-side bit vertices); the B side is its complement.
+	Alice *bitset.Set
+	// BitEdges are the edges incident on bit-gadget vertices (the edges
+	// the G²-variants replace with path gadgets).
+	BitEdges [][2]int
+	// XEdges and YEdges are the input-dependent clique-to-clique edges.
+	XEdges, YEdges [][2]int
+}
+
+// CoverTarget returns W = 4(k-1) + 4·log₂k, the cover size that witnesses
+// DISJ(x,y) = false.
+func (c *CKP17MVC) CoverTarget() int64 {
+	return int64(4*(c.K-1) + 4*c.LogK)
+}
+
+// BuildCKP17MVC constructs G_{x,y} for the given k×k disjointness inputs.
+// k must be a power of two (so rows are indexed by exactly log₂k bits).
+func BuildCKP17MVC(x, y Matrix) (*CKP17MVC, error) {
+	k := x.K
+	if y.K != k {
+		return nil, fmt.Errorf("lowerbound: mismatched input sizes %d vs %d", x.K, y.K)
+	}
+	if !isPow2(k) || k < 2 {
+		return nil, fmt.Errorf("lowerbound: k must be a power of two ≥ 2, got %d", k)
+	}
+	lk := log2(k)
+	n := 4*k + 8*lk
+	b := graph.NewBuilder(n)
+	c := &CKP17MVC{K: k, LogK: lk}
+
+	next := 0
+	mkRow := func(name string) []int {
+		ids := make([]int, k)
+		for i := range ids {
+			ids[i] = next
+			b.SetName(next, fmt.Sprintf("%s_%d", name, i+1))
+			next++
+		}
+		return ids
+	}
+	c.A1, c.A2 = mkRow("a1"), mkRow("a2")
+	c.B1, c.B2 = mkRow("b1"), mkRow("b2")
+	mkBits := func(name string) []int {
+		ids := make([]int, lk)
+		for j := range ids {
+			ids[j] = next
+			b.SetName(next, fmt.Sprintf("%s^%d", name, j))
+			next++
+		}
+		return ids
+	}
+	c.TA1, c.FA1 = mkBits("tA1"), mkBits("fA1")
+	c.TB1, c.FB1 = mkBits("tB1"), mkBits("fB1")
+	c.TA2, c.FA2 = mkBits("tA2"), mkBits("fA2")
+	c.TB2, c.FB2 = mkBits("tB2"), mkBits("fB2")
+
+	// Row cliques.
+	for _, rows := range [][]int{c.A1, c.A2, c.B1, c.B2} {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				b.MustAddEdge(rows[i], rows[j])
+			}
+		}
+	}
+
+	bitEdge := func(u, v int) {
+		b.MustAddEdge(u, v)
+		c.BitEdges = append(c.BitEdges, [2]int{u, v})
+	}
+	// Bit gadgets: the 4-cycle t_A – f_A – t_B – f_B – t_A, whose only
+	// 2-vertex covers are the consistent pairs {t_A, t_B} and {f_A, f_B}.
+	for j := 0; j < lk; j++ {
+		bitEdge(c.TA1[j], c.FA1[j])
+		bitEdge(c.FA1[j], c.TB1[j])
+		bitEdge(c.TB1[j], c.FB1[j])
+		bitEdge(c.FB1[j], c.TA1[j])
+
+		bitEdge(c.TA2[j], c.FA2[j])
+		bitEdge(c.FA2[j], c.TB2[j])
+		bitEdge(c.TB2[j], c.FB2[j])
+		bitEdge(c.FB2[j], c.TA2[j])
+	}
+	// Row-to-bit edges: row i connects per bit j to t if bit j of i-1 is
+	// set, else to f.
+	rowBits := func(rows, t, f []int) {
+		for i := 1; i <= k; i++ {
+			for j := 0; j < lk; j++ {
+				if (i-1)>>uint(j)&1 == 1 {
+					bitEdge(rows[i-1], t[j])
+				} else {
+					bitEdge(rows[i-1], f[j])
+				}
+			}
+		}
+	}
+	rowBits(c.A1, c.TA1, c.FA1)
+	rowBits(c.B1, c.TB1, c.FB1)
+	rowBits(c.A2, c.TA2, c.FA2)
+	rowBits(c.B2, c.TB2, c.FB2)
+
+	// Input edges: a¹ᵢ–a²ⱼ iff x_{ij}=0 and b¹ᵢ–b²ⱼ iff y_{ij}=0.
+	for i := 1; i <= k; i++ {
+		for j := 1; j <= k; j++ {
+			if !x.At(i, j) {
+				b.MustAddEdge(c.A1[i-1], c.A2[j-1])
+				c.XEdges = append(c.XEdges, [2]int{c.A1[i-1], c.A2[j-1]})
+			}
+			if !y.At(i, j) {
+				b.MustAddEdge(c.B1[i-1], c.B2[j-1])
+				c.YEdges = append(c.YEdges, [2]int{c.B1[i-1], c.B2[j-1]})
+			}
+		}
+	}
+
+	c.G = b.Build()
+	c.Alice = bitset.New(n)
+	for _, vs := range [][]int{c.A1, c.A2, c.TA1, c.FA1, c.TA2, c.FA2} {
+		for _, v := range vs {
+			c.Alice.Add(v)
+		}
+	}
+	return c, nil
+}
+
+// WitnessCover returns the size-W vertex cover that exists when
+// x_{ij} = y_{ij} = 1 (1-based i, j): all rows except a¹ᵢ, a²ⱼ, b¹ᵢ, b²ⱼ,
+// plus the bit-gadget pair matching the binary encodings of i-1 and j-1.
+// It is the constructive half of the predicate (Section 5.2) and is used
+// by tests to cross-check the exact solver.
+func (c *CKP17MVC) WitnessCover(i, j int) *bitset.Set {
+	s := bitset.New(c.G.N())
+	addAllBut := func(rows []int, skip int) {
+		for idx, v := range rows {
+			if idx+1 != skip {
+				s.Add(v)
+			}
+		}
+	}
+	addAllBut(c.A1, i)
+	addAllBut(c.B1, i)
+	addAllBut(c.A2, j)
+	addAllBut(c.B2, j)
+	for bit := 0; bit < c.LogK; bit++ {
+		if (i-1)>>uint(bit)&1 == 1 {
+			s.Add(c.TA1[bit])
+			s.Add(c.TB1[bit])
+		} else {
+			s.Add(c.FA1[bit])
+			s.Add(c.FB1[bit])
+		}
+		if (j-1)>>uint(bit)&1 == 1 {
+			s.Add(c.TA2[bit])
+			s.Add(c.TB2[bit])
+		} else {
+			s.Add(c.FA2[bit])
+			s.Add(c.FB2[bit])
+		}
+	}
+	return s
+}
+
+// CutSize returns the number of edges crossing the Alice/Bob partition;
+// the framework needs it to be O(log k).
+func (c *CKP17MVC) CutSize() int {
+	cut := 0
+	for _, e := range c.G.Edges() {
+		if c.Alice.Contains(e[0]) != c.Alice.Contains(e[1]) {
+			cut++
+		}
+	}
+	return cut
+}

@@ -1,0 +1,161 @@
+package lowerbound
+
+import (
+	"math/rand"
+	"testing"
+
+	"powergraph/internal/exact"
+	"powergraph/internal/verify"
+)
+
+func TestDisj(t *testing.T) {
+	if !Disj([]bool{1 == 0, true}, []bool{true, false}) {
+		t.Fatal("disjoint pair reported intersecting")
+	}
+	if Disj([]bool{true, true}, []bool{false, true}) {
+		t.Fatal("intersecting pair reported disjoint")
+	}
+	if !Disj(nil, nil) {
+		t.Fatal("empty inputs are disjoint")
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(2, 3, true)
+	if !m.At(2, 3) || m.At(3, 2) {
+		t.Fatal("matrix indexing broken")
+	}
+	if len(m.Bits) != 9 {
+		t.Fatal("size wrong")
+	}
+}
+
+func TestRandomPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		x, y := RandomDisjointPair(4, rng)
+		if !Disj(x.Bits, y.Bits) {
+			t.Fatal("RandomDisjointPair not disjoint")
+		}
+		x, y = RandomIntersectingPair(4, rng)
+		if Disj(x.Bits, y.Bits) {
+			t.Fatal("RandomIntersectingPair disjoint")
+		}
+	}
+}
+
+func TestCKP17Structure(t *testing.T) {
+	x, y := NewMatrix(4), NewMatrix(4)
+	c, err := BuildCKP17MVC(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.G.N() != 4*4+8*2 {
+		t.Fatalf("n = %d, want %d", c.G.N(), 32)
+	}
+	// a¹₁ must connect to all f-vertices of pair 1 (binary rep of 0).
+	for j := 0; j < c.LogK; j++ {
+		if !c.G.HasEdge(c.A1[0], c.FA1[j]) {
+			t.Fatal("a1_1 missing f edge")
+		}
+		if c.G.HasEdge(c.A1[0], c.TA1[j]) {
+			t.Fatal("a1_1 has spurious t edge")
+		}
+	}
+	// Last row a¹ₖ connects to all t-vertices.
+	for j := 0; j < c.LogK; j++ {
+		if !c.G.HasEdge(c.A1[3], c.TA1[j]) {
+			t.Fatal("a1_k missing t edge")
+		}
+	}
+	// Cut is O(log k): only the 4-cycle crossing edges.
+	if cut := c.CutSize(); cut != 4*c.LogK {
+		t.Fatalf("cut = %d, want %d", cut, 4*c.LogK)
+	}
+	// k must be a power of two.
+	if _, err := BuildCKP17MVC(NewMatrix(3), NewMatrix(3)); err == nil {
+		t.Fatal("k=3 accepted")
+	}
+	if _, err := BuildCKP17MVC(NewMatrix(2), NewMatrix(4)); err == nil {
+		t.Fatal("mismatched k accepted")
+	}
+}
+
+// TestCKP17PredicateExhaustive verifies, for every input pair at k=2, the
+// defining property of the family: MVC(G_{x,y}) = W iff DISJ(x,y) = false,
+// and MVC ≥ W always (Section 5.2's predicate P_G).
+func TestCKP17PredicateExhaustive(t *testing.T) {
+	k := 2
+	EnumerateMatrices(k, func(x Matrix) {
+		EnumerateMatrices(k, func(y Matrix) {
+			c, err := BuildCKP17MVC(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := verify.Cost(c.G, exact.VertexCover(c.G))
+			w := c.CoverTarget()
+			if opt < w {
+				t.Fatalf("x=%v y=%v: MVC %d below floor %d", x.Bits, y.Bits, opt, w)
+			}
+			disj := Disj(x.Bits, y.Bits)
+			if (opt == w) == disj {
+				t.Fatalf("x=%v y=%v: MVC=%d, W=%d, DISJ=%v — predicate misaligned",
+					x.Bits, y.Bits, opt, w, disj)
+			}
+		})
+	})
+}
+
+func TestCKP17WitnessCover(t *testing.T) {
+	// Whenever x_{ij} = y_{ij} = 1, the witness cover must be feasible and
+	// of size exactly W.
+	k := 4
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		x, y := RandomIntersectingPair(k, rng)
+		var wi, wj int
+		for i := 1; i <= k && wi == 0; i++ {
+			for j := 1; j <= k; j++ {
+				if x.At(i, j) && y.At(i, j) {
+					wi, wj = i, j
+					break
+				}
+			}
+		}
+		c, err := BuildCKP17MVC(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cover := c.WitnessCover(wi, wj)
+		if ok, e := verify.IsVertexCover(c.G, cover); !ok {
+			t.Fatalf("witness cover infeasible at edge %v (%s-%s)",
+				e, c.G.Name(e[0]), c.G.Name(e[1]))
+		}
+		if got := int64(cover.Count()); got != c.CoverTarget() {
+			t.Fatalf("witness size %d, want %d", got, c.CoverTarget())
+		}
+	}
+}
+
+func TestCKP17PredicateSampledK4(t *testing.T) {
+	// At k=4 exhaustive enumeration is 2³², so sample instead.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		var x, y Matrix
+		if trial%2 == 0 {
+			x, y = RandomIntersectingPair(4, rng)
+		} else {
+			x, y = RandomDisjointPair(4, rng)
+		}
+		c, err := BuildCKP17MVC(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := verify.Cost(c.G, exact.VertexCover(c.G))
+		disj := Disj(x.Bits, y.Bits)
+		if (opt == c.CoverTarget()) == disj {
+			t.Fatalf("k=4 trial %d: MVC=%d W=%d DISJ=%v", trial, opt, c.CoverTarget(), disj)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"powergraph/internal/bitset"
+)
+
+// CoveringFamily is a system of sets S_1,…,S_T over the universe {0,…,L-1},
+// used by the set gadgets of Section 7.2 (Definition 37 / Lemma 38).
+type CoveringFamily struct {
+	T, L int
+	Sets []*bitset.Set
+}
+
+// Complement returns the complement S̄_i within the universe.
+func (f *CoveringFamily) Complement(i int) *bitset.Set {
+	c := f.Sets[i].Clone()
+	c.Complement()
+	return c
+}
+
+// CubeFamily returns the canonical family with a perfect covering property:
+// the universe is {0,1}^T (L = 2^T) and S_i contains the points whose i-th
+// coordinate is 1. Every collection of sets that avoids complementary pairs
+// misses the point encoding the complementary sign pattern, so the
+// r-covering property holds for every r ≤ T — the strongest possible
+// instantiation of Definition 37 for small T.
+func CubeFamily(T int) *CoveringFamily {
+	if T < 1 || T > 20 {
+		panic(fmt.Sprintf("lowerbound: CubeFamily T=%d out of range", T))
+	}
+	L := 1 << uint(T)
+	f := &CoveringFamily{T: T, L: L}
+	for i := 0; i < T; i++ {
+		s := bitset.New(L)
+		for p := 0; p < L; p++ {
+			if p>>uint(i)&1 == 1 {
+				s.Add(p)
+			}
+		}
+		f.Sets = append(f.Sets, s)
+	}
+	return f
+}
+
+// RandomFamily draws each membership independently with probability 1/2 —
+// the probabilistic construction behind Lemma 38. Callers must check
+// VerifyRCovering and retry; Lemma 38 guarantees success for
+// L ≥ r·2^r·ln T + O(1).
+func RandomFamily(T, L int, rng *rand.Rand) *CoveringFamily {
+	f := &CoveringFamily{T: T, L: L}
+	for i := 0; i < T; i++ {
+		s := bitset.New(L)
+		for p := 0; p < L; p++ {
+			if rng.Intn(2) == 0 {
+				s.Add(p)
+			}
+		}
+		f.Sets = append(f.Sets, s)
+	}
+	return f
+}
+
+// VerifyRCovering exhaustively checks Definition 37: every collection of
+// exactly r sets drawn from {S_i, S̄_i} with no complementary pair leaves
+// at least one universe element uncovered. Cost: C(T,r)·2^r subset checks.
+func (f *CoveringFamily) VerifyRCovering(r int) bool {
+	if r > f.T {
+		return true // no legal collection of r sets exists
+	}
+	idx := make([]int, r)
+	var rec func(pos, start int) bool
+	union := make([]*bitset.Set, r+1)
+	union[0] = bitset.New(f.L)
+	rec = func(pos, start int) bool {
+		if pos == r {
+			return union[r].Count() < f.L
+		}
+		for i := start; i < f.T; i++ {
+			idx[pos] = i
+			for _, signed := range []*bitset.Set{f.Sets[i], f.Complement(i)} {
+				union[pos+1] = union[pos].Union(signed)
+				if !rec(pos+1, i+1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return rec(0, 0)
+}
+
+// FindRCoveringFamily retries RandomFamily until VerifyRCovering(r)
+// succeeds, growing L by 25% every maxTries failures. It demonstrates the
+// Lemma 38 existence argument constructively.
+func FindRCoveringFamily(T, r int, rng *rand.Rand) *CoveringFamily {
+	// Lemma 38's inversion: L ≈ r·2^r·ln T suffices w.h.p.
+	l := 4
+	if T > 1 {
+		approx := float64(r) * float64(int(1)<<uint(r)) * math.Log(float64(T))
+		l = int(approx) + 4
+	}
+	const maxTries = 30
+	for {
+		for try := 0; try < maxTries; try++ {
+			f := RandomFamily(T, l, rng)
+			if f.VerifyRCovering(r) {
+				return f
+			}
+		}
+		l += l/4 + 1
+	}
+}

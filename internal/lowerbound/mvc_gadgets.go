@@ -1,0 +1,231 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/graph"
+)
+
+// WeightedMVCGadget is the Theorem 20 family H_{x,y} (Figure 2): the
+// CKP17 graph with every bit-incident edge replaced by a zero-weight path
+// vertex p_e, and the clique-to-clique input edges routed through shared
+// zero-weight vertices p_aⁱ (attached to a¹ᵢ) and p_bⁱ (attached to b¹ᵢ).
+// Clique-internal edges remain direct. All original vertices weigh 1.
+//
+// Lemma 21 (verified in tests): H²_{x,y} has a minimum weighted vertex
+// cover of weight W iff G_{x,y} has a minimum vertex cover of size W.
+type WeightedMVCGadget struct {
+	Base *CKP17MVC
+	H    *graph.Graph
+	// PathVertices lists all zero-weight gadget vertices.
+	PathVertices []int
+	// Alice is the V'_A partition side of H (Alice's originals plus the
+	// gadgets she hosts).
+	Alice *bitset.Set
+}
+
+// BuildWeightedMVCGadget constructs the Figure 2 family.
+func BuildWeightedMVCGadget(x, y Matrix) (*WeightedMVCGadget, error) {
+	base, err := BuildCKP17MVC(x, y)
+	if err != nil {
+		return nil, err
+	}
+	k, nG := base.K, base.G.N()
+	// Vertices: originals (ids preserved) + one p_e per bit-incident edge
+	// + 2k shared path vertices.
+	n := nG + len(base.BitEdges) + 2*k
+	b := graph.NewBuilder(n)
+	for v := 0; v < nG; v++ {
+		b.SetWeight(v, 1)
+		b.SetName(v, base.G.Name(v))
+	}
+
+	w := &WeightedMVCGadget{Base: base}
+	next := nG
+	newPath := func(name string) int {
+		id := next
+		next++
+		b.SetWeight(id, 0)
+		b.SetName(id, name)
+		w.PathVertices = append(w.PathVertices, id)
+		return id
+	}
+
+	// Clique edges stay direct.
+	for _, rows := range [][]int{base.A1, base.A2, base.B1, base.B2} {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				b.MustAddEdge(rows[i], rows[j])
+			}
+		}
+	}
+	// Bit-incident edges become 2-paths through p_e.
+	for idx, e := range base.BitEdges {
+		pe := newPath(fmt.Sprintf("p_e%d", idx))
+		b.MustAddEdge(pe, e[0])
+		b.MustAddEdge(pe, e[1])
+	}
+	// Shared gadgets: p_aⁱ ~ a¹ᵢ, with p_aⁱ ~ a²ⱼ iff x_{ij}=0.
+	pa := make([]int, k)
+	pb := make([]int, k)
+	for i := 1; i <= k; i++ {
+		pa[i-1] = newPath(fmt.Sprintf("p_a%d", i))
+		b.MustAddEdge(pa[i-1], base.A1[i-1])
+		pb[i-1] = newPath(fmt.Sprintf("p_b%d", i))
+		b.MustAddEdge(pb[i-1], base.B1[i-1])
+	}
+	for i := 1; i <= k; i++ {
+		for j := 1; j <= k; j++ {
+			if !x.At(i, j) {
+				b.MustAddEdge(pa[i-1], base.A2[j-1])
+			}
+			if !y.At(i, j) {
+				b.MustAddEdge(pb[i-1], base.B2[j-1])
+			}
+		}
+	}
+	w.H = b.Build()
+
+	w.Alice = bitset.New(n)
+	base.Alice.ForEach(func(v int) bool {
+		w.Alice.Add(v)
+		return true
+	})
+	// Gadgets with both endpoints on Alice's side, and all p_aⁱ, belong to
+	// Alice (matching the partition in the proof of Theorem 20).
+	for idx, e := range base.BitEdges {
+		if base.Alice.Contains(e[0]) && base.Alice.Contains(e[1]) {
+			w.Alice.Add(nG + idx)
+		}
+	}
+	for _, p := range pa {
+		w.Alice.Add(p)
+	}
+	return w, nil
+}
+
+// UnweightedMVCGadget is the Theorem 22 family H_{x,y} (Figure 3): the
+// CKP17 graph with every bit-incident edge replaced by a 3-vertex dangling
+// path gadget DP_e (DP_e[1] adjacent to both endpoints), and input edges
+// routed through 3-vertex shared gadgets Aⁱ (attached to a¹ᵢ) and Bⁱ
+// (attached to b¹ᵢ). No weights.
+//
+// Lemma 24 (verified in tests): MVC(H²_{x,y}) = MVC(G_{x,y}) + 2·#gadgets,
+// where #gadgets = 2k + 4k·log₂k + 8·log₂k.
+type UnweightedMVCGadget struct {
+	Base *CKP17MVC
+	H    *graph.Graph
+	// Gadgets lists every dangling/shared path gadget as its three vertex
+	// ids [DP[1], DP[2], DP[3]].
+	Gadgets [][3]int
+	Alice   *bitset.Set
+}
+
+// GadgetCount returns the number of path gadgets (the Lemma 24 offset is
+// twice this).
+func (u *UnweightedMVCGadget) GadgetCount() int { return len(u.Gadgets) }
+
+// BuildUnweightedMVCGadget constructs the Figure 3 family.
+func BuildUnweightedMVCGadget(x, y Matrix) (*UnweightedMVCGadget, error) {
+	base, err := BuildCKP17MVC(x, y)
+	if err != nil {
+		return nil, err
+	}
+	k, nG := base.K, base.G.N()
+	gadgets := len(base.BitEdges) + 2*k
+	n := nG + 3*gadgets
+	b := graph.NewBuilder(n)
+	for v := 0; v < nG; v++ {
+		b.SetName(v, base.G.Name(v))
+	}
+
+	u := &UnweightedMVCGadget{Base: base}
+	next := nG
+	newGadget := func(name string) [3]int {
+		g := [3]int{next, next + 1, next + 2}
+		next += 3
+		b.SetName(g[0], name+"[1]")
+		b.SetName(g[1], name+"[2]")
+		b.SetName(g[2], name+"[3]")
+		b.MustAddEdge(g[0], g[1])
+		b.MustAddEdge(g[1], g[2])
+		u.Gadgets = append(u.Gadgets, g)
+		return g
+	}
+
+	for _, rows := range [][]int{base.A1, base.A2, base.B1, base.B2} {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				b.MustAddEdge(rows[i], rows[j])
+			}
+		}
+	}
+	aliceGadgets := bitset.New(n)
+	for idx, e := range base.BitEdges {
+		g := newGadget(fmt.Sprintf("DP%d", idx))
+		b.MustAddEdge(g[0], e[0])
+		b.MustAddEdge(g[0], e[1])
+		if base.Alice.Contains(e[0]) && base.Alice.Contains(e[1]) {
+			for _, v := range g {
+				aliceGadgets.Add(v)
+			}
+		}
+	}
+	sharedA := make([][3]int, k)
+	sharedB := make([][3]int, k)
+	for i := 1; i <= k; i++ {
+		sharedA[i-1] = newGadget(fmt.Sprintf("A%d", i))
+		b.MustAddEdge(sharedA[i-1][0], base.A1[i-1])
+		for _, v := range sharedA[i-1] {
+			aliceGadgets.Add(v)
+		}
+		sharedB[i-1] = newGadget(fmt.Sprintf("B%d", i))
+		b.MustAddEdge(sharedB[i-1][0], base.B1[i-1])
+	}
+	for i := 1; i <= k; i++ {
+		for j := 1; j <= k; j++ {
+			if !x.At(i, j) {
+				b.MustAddEdge(sharedA[i-1][0], base.A2[j-1])
+			}
+			if !y.At(i, j) {
+				b.MustAddEdge(sharedB[i-1][0], base.B2[j-1])
+			}
+		}
+	}
+	u.H = b.Build()
+
+	u.Alice = bitset.New(n)
+	base.Alice.ForEach(func(v int) bool {
+		u.Alice.Add(v)
+		return true
+	})
+	u.Alice.Or(aliceGadgets)
+	return u, nil
+}
+
+// NormalizeCoverLemma23 transforms any vertex cover of H² into one of at
+// most the same size that contains, from every gadget, exactly the vertices
+// DP[1] and DP[2] (never the leaf DP[3]) — the normal form of Lemma 23.
+// The input must be a feasible cover of hSquare; the output remains one.
+func (u *UnweightedMVCGadget) NormalizeCoverLemma23(hSquare *graph.Graph, cover *bitset.Set) *bitset.Set {
+	out := cover.Clone()
+	for _, g := range u.Gadgets {
+		// DP[1], DP[2], DP[3] form a triangle in H²; any cover has ≥ 2 of
+		// them. Swap the leaf out for whichever of DP[1], DP[2] is missing.
+		if out.Contains(g[2]) {
+			out.Remove(g[2])
+			if !out.Contains(g[0]) {
+				out.Add(g[0])
+			} else if !out.Contains(g[1]) {
+				out.Add(g[1])
+			}
+		}
+		// The leaf's edges (to DP[1], DP[2] and 2-hop partners) must now be
+		// covered by DP[1]/DP[2]; ensure both are present (Lemma 23 forces
+		// them since {DP[2], DP[3]} and {DP[1], DP[3]} are H²-edges).
+		out.Add(g[0])
+		out.Add(g[1])
+	}
+	return out
+}

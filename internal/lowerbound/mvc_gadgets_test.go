@@ -1,0 +1,207 @@
+package lowerbound
+
+import (
+	"math/rand"
+	"testing"
+
+	"powergraph/internal/exact"
+	"powergraph/internal/verify"
+)
+
+// TestLemma21WeightedGadgetExhaustive verifies Lemma 21 for every input
+// pair at k=2: the square of the weighted gadget graph has a minimum
+// weighted vertex cover of exactly the same weight as G_{x,y}'s minimum
+// vertex cover.
+func TestLemma21WeightedGadgetExhaustive(t *testing.T) {
+	k := 2
+	EnumerateMatrices(k, func(x Matrix) {
+		EnumerateMatrices(k, func(y Matrix) {
+			w, err := BuildWeightedMVCGadget(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseOpt := verify.Cost(w.Base.G, exact.VertexCover(w.Base.G))
+			h2 := w.H.Square()
+			gadgetOpt := verify.Cost(h2, exact.VertexCover(h2))
+			if baseOpt != gadgetOpt {
+				t.Fatalf("x=%v y=%v: MWVC(H²)=%d ≠ MVC(G)=%d",
+					x.Bits, y.Bits, gadgetOpt, baseOpt)
+			}
+		})
+	})
+}
+
+func TestLemma21WeightedGadgetSampledK4(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 4; trial++ {
+		var x, y Matrix
+		if trial%2 == 0 {
+			x, y = RandomIntersectingPair(4, rng)
+		} else {
+			x, y = RandomDisjointPair(4, rng)
+		}
+		w, err := BuildWeightedMVCGadget(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseOpt := verify.Cost(w.Base.G, exact.VertexCover(w.Base.G))
+		h2 := w.H.Square()
+		gadgetOpt := verify.Cost(h2, exact.VertexCover(h2))
+		if baseOpt != gadgetOpt {
+			t.Fatalf("k=4 trial %d: MWVC(H²)=%d ≠ MVC(G)=%d", trial, gadgetOpt, baseOpt)
+		}
+	}
+}
+
+func TestWeightedGadgetStructure(t *testing.T) {
+	x, y := NewMatrix(2), NewMatrix(2)
+	w, err := BuildWeightedMVCGadget(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All original vertices weigh 1, all path vertices 0.
+	for v := 0; v < w.Base.G.N(); v++ {
+		if w.H.Weight(v) != 1 {
+			t.Fatalf("original %d has weight %d", v, w.H.Weight(v))
+		}
+	}
+	for _, p := range w.PathVertices {
+		if w.H.Weight(p) != 0 {
+			t.Fatalf("path vertex %d has weight %d", p, w.H.Weight(p))
+		}
+	}
+	// Vertex count: originals + bit-incident edges + 2k shared.
+	want := w.Base.G.N() + len(w.Base.BitEdges) + 2*2
+	if w.H.N() != want {
+		t.Fatalf("n = %d, want %d", w.H.N(), want)
+	}
+	// H² restricted to positive-weight vertices must reproduce G_{x,y}
+	// exactly (the crux of Lemma 21's proof).
+	h2 := w.H.Square()
+	g := w.Base.G
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if g.HasEdge(u, v) != h2.HasEdge(u, v) {
+				t.Fatalf("H² and G disagree on originals {%s,%s}: G=%v H²=%v",
+					g.Name(u), g.Name(v), g.HasEdge(u, v), h2.HasEdge(u, v))
+			}
+		}
+	}
+	// The cut stays logarithmic: count H-edges across the partition.
+	cut := 0
+	for _, e := range w.H.Edges() {
+		if w.Alice.Contains(e[0]) != w.Alice.Contains(e[1]) {
+			cut++
+		}
+	}
+	if cut > 8*w.Base.LogK {
+		t.Fatalf("cut %d not logarithmic", cut)
+	}
+}
+
+// TestLemma24UnweightedGadgetExhaustive verifies Lemma 24 at k=2 for all
+// 256 input pairs: MVC(H²) = MVC(G) + 2·#gadgets.
+func TestLemma24UnweightedGadgetExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive 256-instance exact solve")
+	}
+	k := 2
+	EnumerateMatrices(k, func(x Matrix) {
+		EnumerateMatrices(k, func(y Matrix) {
+			u, err := BuildUnweightedMVCGadget(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseOpt := verify.Cost(u.Base.G, exact.VertexCover(u.Base.G))
+			h2 := u.H.Square()
+			gadgetOpt := verify.Cost(h2, exact.VertexCover(h2))
+			want := baseOpt + 2*int64(u.GadgetCount())
+			if gadgetOpt != want {
+				t.Fatalf("x=%v y=%v: MVC(H²)=%d, want MVC(G)+2·%d = %d",
+					x.Bits, y.Bits, gadgetOpt, u.GadgetCount(), want)
+			}
+		})
+	})
+}
+
+func TestUnweightedGadgetCounts(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		u, err := BuildUnweightedMVCGadget(NewMatrix(k), NewMatrix(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lk := u.Base.LogK
+		want := 2*k + 4*k*lk + 8*lk
+		if u.GadgetCount() != want {
+			t.Fatalf("k=%d: %d gadgets, want 2k+4k·logk+8·logk = %d", k, u.GadgetCount(), want)
+		}
+		if u.H.N() != u.Base.G.N()+3*want {
+			t.Fatalf("k=%d: vertex count %d", k, u.H.N())
+		}
+	}
+}
+
+func TestLemma23NormalForm(t *testing.T) {
+	// Normalizing any optimal cover must keep it feasible, not increase
+	// its size, and leave no gadget leaf inside.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 3; trial++ {
+		var x, y Matrix
+		if trial%2 == 0 {
+			x, y = RandomIntersectingPair(2, rng)
+		} else {
+			x, y = RandomDisjointPair(2, rng)
+		}
+		u, err := BuildUnweightedMVCGadget(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2 := u.H.Square()
+		cover := exact.VertexCover(h2)
+		norm := u.NormalizeCoverLemma23(h2, cover)
+		if ok, e := verify.IsVertexCover(h2, norm); !ok {
+			t.Fatalf("normalized cover infeasible at %v", e)
+		}
+		if norm.Count() > cover.Count() {
+			t.Fatalf("normalization grew the cover: %d > %d", norm.Count(), cover.Count())
+		}
+		for _, g := range u.Gadgets {
+			if norm.Contains(g[2]) {
+				t.Fatal("leaf survived normalization")
+			}
+			if !norm.Contains(g[0]) || !norm.Contains(g[1]) {
+				t.Fatal("normal form missing DP[1]/DP[2]")
+			}
+		}
+	}
+}
+
+func TestUnweightedGadgetLeafIsolation(t *testing.T) {
+	// Lemma 23's premise: a gadget leaf DP[3] has exactly DP[1], DP[2] as
+	// its H²-neighbors.
+	u, err := BuildUnweightedMVCGadget(NewMatrix(2), NewMatrix(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := u.H.Square()
+	for _, g := range u.Gadgets {
+		nbrs := h2.Neighbors(g[2])
+		if len(nbrs) != 2 || nbrs[0] != min2(g[0], g[1]) || nbrs[1] != max2(g[0], g[1]) {
+			t.Fatalf("leaf %d has H²-neighbors %v, want exactly {%d,%d}", g[2], nbrs, g[0], g[1])
+		}
+	}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/graph"
+)
+
+// DanglingPathReduction is the Section 8 / Theorem 26 construction: every
+// edge e = {u,v} of G is replaced by a dangling 3-path gadget
+// p¹_e (adjacent to u and v) – p²_e – p³_e. The square of the result H
+// restricted to the original vertices is exactly G, which yields
+// VC(H²) = VC(G) + 2m (Theorem 44) and drives the conditional hardness of
+// Theorem 26.
+type DanglingPathReduction struct {
+	G *graph.Graph
+	H *graph.Graph
+	// Gadgets[i] holds the 3 gadget vertex ids for G's i-th edge (in
+	// G.Edges() order).
+	Gadgets [][3]int
+}
+
+// BuildDanglingPathReduction constructs H from G.
+func BuildDanglingPathReduction(g *graph.Graph) *DanglingPathReduction {
+	edges := g.Edges()
+	n := g.N() + 3*len(edges)
+	b := graph.NewBuilder(n)
+	for v := 0; v < g.N(); v++ {
+		b.SetName(v, g.Name(v))
+	}
+	r := &DanglingPathReduction{G: g}
+	next := g.N()
+	for i, e := range edges {
+		gd := [3]int{next, next + 1, next + 2}
+		next += 3
+		b.SetName(gd[0], fmt.Sprintf("p1_e%d", i))
+		b.SetName(gd[1], fmt.Sprintf("p2_e%d", i))
+		b.SetName(gd[2], fmt.Sprintf("p3_e%d", i))
+		b.MustAddEdge(gd[0], e[0])
+		b.MustAddEdge(gd[0], e[1])
+		b.MustAddEdge(gd[0], gd[1])
+		b.MustAddEdge(gd[1], gd[2])
+		r.Gadgets = append(r.Gadgets, gd)
+	}
+	r.H = b.Build()
+	return r
+}
+
+// LiftCover turns a vertex cover of G into a cover of H² of size
+// |cover| + 2m by adding p¹_e, p²_e of every gadget (the forward direction
+// of Theorem 44's proof).
+func (r *DanglingPathReduction) LiftCover(cover *bitset.Set) *bitset.Set {
+	out := bitset.New(r.H.N())
+	cover.ForEach(func(v int) bool {
+		out.Add(v)
+		return true
+	})
+	for _, gd := range r.Gadgets {
+		out.Add(gd[0])
+		out.Add(gd[1])
+	}
+	return out
+}
+
+// ProjectCover extracts the original-vertex part of a cover of H², which
+// Theorem 26's proof shows is a vertex cover of G (every G-edge survives
+// as an H²-edge between its endpoints).
+func (r *DanglingPathReduction) ProjectCover(hCover *bitset.Set) *bitset.Set {
+	out := bitset.New(r.G.N())
+	for v := 0; v < r.G.N(); v++ {
+		if hCover.Contains(v) {
+			out.Add(v)
+		}
+	}
+	return out
+}
+
+// ReductionEpsilon returns the ε Theorem 26 feeds the G²-MVC algorithm so
+// the projected cover is a (1+δ)-approximation on G: ε = δ·OPTlb/(3m),
+// where OPTlb ≤ OPT(G) is any vertex-cover lower bound (a maximal matching
+// in practice) and m = |E(G)|. The proof's accounting
+// (C ≤ OPT·(1 + ε(1+2m/OPT))) then gives ratio ≤ 1 + δ.
+func (r *DanglingPathReduction) ReductionEpsilon(delta float64, optLowerBound int64) float64 {
+	m := r.G.M()
+	if m == 0 {
+		return 1
+	}
+	return delta * float64(optLowerBound) / (3 * float64(m))
+}
+
+// MergedPathReduction is the Theorem 45 construction for MDS hardness:
+// every edge e of G is replaced by p¹_e (adjacent to both endpoints) and
+// p²_e, with all p²_e attached to one shared tail P3–P4–P5. Then
+// MDS(H²) = MDS(G) + 1 (the tail midpoint P3 is the +1).
+type MergedPathReduction struct {
+	G *graph.Graph
+	H *graph.Graph
+	// P1[i], P2[i] are the per-edge gadget vertices for G's i-th edge.
+	P1, P2 []int
+	// Tail holds the shared P3, P4, P5.
+	Tail [3]int
+}
+
+// BuildMergedPathReduction constructs H from G. G must have at least one
+// edge (the merged tail needs an anchor).
+func BuildMergedPathReduction(g *graph.Graph) (*MergedPathReduction, error) {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("lowerbound: merged reduction needs at least one edge")
+	}
+	n := g.N() + 2*len(edges) + 3
+	b := graph.NewBuilder(n)
+	for v := 0; v < g.N(); v++ {
+		b.SetName(v, g.Name(v))
+	}
+	r := &MergedPathReduction{G: g}
+	next := g.N()
+	r.Tail = [3]int{next, next + 1, next + 2}
+	next += 3
+	b.SetName(r.Tail[0], "P3")
+	b.SetName(r.Tail[1], "P4")
+	b.SetName(r.Tail[2], "P5")
+	b.MustAddEdge(r.Tail[0], r.Tail[1])
+	b.MustAddEdge(r.Tail[1], r.Tail[2])
+	for i, e := range edges {
+		p1, p2 := next, next+1
+		next += 2
+		b.SetName(p1, fmt.Sprintf("p1_e%d", i))
+		b.SetName(p2, fmt.Sprintf("p2_e%d", i))
+		b.MustAddEdge(p1, e[0])
+		b.MustAddEdge(p1, e[1])
+		b.MustAddEdge(p1, p2)
+		b.MustAddEdge(p2, r.Tail[0])
+		r.P1 = append(r.P1, p1)
+		r.P2 = append(r.P2, p2)
+	}
+	r.H = b.Build()
+	return r, nil
+}
+
+// LiftDomSet turns a dominating set of G into one of H² of size |ds|+1 by
+// adding the shared tail midpoint P3 (which dominates every gadget vertex
+// within two hops).
+func (r *MergedPathReduction) LiftDomSet(ds *bitset.Set) *bitset.Set {
+	out := bitset.New(r.H.N())
+	ds.ForEach(func(v int) bool {
+		out.Add(v)
+		return true
+	})
+	out.Add(r.Tail[0])
+	return out
+}
+
+// ProjectDomSet extracts the original-vertex part of a dominating set of
+// H²; per Theorem 45's proof it dominates G when the input is optimal in
+// the P3 normal form.
+func (r *MergedPathReduction) ProjectDomSet(hDS *bitset.Set) *bitset.Set {
+	out := bitset.New(r.G.N())
+	for v := 0; v < r.G.N(); v++ {
+		if hDS.Contains(v) {
+			out.Add(v)
+		}
+	}
+	return out
+}

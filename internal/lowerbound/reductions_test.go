@@ -1,0 +1,156 @@
+package lowerbound
+
+import (
+	"math/rand"
+	"testing"
+
+	"powergraph/internal/core"
+	"powergraph/internal/exact"
+	"powergraph/internal/graph"
+	"powergraph/internal/verify"
+)
+
+// TestTheorem44VCReduction verifies VC(H²) = VC(G) + 2m on random graphs.
+func TestTheorem44VCReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + rng.Intn(6)
+		g := graph.GNP(n, 0.4, rng)
+		if g.M() == 0 {
+			continue
+		}
+		r := BuildDanglingPathReduction(g)
+		h2 := r.H.Square()
+		optG := verify.Cost(g, exact.VertexCover(g))
+		optH2 := verify.Cost(h2, exact.VertexCover(h2))
+		if optH2 != optG+2*int64(g.M()) {
+			t.Fatalf("n=%d m=%d: VC(H²)=%d, want VC(G)+2m = %d",
+				n, g.M(), optH2, optG+2*int64(g.M()))
+		}
+	}
+}
+
+func TestTheorem44SquareRestrictsToG(t *testing.T) {
+	// The crux: H² induced on the original vertices is exactly G.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.GNP(3+rng.Intn(8), 0.5, rng)
+		r := BuildDanglingPathReduction(g)
+		h2 := r.H.Square()
+		for u := 0; u < g.N(); u++ {
+			for v := u + 1; v < g.N(); v++ {
+				if g.HasEdge(u, v) != h2.HasEdge(u, v) {
+					t.Fatalf("H²[V_G] ≠ G at {%d,%d}", u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestTheorem44LiftAndProject(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := graph.ConnectedGNP(8, 0.3, rng)
+	r := BuildDanglingPathReduction(g)
+	h2 := r.H.Square()
+
+	lifted := r.LiftCover(exact.VertexCover(g))
+	if ok, e := verify.IsVertexCover(h2, lifted); !ok {
+		t.Fatalf("lifted cover misses %v", e)
+	}
+	projected := r.ProjectCover(exact.VertexCover(h2))
+	if ok, e := verify.IsVertexCover(g, projected); !ok {
+		t.Fatalf("projected cover misses %v", e)
+	}
+}
+
+// TestTheorem45MDSReduction verifies MDS(H²) = MDS(G) + 1.
+func TestTheorem45MDSReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + rng.Intn(6)
+		g := graph.GNP(n, 0.4, rng)
+		if g.M() == 0 {
+			continue
+		}
+		r, err := BuildMergedPathReduction(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2 := r.H.Square()
+		optG := verify.Cost(g, exact.DominatingSet(g))
+		optH2 := verify.Cost(h2, exact.DominatingSet(h2))
+		if optH2 != optG+1 {
+			t.Fatalf("n=%d: MDS(H²)=%d, want MDS(G)+1 = %d", n, optH2, optG+1)
+		}
+		// Lift feasibility.
+		lifted := r.LiftDomSet(exact.DominatingSet(g))
+		if ok, v := verify.IsDominatingSet(h2, lifted); !ok {
+			t.Fatalf("lifted DS leaves %s undominated", r.H.Name(v))
+		}
+	}
+}
+
+func TestMergedReductionRejectsEdgeless(t *testing.T) {
+	if _, err := BuildMergedPathReduction(graph.NewBuilder(3).Build()); err == nil {
+		t.Fatal("edgeless graph accepted")
+	}
+}
+
+// TestTheorem26Pipeline runs the conditional-hardness reduction end to
+// end: G → H (dangling paths) → distributed (1+ε)-approximate G²-MVC on H
+// → projected cover of G, which must be feasible and (1+δ)-approximate.
+func TestTheorem26Pipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	delta := 0.5
+	for trial := 0; trial < 5; trial++ {
+		n := 6 + rng.Intn(8)
+		g := graph.ConnectedGNP(n, 0.3, rng)
+		r := BuildDanglingPathReduction(g)
+
+		optLB := verify.MatchingLowerBound(g)
+		eps := r.ReductionEpsilon(delta, optLB)
+		if eps <= 0 {
+			t.Fatal("non-positive epsilon")
+		}
+		res, err := core.ApproxMVCCongest(r.H, eps, &core.Options{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := verify.IsSquareVertexCover(r.H, res.Solution); !ok {
+			t.Fatal("H² cover infeasible")
+		}
+		projected := r.ProjectCover(res.Solution)
+		if ok, e := verify.IsVertexCover(g, projected); !ok {
+			t.Fatalf("projected cover misses %v", e)
+		}
+		optG := verify.Cost(g, exact.VertexCover(g))
+		got := verify.Cost(g, projected)
+		if optG > 0 && float64(got) > (1+delta)*float64(optG)+1e-9 {
+			t.Fatalf("projected ratio %d/%d exceeds 1+δ", got, optG)
+		}
+	}
+}
+
+// TestTheorem26CostAccounting checks the proof's central inequality on
+// actual runs: |C| ≤ |C_H| − 2m, and OPT_H = OPT_G + 2m.
+func TestTheorem26CostAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	g := graph.ConnectedGNP(9, 0.3, rng)
+	r := BuildDanglingPathReduction(g)
+	h2 := r.H.Square()
+
+	optG := verify.Cost(g, exact.VertexCover(g))
+	optH := verify.Cost(h2, exact.VertexCover(h2))
+	if optH != optG+2*int64(g.M()) {
+		t.Fatalf("OPT_H = %d, want %d", optH, optG+2*int64(g.M()))
+	}
+
+	res, err := core.ApproxMVCCongest(r.H, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	projected := r.ProjectCover(res.Solution)
+	if int64(projected.Count()) > verify.Cost(h2, res.Solution)-2*int64(g.M()) {
+		t.Fatal("|C| > |C_H| - 2m: gadgets under-covered?")
+	}
+}

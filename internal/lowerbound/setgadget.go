@@ -1,0 +1,308 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/graph"
+)
+
+// SetGadgetMDS is the approximation-hardness family H_{x,y} of Sections
+// 7.2–7.3 (Figures 6–7): row sets A, A', B, B' of size T; two set gadgets
+// (G_MDS for A/B, G'_MDS for A'/B') built from an r-covering family; two
+// shared path-gadget heads per row vertex, all merged into one tail per
+// player (A*, B*); and the disjointness edges routed head-to-head.
+//
+// In the weighted variant (Theorem 35) the element vertices α_p, β_p and
+// the hubs α, β carry weight HeavyWeight, the merged tails' midpoints
+// A*[3], B*[3] weigh 0, and everything else weighs 1; the minimum weighted
+// dominating set of H² weighs ≤ 6 iff DISJ(x,y) = false and ≥ 7 otherwise.
+//
+// In the unweighted variant (Theorem 41) the hubs are replaced by the
+// pendant q-vertices wired to the merged tails, and the gap becomes
+// 8 vs 9.
+type SetGadgetMDS struct {
+	T        int
+	Weighted bool
+	// HeavyWeight is the weight of element vertices in the weighted
+	// variant (the paper's r, chosen > 6 so heavy vertices are never
+	// affordable).
+	HeavyWeight int64
+	Family      *CoveringFamily
+	H           *graph.Graph
+
+	// Rows (ids by 0-based index).
+	A, APrime, B, BPrime []int
+	// Heads: for each row vertex v, HeadInput[v] is the [1] vertex of its
+	// input gadget (a/a'/b/b') and HeadSet[v] the [1] of its set gadget.
+	HeadInput, HeadSet map[int]int
+	// Merged tails [3],[4],[5].
+	AStar, BStar [3]int
+	// Set gadget vertices (unprimed and primed copies).
+	S, Sbar, SPrime, SbarPrime         []int
+	Alpha, Beta, AlphaPrime, BetaPrime []int
+	// Hubs (weighted variant only; -1 otherwise).
+	AlphaHub, BetaHub, AlphaHubPrime, BetaHubPrime int
+	// Pendants (unweighted variant only).
+	Q, Qbar, QPrime, QbarPrime []int
+
+	Alice *bitset.Set
+}
+
+// GapLow returns the dominating-set cost achievable when DISJ = false
+// (6 weighted, 8 unweighted); GapHigh = GapLow+1 is the minimum when
+// DISJ = true.
+func (s *SetGadgetMDS) GapLow() int64 {
+	if s.Weighted {
+		return 6
+	}
+	return 8
+}
+
+// BuildSetGadgetMDS constructs the family. The family f must satisfy the
+// covering property for the relevant r (CubeFamily(T) always works);
+// heavyWeight must exceed 6 in the weighted variant.
+func BuildSetGadgetMDS(x, y Matrix, f *CoveringFamily, weighted bool, heavyWeight int64) (*SetGadgetMDS, error) {
+	T := x.K
+	if y.K != T || f.T != T {
+		return nil, fmt.Errorf("lowerbound: size mismatch: x=%d y=%d family=%d", x.K, y.K, f.T)
+	}
+	if T < 2 {
+		return nil, fmt.Errorf("lowerbound: need T ≥ 2, got %d", T)
+	}
+	if weighted && heavyWeight <= 6 {
+		return nil, fmt.Errorf("lowerbound: heavy weight %d must exceed the gap bound 6", heavyWeight)
+	}
+	L := f.L
+
+	// Vertex budget: 4T rows + 4T heads ([1]+[2] each → 16T) + 6 tails +
+	// 2·(2T sets + 2L elements) + hubs (4, weighted) or pendants (4T).
+	n := 4*T + 16*T + 6 + 2*(2*T+2*L)
+	if weighted {
+		n += 4
+	} else {
+		n += 4 * T
+	}
+	b := graph.NewBuilder(n)
+	g := &SetGadgetMDS{
+		T: T, Weighted: weighted, HeavyWeight: heavyWeight, Family: f,
+		HeadInput: make(map[int]int), HeadSet: make(map[int]int),
+		AlphaHub: -1, BetaHub: -1, AlphaHubPrime: -1, BetaHubPrime: -1,
+	}
+	next := 0
+	alloc := func(name string, weight int64) int {
+		id := next
+		next++
+		b.SetName(id, name)
+		if weighted {
+			b.SetWeight(id, weight)
+		}
+		return id
+	}
+	mkRows := func(name string) []int {
+		ids := make([]int, T)
+		for i := range ids {
+			ids[i] = alloc(fmt.Sprintf("%s_%d", name, i+1), 1)
+		}
+		return ids
+	}
+	g.A, g.APrime = mkRows("a"), mkRows("a'")
+	g.B, g.BPrime = mkRows("b"), mkRows("b'")
+
+	// Merged tails.
+	tail := func(name string) [3]int {
+		var t [3]int
+		t[0] = alloc(name+"[3]", 0)
+		t[1] = alloc(name+"[4]", 1)
+		t[2] = alloc(name+"[5]", 1)
+		b.MustAddEdge(t[0], t[1])
+		b.MustAddEdge(t[1], t[2])
+		return t
+	}
+	g.AStar = tail("A*")
+	g.BStar = tail("B*")
+
+	// Heads: two per row, each a [1]–[2] pair with [2] wired to the
+	// player's merged tail midpoint.
+	head := func(name string, owner int, star [3]int) int {
+		h1 := alloc(name+"[1]", 1)
+		h2 := alloc(name+"[2]", 1)
+		b.MustAddEdge(h1, h2)
+		b.MustAddEdge(h2, star[0])
+		b.MustAddEdge(h1, owner)
+		return h1
+	}
+	for i, v := range g.A {
+		g.HeadInput[v] = head(fmt.Sprintf("Aa%d", i+1), v, g.AStar)
+		g.HeadSet[v] = head(fmt.Sprintf("AS%d", i+1), v, g.AStar)
+	}
+	for i, v := range g.APrime {
+		g.HeadInput[v] = head(fmt.Sprintf("Aa'%d", i+1), v, g.AStar)
+		g.HeadSet[v] = head(fmt.Sprintf("AS'%d", i+1), v, g.AStar)
+	}
+	for i, v := range g.B {
+		g.HeadInput[v] = head(fmt.Sprintf("Bb%d", i+1), v, g.BStar)
+		g.HeadSet[v] = head(fmt.Sprintf("BS%d", i+1), v, g.BStar)
+	}
+	for i, v := range g.BPrime {
+		g.HeadInput[v] = head(fmt.Sprintf("Bb'%d", i+1), v, g.BStar)
+		g.HeadSet[v] = head(fmt.Sprintf("BS'%d", i+1), v, g.BStar)
+	}
+
+	// Set gadget copies.
+	mkSetGadget := func(prefix string) (S, Sbar, alpha, beta []int) {
+		S = make([]int, T)
+		Sbar = make([]int, T)
+		for i := 0; i < T; i++ {
+			S[i] = alloc(fmt.Sprintf("%sS%d", prefix, i+1), 1)
+			Sbar[i] = alloc(fmt.Sprintf("%sS̄%d", prefix, i+1), 1)
+		}
+		alpha = make([]int, L)
+		beta = make([]int, L)
+		for p := 0; p < L; p++ {
+			alpha[p] = alloc(fmt.Sprintf("%sα%d", prefix, p), heavyWeight)
+			beta[p] = alloc(fmt.Sprintf("%sβ%d", prefix, p), heavyWeight)
+			b.MustAddEdge(alpha[p], beta[p])
+		}
+		for i := 0; i < T; i++ {
+			for p := 0; p < L; p++ {
+				if f.Sets[i].Contains(p) {
+					b.MustAddEdge(S[i], alpha[p])
+				} else {
+					b.MustAddEdge(Sbar[i], beta[p])
+				}
+			}
+		}
+		return S, Sbar, alpha, beta
+	}
+	g.S, g.Sbar, g.Alpha, g.Beta = mkSetGadget("")
+	g.SPrime, g.SbarPrime, g.AlphaPrime, g.BetaPrime = mkSetGadget("'")
+
+	if weighted {
+		g.AlphaHub = alloc("α", heavyWeight)
+		g.BetaHub = alloc("β", heavyWeight)
+		g.AlphaHubPrime = alloc("α'", heavyWeight)
+		g.BetaHubPrime = alloc("β'", heavyWeight)
+		for i := 0; i < T; i++ {
+			b.MustAddEdge(g.AlphaHub, g.S[i])
+			b.MustAddEdge(g.BetaHub, g.Sbar[i])
+			b.MustAddEdge(g.AlphaHubPrime, g.SPrime[i])
+			b.MustAddEdge(g.BetaHubPrime, g.SbarPrime[i])
+		}
+	} else {
+		mkPendants := func(sets []int, star [3]int, name string) []int {
+			q := make([]int, T)
+			for i := 0; i < T; i++ {
+				q[i] = alloc(fmt.Sprintf("%s%d", name, i+1), 1)
+				b.MustAddEdge(q[i], sets[i])
+				b.MustAddEdge(q[i], star[0])
+			}
+			return q
+		}
+		g.Q = mkPendants(g.S, g.AStar, "q")
+		g.QPrime = mkPendants(g.SPrime, g.AStar, "q'")
+		g.Qbar = mkPendants(g.Sbar, g.BStar, "q̄")
+		g.QbarPrime = mkPendants(g.SbarPrime, g.BStar, "q̄'")
+	}
+
+	// Set-selection edges: the set-head of row i reaches every S_j, j ≠ i
+	// (A-side selects from S, B-side from S̄; primed rows from the primed
+	// copy).
+	for i, v := range g.A {
+		for j := 0; j < T; j++ {
+			if j != i {
+				b.MustAddEdge(g.HeadSet[v], g.S[j])
+			}
+		}
+	}
+	for i, v := range g.APrime {
+		for j := 0; j < T; j++ {
+			if j != i {
+				b.MustAddEdge(g.HeadSet[v], g.SPrime[j])
+			}
+		}
+	}
+	for i, v := range g.B {
+		for j := 0; j < T; j++ {
+			if j != i {
+				b.MustAddEdge(g.HeadSet[v], g.Sbar[j])
+			}
+		}
+	}
+	for i, v := range g.BPrime {
+		for j := 0; j < T; j++ {
+			if j != i {
+				b.MustAddEdge(g.HeadSet[v], g.SbarPrime[j])
+			}
+		}
+	}
+
+	// Disjointness edges head-to-head.
+	for i := 1; i <= T; i++ {
+		for j := 1; j <= T; j++ {
+			if x.At(i, j) {
+				b.MustAddEdge(g.HeadInput[g.A[i-1]], g.HeadInput[g.APrime[j-1]])
+			}
+			if y.At(i, j) {
+				b.MustAddEdge(g.HeadInput[g.B[i-1]], g.HeadInput[g.BPrime[j-1]])
+			}
+		}
+	}
+
+	g.H = b.Build()
+
+	// Alice hosts A, A', A*, all A-heads, and the "left half" of both set
+	// gadgets: S, S', α-elements, α-hubs, q/q' pendants.
+	g.Alice = bitset.New(n)
+	add := func(vs ...int) {
+		for _, v := range vs {
+			if v >= 0 {
+				g.Alice.Add(v)
+			}
+		}
+	}
+	add(g.A...)
+	add(g.APrime...)
+	add(g.AStar[0], g.AStar[1], g.AStar[2])
+	for _, v := range append(append([]int{}, g.A...), g.APrime...) {
+		h1 := g.HeadInput[v]
+		h2 := g.HeadSet[v]
+		add(h1, h1+1, h2, h2+1) // [1] and [2] are allocated consecutively
+	}
+	add(g.S...)
+	add(g.SPrime...)
+	add(g.Alpha...)
+	add(g.AlphaPrime...)
+	add(g.AlphaHub, g.AlphaHubPrime)
+	add(g.Q...)
+	add(g.QPrime...)
+	return g, nil
+}
+
+// WitnessDomSet returns the gap-low dominating set of H² that exists when
+// x_{ij} = y_{ij} = 1 (Lemma 40 / Lemma 43): the free or cheap tails
+// A*[3], B*[3], the input heads of aᵢ and bᵢ, and the index-i/j set pairs.
+func (g *SetGadgetMDS) WitnessDomSet(i, j int) *bitset.Set {
+	s := bitset.New(g.H.N())
+	s.Add(g.AStar[0])
+	s.Add(g.BStar[0])
+	s.Add(g.HeadInput[g.A[i-1]])
+	s.Add(g.HeadInput[g.B[i-1]])
+	s.Add(g.S[i-1])
+	s.Add(g.Sbar[i-1])
+	s.Add(g.SPrime[j-1])
+	s.Add(g.SbarPrime[j-1])
+	return s
+}
+
+// CutSize returns the number of Alice/Bob crossing edges (O(L) = O(log T)
+// for Lemma 38 families: only the α_p–β_p rungs cross).
+func (g *SetGadgetMDS) CutSize() int {
+	cut := 0
+	for _, e := range g.H.Edges() {
+		if g.Alice.Contains(e[0]) != g.Alice.Contains(e[1]) {
+			cut++
+		}
+	}
+	return cut
+}

@@ -1,0 +1,167 @@
+package lowerbound
+
+import (
+	"math/rand"
+	"testing"
+
+	"powergraph/internal/exact"
+	"powergraph/internal/verify"
+)
+
+func TestCubeFamily(t *testing.T) {
+	f := CubeFamily(3)
+	if f.L != 8 || f.T != 3 {
+		t.Fatalf("dims: T=%d L=%d", f.T, f.L)
+	}
+	// Each set has exactly half the universe.
+	for i, s := range f.Sets {
+		if s.Count() != 4 {
+			t.Fatalf("set %d has %d elements", i, s.Count())
+		}
+	}
+	// Perfect covering property: every r up to T.
+	for r := 1; r <= 3; r++ {
+		if !f.VerifyRCovering(r) {
+			t.Fatalf("cube family fails %d-covering", r)
+		}
+	}
+}
+
+func TestVerifyRCoveringNegative(t *testing.T) {
+	// A family whose sets cover everything in one signed choice must fail.
+	f := CubeFamily(2)
+	// Add the universe itself as a third "set": {S3 = U} means the single
+	// choice {S3} covers U, so 1-covering fails.
+	full := f.Sets[0].Union(f.Complement(0))
+	f.Sets = append(f.Sets, full)
+	f.T = 3
+	if f.VerifyRCovering(1) {
+		t.Fatal("family with a universal set passed 1-covering")
+	}
+	// r > T is vacuous.
+	if !CubeFamily(2).VerifyRCovering(5) {
+		t.Fatal("vacuous case failed")
+	}
+}
+
+func TestFindRCoveringFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := FindRCoveringFamily(6, 2, rng)
+	if !f.VerifyRCovering(2) {
+		t.Fatal("found family does not verify")
+	}
+	if f.T != 6 {
+		t.Fatalf("T = %d", f.T)
+	}
+}
+
+func buildSG(t *testing.T, x, y Matrix, weighted bool) *SetGadgetMDS {
+	t.Helper()
+	f := CubeFamily(x.K)
+	g, err := BuildSetGadgetMDS(x, y, f, weighted, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSetGadgetStructure(t *testing.T) {
+	x, y := NewMatrix(3), NewMatrix(3)
+	for _, weighted := range []bool{true, false} {
+		g := buildSG(t, x, y, weighted)
+		// The cut is exactly the 2L element rungs.
+		if cut := g.CutSize(); cut != 2*g.Family.L {
+			t.Fatalf("weighted=%v: cut %d, want %d", weighted, cut, 2*g.Family.L)
+		}
+		if weighted {
+			if g.H.Weight(g.AStar[0]) != 0 || g.H.Weight(g.BStar[0]) != 0 {
+				t.Fatal("merged midpoints must weigh 0")
+			}
+			if g.H.Weight(g.Alpha[0]) != 9 {
+				t.Fatal("element weight wrong")
+			}
+			if g.AlphaHub < 0 || len(g.Q) != 0 {
+				t.Fatal("weighted variant wiring wrong")
+			}
+		} else {
+			if g.H.Weighted() {
+				t.Fatal("unweighted variant has weights")
+			}
+			if g.AlphaHub != -1 || len(g.Q) != 3 {
+				t.Fatal("unweighted variant wiring wrong")
+			}
+		}
+	}
+}
+
+func TestSetGadgetRejectsBadInput(t *testing.T) {
+	f := CubeFamily(3)
+	if _, err := BuildSetGadgetMDS(NewMatrix(3), NewMatrix(2), f, true, 9); err == nil {
+		t.Fatal("mismatched sizes accepted")
+	}
+	if _, err := BuildSetGadgetMDS(NewMatrix(3), NewMatrix(3), f, true, 5); err == nil {
+		t.Fatal("insufficient heavy weight accepted")
+	}
+	if _, err := BuildSetGadgetMDS(NewMatrix(2), NewMatrix(2), f, true, 9); err == nil {
+		t.Fatal("family size mismatch accepted")
+	}
+}
+
+// TestLemma40WitnessFeasible: when DISJ=false the gap-low witness must
+// dominate H² at cost 6 (weighted) / 8 (unweighted).
+func TestGapWitnessFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, weighted := range []bool{true, false} {
+		for trial := 0; trial < 4; trial++ {
+			x, y := RandomIntersectingPair(3, rng)
+			var wi, wj int
+			for i := 1; i <= 3 && wi == 0; i++ {
+				for j := 1; j <= 3; j++ {
+					if x.At(i, j) && y.At(i, j) {
+						wi, wj = i, j
+						break
+					}
+				}
+			}
+			g := buildSG(t, x, y, weighted)
+			h2 := g.H.Square()
+			ds := g.WitnessDomSet(wi, wj)
+			if ok, v := verify.IsDominatingSet(h2, ds); !ok {
+				t.Fatalf("weighted=%v: witness leaves %s undominated", weighted, g.H.Name(v))
+			}
+			if got := verify.Cost(h2, ds); got != g.GapLow() {
+				t.Fatalf("weighted=%v: witness cost %d, want %d", weighted, got, g.GapLow())
+			}
+		}
+	}
+}
+
+// TestLemma40Gap verifies the full gap on exact optima: MDS(H²) ≤ GapLow
+// iff DISJ(x,y) = false, and ≥ GapLow+1 otherwise (Lemmas 40 and 43).
+func TestSetGadgetGapExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, weighted := range []bool{true, false} {
+		for trial := 0; trial < 4; trial++ {
+			var x, y Matrix
+			if trial%2 == 0 {
+				x, y = RandomIntersectingPair(3, rng)
+			} else {
+				x, y = RandomDisjointPair(3, rng)
+			}
+			g := buildSG(t, x, y, weighted)
+			h2 := g.H.Square()
+			ds, err := exact.DominatingSetBounded(h2, 80_000_000)
+			if err != nil {
+				t.Skipf("weighted=%v trial %d: %v", weighted, trial, err)
+			}
+			opt := verify.Cost(h2, ds)
+			disj := Disj(x.Bits, y.Bits)
+			if disj && opt <= g.GapLow() {
+				t.Fatalf("weighted=%v: DISJ=true but MDS=%d ≤ %d", weighted, opt, g.GapLow())
+			}
+			if !disj && opt > g.GapLow() {
+				t.Fatalf("weighted=%v: DISJ=false but MDS=%d > %d", weighted, opt, g.GapLow())
+			}
+		}
+	}
+}

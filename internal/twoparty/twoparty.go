@@ -1,0 +1,126 @@
+// Package twoparty implements the Alice–Bob communication framework of
+// Section 5.1: vertex-partitioned graphs, cut accounting, the Theorem 19
+// round lower-bound arithmetic, and the Lemma 25 O(log n)-bit protocol
+// that rules out super-constant lower bounds for (1+ε)-approximate G²-MVC
+// from small-cut families.
+//
+// Live cut traffic of distributed runs is measured by the simulator itself
+// (congest.Config.CutA); this package supplies the centralized sides of the
+// argument.
+package twoparty
+
+import (
+	"powergraph/internal/bitset"
+	"powergraph/internal/exact"
+	"powergraph/internal/graph"
+	"powergraph/internal/verify"
+)
+
+// Transcript records the bits a two-party protocol exchanged.
+type Transcript struct {
+	AliceToBobBits int64
+	BobToAliceBits int64
+	Messages       int
+}
+
+// Total returns the total bits exchanged.
+func (t Transcript) Total() int64 { return t.AliceToBobBits + t.BobToAliceBits }
+
+// CutVertices returns the endpoints of cut edges on each side of the
+// partition (C_A ⊆ A, C_B ⊆ V∖A).
+func CutVertices(g *graph.Graph, alice *bitset.Set) (ca, cb *bitset.Set) {
+	ca = bitset.New(g.N())
+	cb = bitset.New(g.N())
+	for _, e := range g.Edges() {
+		ia, ib := alice.Contains(e[0]), alice.Contains(e[1])
+		if ia != ib {
+			if ia {
+				ca.Add(e[0])
+				cb.Add(e[1])
+			} else {
+				ca.Add(e[1])
+				cb.Add(e[0])
+			}
+		}
+	}
+	return ca, cb
+}
+
+// Lemma25Cover runs the protocol from Lemma 25: each player takes all of
+// its cut vertices plus an optimal cover of the G²-edges that remain
+// strictly inside its side, then the players exchange their counts
+// (O(log n) bits). The result is a vertex cover of G² whose size exceeds
+// the optimum by at most |C_A| + |C_B| — a (1+o(1))-approximation whenever
+// the cut is o(n), which is why Theorem 19 cannot prove super-constant
+// lower bounds for (1+ε)-approximate G²-MVC (Section 5.4).
+//
+// A G²-edge between two non-cut vertices of one side cannot have its
+// 2-path witness on the other side (both witness edges would be cut edges,
+// making the endpoints cut vertices), so each player's subproblem is
+// computable from its own view.
+func Lemma25Cover(g *graph.Graph, alice *bitset.Set) (*bitset.Set, Transcript) {
+	n := g.N()
+	ca, cb := CutVertices(g, alice)
+
+	cover := bitset.New(n)
+	cover.Or(ca)
+	cover.Or(cb)
+
+	sideCover := func(side *bitset.Set, cut *bitset.Set) int64 {
+		inner := side.Clone()
+		inner.AndNot(cut)
+		sub, orig := g.SquareInduced(inner)
+		local := exact.VertexCover(sub)
+		local.ForEach(func(i int) bool {
+			cover.Add(orig[i])
+			return true
+		})
+		return verify.Cost(sub, local)
+	}
+	bob := alice.Clone()
+	bob.Complement()
+	aCount := sideCover(alice, ca) + int64(ca.Count())
+	bCount := sideCover(bob, cb) + int64(cb.Count())
+	_ = aCount
+	_ = bCount
+
+	// The only communication: each player announces its count.
+	idBits := int64(countBits(n + 1))
+	tr := Transcript{
+		AliceToBobBits: idBits,
+		BobToAliceBits: idBits,
+		Messages:       2,
+	}
+	return cover, tr
+}
+
+// Theorem19RoundLB evaluates the framework's round lower bound
+// Ω(CC(f) / (|C|·log n)): with ccBits of communication complexity forced
+// over cutEdges edges carrying logN-bit messages per round, at least this
+// many rounds are needed.
+func Theorem19RoundLB(ccBits int64, cutEdges, n int) int64 {
+	if cutEdges <= 0 {
+		return 0
+	}
+	per := int64(cutEdges * countBits(n))
+	if per == 0 {
+		return 0
+	}
+	return ccBits / per
+}
+
+// DisjCCBits returns the Θ(K) communication-complexity lower bound for
+// set disjointness on K-bit inputs ([KN97]), the ccBits feeding
+// Theorem19RoundLB in all of the paper's reductions.
+func DisjCCBits(k int) int64 { return int64(k) }
+
+func countBits(n int) int {
+	b := 0
+	for v := n; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+package twoparty
+
+import (
+	"math/rand"
+	"testing"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/exact"
+	"powergraph/internal/graph"
+	"powergraph/internal/lowerbound"
+	"powergraph/internal/verify"
+)
+
+func TestCutVertices(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3
+	alice := bitset.FromIndices(4, 0, 1)
+	ca, cb := CutVertices(g, alice)
+	if ca.String() != "{1}" || cb.String() != "{2}" {
+		t.Fatalf("ca=%v cb=%v", ca, cb)
+	}
+}
+
+func TestLemma25CoverFeasibleAndCheap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(10)
+		g := graph.ConnectedGNP(n, 0.25, rng)
+		// Random balanced-ish partition.
+		alice := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				alice.Add(v)
+			}
+		}
+		cover, tr := Lemma25Cover(g, alice)
+		sq := g.Square()
+		if ok, e := verify.IsVertexCover(sq, cover); !ok {
+			t.Fatalf("Lemma 25 cover misses %v", e)
+		}
+		ca, cb := CutVertices(g, alice)
+		opt := verify.Cost(sq, exact.VertexCover(sq))
+		if got := int64(cover.Count()); got > opt+int64(ca.Count()+cb.Count()) {
+			t.Fatalf("cover %d exceeds OPT (%d) + cut vertices (%d)",
+				got, opt, ca.Count()+cb.Count())
+		}
+		// O(log n) bits only.
+		if tr.Total() > 2*int64(countBits(n+1)) {
+			t.Fatalf("transcript %d bits", tr.Total())
+		}
+	}
+}
+
+func TestLemma25OnLowerBoundFamily(t *testing.T) {
+	// On the CKP17 gadget family with its logarithmic cut, the Lemma 25
+	// protocol is a (1+o(1))-approximation — this is exactly why Theorem 19
+	// cannot give super-constant bounds for approximate G²-MVC.
+	rng := rand.New(rand.NewSource(2))
+	x, y := lowerbound.RandomIntersectingPair(4, rng)
+	u, err := lowerbound.BuildUnweightedMVCGadget(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover, tr := Lemma25Cover(u.H, u.Alice)
+	sq := u.H.Square()
+	if ok, e := verify.IsVertexCover(sq, cover); !ok {
+		t.Fatalf("cover misses %v", e)
+	}
+	opt := verify.Cost(sq, exact.VertexCover(sq))
+	got := int64(cover.Count())
+	ca, cb := CutVertices(u.H, u.Alice)
+	if got > opt+int64(ca.Count()+cb.Count()) {
+		t.Fatalf("cover %d vs opt %d + cut %d", got, opt, ca.Count()+cb.Count())
+	}
+	if tr.Total() > 20 {
+		t.Fatalf("transcript too large: %d bits", tr.Total())
+	}
+}
+
+func TestTheorem19RoundLB(t *testing.T) {
+	// k² bits over O(log k) cut edges with log n bit messages
+	// (countBits(4096) = 13).
+	lb := Theorem19RoundLB(DisjCCBits(1024*1024), 40, 4096)
+	if lb != 1024*1024/(40*13) {
+		t.Fatalf("lb = %d", lb)
+	}
+	if Theorem19RoundLB(100, 0, 10) != 0 {
+		t.Fatal("zero cut should yield 0")
+	}
+}
+
+func TestTheorem19ScalesQuadratically(t *testing.T) {
+	// With |C| = Θ(log k) and CC = Θ(k²), the bound is Ω̃(k²): doubling k
+	// must roughly quadruple it.
+	lb1 := Theorem19RoundLB(DisjCCBits(64*64), 24, 512)
+	lb2 := Theorem19RoundLB(DisjCCBits(128*128), 28, 1024)
+	if lb2 < 3*lb1 {
+		t.Fatalf("scaling broken: %d -> %d", lb1, lb2)
+	}
+}

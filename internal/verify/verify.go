@@ -1,0 +1,125 @@
+// Package verify provides solution checkers and approximation-ratio
+// reporting for the vertex cover and dominating set problems on G, G², and
+// general powers Gʳ.
+//
+// The paper (Section 2) defines feasibility of a G²-solution with respect to
+// the edge set of the square while distances are measured in G; the checkers
+// here follow that definition exactly and are cross-validated against
+// brute-force in tests, so every algorithm in internal/core and
+// internal/centralized can be validated against a single trusted oracle.
+package verify
+
+import (
+	"fmt"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/graph"
+)
+
+// IsVertexCover reports whether s covers every edge of g: for each
+// {u,v} ∈ E(g), u ∈ s or v ∈ s. The first uncovered edge (if any) is
+// returned for diagnostics.
+func IsVertexCover(g *graph.Graph, s *bitset.Set) (ok bool, witness [2]int) {
+	for u := 0; u < g.N(); u++ {
+		if s.Contains(u) {
+			continue
+		}
+		for _, v := range g.Adj(u) {
+			if v > u && !s.Contains(v) {
+				return false, [2]int{u, v}
+			}
+		}
+	}
+	return true, [2]int{}
+}
+
+// IsSquareVertexCover reports whether s is a vertex cover of g².
+func IsSquareVertexCover(g *graph.Graph, s *bitset.Set) (ok bool, witness [2]int) {
+	return IsPowerVertexCover(g, 2, s)
+}
+
+// IsPowerVertexCover reports whether s is a vertex cover of gʳ, checked
+// directly from g using 2-hop reachability (without materializing gʳ when
+// r == 2; larger r falls back to Power).
+func IsPowerVertexCover(g *graph.Graph, r int, s *bitset.Set) (ok bool, witness [2]int) {
+	if r == 1 {
+		return IsVertexCover(g, s)
+	}
+	if r == 2 {
+		for u := 0; u < g.N(); u++ {
+			if s.Contains(u) {
+				continue
+			}
+			uncoveredNbr := g.TwoHopNeighborhood(u).Difference(s)
+			if w := uncoveredNbr.First(); w != -1 {
+				return false, [2]int{u, w}
+			}
+		}
+		return true, [2]int{}
+	}
+	return IsVertexCover(g.Power(r), s)
+}
+
+// IsDominatingSet reports whether every vertex of g is in s or has a
+// g-neighbor in s. The first undominated vertex (if any) is returned.
+func IsDominatingSet(g *graph.Graph, s *bitset.Set) (ok bool, witness int) {
+	for v := 0; v < g.N(); v++ {
+		if s.Contains(v) || g.AdjRow(v).Intersects(s) {
+			continue
+		}
+		return false, v
+	}
+	return true, -1
+}
+
+// IsSquareDominatingSet reports whether s dominates g²: every vertex is in s
+// or within distance 2 (in g) of a member of s.
+func IsSquareDominatingSet(g *graph.Graph, s *bitset.Set) (ok bool, witness int) {
+	for v := 0; v < g.N(); v++ {
+		if s.Contains(v) || g.TwoHopNeighborhood(v).Intersects(s) {
+			continue
+		}
+		return false, v
+	}
+	return true, -1
+}
+
+// Cost returns the total weight of the solution set under g's vertex
+// weights (its cardinality for unweighted graphs).
+func Cost(g *graph.Graph, s *bitset.Set) int64 {
+	return g.SetWeightOf(s)
+}
+
+// Ratio describes the quality of a solution against a reference optimum or
+// lower bound.
+type Ratio struct {
+	Cost      int64   // weight of the checked solution
+	Reference int64   // optimum (or lower bound) it is compared against
+	Value     float64 // Cost / Reference; +Inf when Reference is 0 and Cost > 0
+}
+
+// RatioOf computes the approximation ratio of cost against reference.
+// A zero reference with zero cost yields ratio 1 (both optimal and empty).
+func RatioOf(cost, reference int64) Ratio {
+	r := Ratio{Cost: cost, Reference: reference}
+	switch {
+	case reference > 0:
+		r.Value = float64(cost) / float64(reference)
+	case cost == 0:
+		r.Value = 1
+	default:
+		r.Value = float64(cost) // reference 0, cost > 0: report cost itself as "∞-like"
+	}
+	return r
+}
+
+func (r Ratio) String() string {
+	return fmt.Sprintf("%d/%d = %.4f", r.Cost, r.Reference, r.Value)
+}
+
+// MatchingLowerBound returns a lower bound on the size of any vertex cover
+// of g: the size of a maximal matching (each matched edge needs a distinct
+// cover vertex). Used for fast sanity ratios when exact solving is too slow.
+func MatchingLowerBound(g *graph.Graph) int64 {
+	return int64(len(g.GreedyMaximalMatching()))
+}

@@ -1,0 +1,192 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/graph"
+)
+
+func TestIsVertexCoverBasic(t *testing.T) {
+	g := graph.Path(4) // edges 01 12 23
+	ok, _ := IsVertexCover(g, bitset.FromIndices(4, 1, 3))
+	if !ok {
+		t.Fatal("{1,3} should cover P4")
+	}
+	ok, w := IsVertexCover(g, bitset.FromIndices(4, 0))
+	if ok {
+		t.Fatal("{0} should not cover P4")
+	}
+	if w != [2]int{1, 2} {
+		t.Fatalf("witness = %v", w)
+	}
+	ok, _ = IsVertexCover(g, bitset.New(4))
+	if ok {
+		t.Fatal("empty set covers nothing")
+	}
+	// Empty graph: empty cover suffices.
+	eg := graph.NewBuilder(3).Build()
+	if ok, _ := IsVertexCover(eg, bitset.New(3)); !ok {
+		t.Fatal("empty graph needs no cover")
+	}
+}
+
+func TestIsSquareVertexCover(t *testing.T) {
+	g := graph.Path(5)
+	// In P5², vertex 2 covers all edges incident to 0..4 within distance 2 of
+	// 2, but edge {3,4} and {0,1} are also in P5² — {2} alone leaves {0,1}
+	// uncovered? No: {0,1} has endpoint 1, dist(1,2)=1, 1∉S, 0∉S ⇒ uncovered.
+	ok, _ := IsSquareVertexCover(g, bitset.FromIndices(5, 2))
+	if ok {
+		t.Fatal("{2} is not a VC of P5²")
+	}
+	ok, _ = IsSquareVertexCover(g, bitset.FromIndices(5, 1, 2, 3))
+	if !ok {
+		t.Fatal("{1,2,3} is a VC of P5²")
+	}
+}
+
+func TestIsDominatingSet(t *testing.T) {
+	g := graph.Star(6)
+	if ok, _ := IsDominatingSet(g, bitset.FromIndices(6, 0)); !ok {
+		t.Fatal("center dominates star")
+	}
+	ok, w := IsDominatingSet(g, bitset.FromIndices(6, 1))
+	if ok {
+		t.Fatal("leaf does not dominate star")
+	}
+	if w != 2 {
+		t.Fatalf("witness = %d, want 2", w)
+	}
+}
+
+func TestIsSquareDominatingSet(t *testing.T) {
+	g := graph.Path(5)
+	if ok, _ := IsSquareDominatingSet(g, bitset.FromIndices(5, 2)); !ok {
+		t.Fatal("{2} dominates P5²")
+	}
+	g7 := graph.Path(7)
+	ok, w := IsSquareDominatingSet(g7, bitset.FromIndices(7, 2))
+	if ok {
+		t.Fatal("{2} should not dominate P7²")
+	}
+	if w != 5 {
+		t.Fatalf("witness = %d, want 5", w)
+	}
+}
+
+// Brute-force reference checkers.
+func bruteIsVC(g *graph.Graph, s *bitset.Set) bool {
+	for _, e := range g.Edges() {
+		if !s.Contains(e[0]) && !s.Contains(e[1]) {
+			return false
+		}
+	}
+	return true
+}
+
+func bruteIsDS(g *graph.Graph, s *bitset.Set) bool {
+	for v := 0; v < g.N(); v++ {
+		if s.Contains(v) {
+			continue
+		}
+		found := false
+		for _, u := range g.Adj(v) {
+			if s.Contains(u) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickCheckersAgainstBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(14)
+		g := graph.GNP(n, 0.3, rng)
+		g2 := g.Square()
+		s := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				s.Add(v)
+			}
+		}
+		okVC, _ := IsVertexCover(g, s)
+		okVC2, _ := IsSquareVertexCover(g, s)
+		okDS, _ := IsDominatingSet(g, s)
+		okDS2, _ := IsSquareDominatingSet(g, s)
+		return okVC == bruteIsVC(g, s) &&
+			okVC2 == bruteIsVC(g2, s) &&
+			okDS == bruteIsDS(g, s) &&
+			okDS2 == bruteIsDS(g2, s)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerVertexCoverMatchesExplicitPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 30; i++ {
+		n := 3 + rng.Intn(12)
+		g := graph.GNP(n, 0.25, rng)
+		r := 1 + rng.Intn(4)
+		s := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				s.Add(v)
+			}
+		}
+		got, _ := IsPowerVertexCover(g, r, s)
+		want := bruteIsVC(g.Power(r), s)
+		if got != want {
+			t.Fatalf("n=%d r=%d: got %v want %v", n, r, got, want)
+		}
+	}
+}
+
+func TestCostAndRatio(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1)
+	b.SetWeight(0, 5)
+	b.SetWeight(1, 7)
+	g := b.Build()
+	if c := Cost(g, bitset.FromIndices(3, 0, 2)); c != 6 {
+		t.Fatalf("Cost = %d, want 6", c)
+	}
+
+	r := RatioOf(15, 10)
+	if r.Value != 1.5 {
+		t.Fatalf("ratio = %v", r.Value)
+	}
+	if r.String() != "15/10 = 1.5000" {
+		t.Fatalf("String = %q", r.String())
+	}
+	if RatioOf(0, 0).Value != 1 {
+		t.Fatal("0/0 should be 1")
+	}
+	if v := RatioOf(3, 0).Value; v != 3 {
+		t.Fatalf("3/0 = %v", v)
+	}
+	if math.IsNaN(RatioOf(0, 5).Value) {
+		t.Fatal("0/5 is NaN")
+	}
+}
+
+func TestMatchingLowerBound(t *testing.T) {
+	// Any vertex cover of K4 has ≥ 2 vertices; maximal matching size 2.
+	if lb := MatchingLowerBound(graph.Complete(4)); lb != 2 {
+		t.Fatalf("lb = %d", lb)
+	}
+	if lb := MatchingLowerBound(graph.Path(2)); lb != 1 {
+		t.Fatalf("lb = %d", lb)
+	}
+}
