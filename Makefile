@@ -1,0 +1,31 @@
+# Single entry points shared by CI (.github/workflows/ci.yml) and humans.
+
+GO ?= go
+OUT ?= bench-out
+
+.PHONY: build vet test race bench sweep clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Go micro-benchmarks (bench_test.go and friends).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# Full scenario sweep through the experiment harness; override SPEC to point
+# at another matrix, e.g. `make sweep SPEC=specs/power-sweep.json`.
+SPEC ?= specs/podc20-sweep.json
+sweep:
+	$(GO) run ./cmd/powerbench -spec $(SPEC) -out $(OUT)
+
+clean:
+	rm -rf $(OUT)

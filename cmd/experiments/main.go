@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -110,36 +111,74 @@ func table(header string, rows [][]string) {
 	}
 }
 
+// presetJob pins one harness job on the sparse connected G(n, 8/n) workload
+// with the master seed — the exact instance the historical tables used.
+// The harness rebuilds the graph from the seed per job, so several jobs with
+// the same (n, seed) see the same instance.
+func presetJob(idx int, algorithm string, n int, eps float64, cfg config, oracleN int, maxWeight int64) powergraph.Job {
+	return powergraph.Job{
+		Index:     idx,
+		Generator: powergraph.GeneratorSpec{Name: "connected-gnp", MaxWeight: maxWeight},
+		N:         n,
+		Power:     2,
+		Algorithm: algorithm,
+		Epsilon:   eps,
+		Seed:      cfg.seed,
+		OracleN:   oracleN,
+	}
+}
+
+// runPreset executes the jobs through the shared worker pool and returns
+// results in job order, or prints the first failure and reports !ok.
+func runPreset(jobs []powergraph.Job) ([]powergraph.JobResult, bool) {
+	rep, err := powergraph.RunJobs(context.Background(), jobs, powergraph.RunOptions{})
+	if err != nil {
+		fmt.Println("  error:", err)
+		return nil, false
+	}
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			fmt.Println("  error:", r.Error)
+			return nil, false
+		}
+	}
+	return rep.Results, true
+}
+
+// ratioCell renders the oracle column: the measured ratio when the exact
+// optimum was computed (n ≤ the job's OracleN), "-" otherwise.
+func ratioCell(r powergraph.JobResult) string {
+	if r.Optimum < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.4f", r.Ratio)
+}
+
 func runE1(cfg config) {
 	sizes := []int{32, 64, 128, 256}
 	if cfg.quick {
 		sizes = []int{32, 64}
 	}
-	var rows [][]string
+	var jobs []powergraph.Job
 	for _, n := range sizes {
 		for _, eps := range []float64{1, 0.5, 0.25, 0.125} {
-			rng := rand.New(rand.NewSource(cfg.seed))
-			g := powergraph.ConnectedGNP(n, 8/float64(n), rng)
-			res, err := powergraph.MVCCongest(g, eps, &powergraph.Options{Seed: cfg.seed})
-			if err != nil {
-				fmt.Println("  error:", err)
-				return
-			}
-			sq := g.Square()
-			ratioStr := "-"
-			if n <= 64 {
-				opt := powergraph.Cost(sq, powergraph.ExactVC(sq))
-				ratioStr = fmt.Sprintf("%.4f", powergraph.RatioOf(powergraph.Cost(sq, res.Solution), opt).Value)
-			}
-			rows = append(rows, []string{
-				fmt.Sprint(n), fmt.Sprintf("%.3f", eps),
-				fmt.Sprint(res.Stats.Rounds),
-				fmt.Sprintf("%.1f", float64(res.Stats.Rounds)/float64(n)),
-				fmt.Sprint(res.PhaseISize),
-				ratioStr,
-				fmt.Sprint(res.Stats.MaxRoundBits),
-			})
+			jobs = append(jobs, presetJob(len(jobs), "mvc-congest", n, eps, cfg, 64, 0))
 		}
+	}
+	results, ok := runPreset(jobs)
+	if !ok {
+		return
+	}
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{
+			fmt.Sprint(r.N), fmt.Sprintf("%.3f", r.Epsilon),
+			fmt.Sprint(r.Rounds),
+			fmt.Sprintf("%.1f", float64(r.Rounds)/float64(r.N)),
+			fmt.Sprint(r.PhaseISize),
+			ratioCell(r),
+			fmt.Sprint(r.MaxRoundBits),
+		})
 	}
 	table("n|eps|rounds|rounds/n|phaseI|ratio-vs-opt|peak-bits/round", rows)
 }
@@ -149,27 +188,22 @@ func runE2(cfg config) {
 	if cfg.quick {
 		sizes = []int{32, 64}
 	}
-	var rows [][]string
+	var jobs []powergraph.Job
 	for _, n := range sizes {
-		rng := rand.New(rand.NewSource(cfg.seed))
-		g := powergraph.WithRandomWeights(powergraph.ConnectedGNP(n, 8/float64(n), rng), 50, rng)
 		for _, eps := range []float64{1, 0.5, 0.25} {
-			res, err := powergraph.MWVCCongest(g, eps, &powergraph.Options{Seed: cfg.seed})
-			if err != nil {
-				fmt.Println("  error:", err)
-				return
-			}
-			sq := g.Square()
-			ratioStr := "-"
-			if n <= 64 {
-				opt := powergraph.Cost(sq, powergraph.ExactVC(sq))
-				ratioStr = fmt.Sprintf("%.4f", powergraph.RatioOf(powergraph.Cost(sq, res.Solution), opt).Value)
-			}
-			rows = append(rows, []string{
-				fmt.Sprint(n), fmt.Sprintf("%.3f", eps),
-				fmt.Sprint(res.Stats.Rounds), ratioStr,
-			})
+			jobs = append(jobs, presetJob(len(jobs), "mwvc-congest", n, eps, cfg, 64, 50))
 		}
+	}
+	results, ok := runPreset(jobs)
+	if !ok {
+		return
+	}
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{
+			fmt.Sprint(r.N), fmt.Sprintf("%.3f", r.Epsilon),
+			fmt.Sprint(r.Rounds), ratioCell(r),
+		})
 	}
 	table("n|eps|rounds|ratio-vs-opt", rows)
 }
@@ -179,31 +213,26 @@ func runE3(cfg config) {
 	if cfg.quick {
 		sizes = []int{32, 64}
 	}
-	var rows [][]string
+	algs := []string{"mvc-congest", "mvc-clique-det", "mvc-clique-rand"}
+	var jobs []powergraph.Job
 	for _, n := range sizes {
-		rng := rand.New(rand.NewSource(cfg.seed))
-		g := powergraph.ConnectedGNP(n, 8/float64(n), rng)
-		congRes, err := powergraph.MVCCongest(g, 0.5, &powergraph.Options{Seed: cfg.seed})
-		if err != nil {
-			fmt.Println("  error:", err)
-			return
+		for _, alg := range algs {
+			jobs = append(jobs, presetJob(len(jobs), alg, n, 0.5, cfg, 0, 0))
 		}
-		detRes, err := powergraph.MVCCliqueDeterministic(g, 0.5, &powergraph.Options{Seed: cfg.seed})
-		if err != nil {
-			fmt.Println("  error:", err)
-			return
-		}
-		randRes, err := powergraph.MVCCliqueRandomized(g, 0.5, &powergraph.Options{Seed: cfg.seed})
-		if err != nil {
-			fmt.Println("  error:", err)
-			return
-		}
+	}
+	results, ok := runPreset(jobs)
+	if !ok {
+		return
+	}
+	var rows [][]string
+	for i := 0; i < len(results); i += len(algs) {
+		n := results[i].N
 		rows = append(rows, []string{
 			fmt.Sprint(n),
-			fmt.Sprint(congRes.Stats.Rounds),
-			fmt.Sprint(detRes.Stats.Rounds),
-			fmt.Sprint(randRes.Stats.Rounds),
-			fmt.Sprintf("%.2f", float64(randRes.Stats.Rounds)/math.Log2(float64(n))),
+			fmt.Sprint(results[i].Rounds),
+			fmt.Sprint(results[i+1].Rounds),
+			fmt.Sprint(results[i+2].Rounds),
+			fmt.Sprintf("%.2f", float64(results[i+2].Rounds)/math.Log2(float64(n))),
 		})
 	}
 	table("n|CONGEST-rounds|clique-det|clique-rand|rand/log2(n)", rows)
@@ -384,31 +413,31 @@ func runE10(cfg config) {
 	if cfg.quick {
 		sizes = []int{16, 32}
 	}
-	var rows [][]string
+	var jobs []powergraph.Job
 	for _, n := range sizes {
-		rng := rand.New(rand.NewSource(cfg.seed))
-		g := powergraph.ConnectedGNP(n, 8/float64(n), rng)
-		res, err := powergraph.MDSCongest(g, &powergraph.MDSOptions{Options: powergraph.Options{Seed: cfg.seed}})
-		if err != nil {
-			fmt.Println("  error:", err)
-			return
-		}
-		sq := g.Square()
-		greedy := powergraph.Cost(sq, powergraph.GreedyMDS(sq))
+		jobs = append(jobs, presetJob(len(jobs), "mds-congest", n, 0, cfg, 32, 0))
+		jobs = append(jobs, presetJob(len(jobs), "greedy-mds", n, 0, cfg, 0, 0))
+	}
+	results, ok := runPreset(jobs)
+	if !ok {
+		return
+	}
+	var rows [][]string
+	for i := 0; i < len(results); i += 2 {
+		mds, greedy := results[i], results[i+1]
 		ratioStr := "-"
-		if n <= 32 {
-			opt := powergraph.Cost(sq, powergraph.ExactDS(sq))
-			ratioStr = fmt.Sprintf("%.3f", powergraph.RatioOf(powergraph.Cost(sq, res.Solution), opt).Value)
+		if mds.Optimum >= 0 {
+			ratioStr = fmt.Sprintf("%.3f", mds.Ratio)
 		}
-		logn := math.Log2(float64(n))
+		logn := math.Log2(float64(mds.N))
 		rows = append(rows, []string{
-			fmt.Sprint(n),
-			fmt.Sprint(res.Stats.Rounds),
-			fmt.Sprintf("%.1f", float64(res.Stats.Rounds)/(logn*logn*logn)),
-			fmt.Sprint(powergraph.Cost(sq, res.Solution)),
-			fmt.Sprint(greedy),
+			fmt.Sprint(mds.N),
+			fmt.Sprint(mds.Rounds),
+			fmt.Sprintf("%.1f", float64(mds.Rounds)/(logn*logn*logn)),
+			fmt.Sprint(mds.Cost),
+			fmt.Sprint(greedy.Cost),
 			ratioStr,
-			fmt.Sprint(res.FallbackJoins),
+			fmt.Sprint(mds.FallbackJoins),
 		})
 	}
 	table("n|rounds|rounds/log³n|MDS-size|greedy-size|ratio-vs-opt|fallback", rows)

@@ -1,0 +1,195 @@
+// Command powerbench runs a scenario matrix through the experiment harness:
+// it expands a declarative spec (generators × sizes × algorithms × ε × power
+// r × trials) into seeded jobs, shards them across workers, and writes
+// streaming JSONL + CSV results plus an aggregated BENCH_<name>.json summary.
+//
+// The matrix comes either from a JSON spec file or from flags:
+//
+//	powerbench -spec sweep.json
+//	powerbench -generators connected-gnp,random-tree,caterpillar \
+//	           -sizes 32,64 -algorithms mvc-congest,mvc-clique-rand \
+//	           -eps 0.5,0.25 -trials 3 -root-seed 1 -oracle-n 64 -out bench-out
+//
+// Identical specs (including the root seed) produce byte-identical JSONL and
+// CSV regardless of -workers; only BENCH_<name>.json carries wall-clock
+// timing.  Interrupting a run (SIGINT) flushes the completed prefix and
+// exits cleanly.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"powergraph/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		specPath   = flag.String("spec", "", "JSON spec file (overrides the matrix flags)")
+		name       = flag.String("name", "sweep", "sweep name (labels BENCH_<name>.json)")
+		generators = flag.String("generators", "connected-gnp,random-tree,caterpillar",
+			"comma-separated generators ("+strings.Join(harness.GeneratorNames(), ", ")+")")
+		sizes      = flag.String("sizes", "32,64", "comma-separated vertex counts")
+		algorithms = flag.String("algorithms", "mvc-congest,mvc-clique-rand",
+			"comma-separated algorithms ("+strings.Join(harness.AlgorithmNames(), ", ")+")")
+		epsilons = flag.String("eps", "0.5", "comma-separated ε grid")
+		powers   = flag.String("powers", "2", "comma-separated graph powers r")
+		trials   = flag.Int("trials", 1, "seeded repetitions per scenario cell")
+		rootSeed = flag.Int64("root-seed", 1, "root seed deriving every per-job seed")
+		oracleN  = flag.Int("oracle-n", 48, "solve exactly and report ratios when n ≤ this (0 disables)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		outDir   = flag.String("out", "bench-out", "output directory")
+		quiet    = flag.Bool("quiet", false, "suppress per-job progress on stderr")
+	)
+	flag.Parse()
+
+	spec, err := buildSpec(*specPath, *name, *generators, *sizes, *algorithms,
+		*epsilons, *powers, *trials, *rootSeed, *oracleN)
+	if err != nil {
+		return err
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	jsonlFile, err := os.Create(filepath.Join(*outDir, spec.Name+".jsonl"))
+	if err != nil {
+		return err
+	}
+	defer jsonlFile.Close()
+	csvFile, err := os.Create(filepath.Join(*outDir, spec.Name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csvFile.Close()
+
+	sinks := harness.MultiSink{harness.NewJSONLSink(jsonlFile), harness.NewCSVSink(csvFile)}
+	opts := harness.RunOptions{Workers: *workers, Sinks: []harness.Sink{sinks}}
+	if !*quiet {
+		opts.OnProgress = func(p harness.Progress) {
+			r := p.Result
+			status := fmt.Sprintf("cost=%d rounds=%d", r.Cost, r.Rounds)
+			if r.Error != "" {
+				status = "ERROR " + r.Error
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s n=%d r=%d %s eps=%g trial=%d: %s\n",
+				p.Done, p.Total, r.Generator.Key(), r.N, r.Power, r.Algorithm,
+				r.Epsilon, r.Trial, status)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	report, runErr := harness.Run(ctx, spec, opts)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		return runErr
+	}
+	if err := sinks.Close(); err != nil {
+		return err
+	}
+
+	benchPath := filepath.Join(*outDir, "BENCH_"+spec.Name+".json")
+	payload, err := json.MarshalIndent(report.Summarize(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchPath, append(payload, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "%s: %d jobs (%d failed) in %s across %d cells",
+		spec.Name, len(report.Results), report.Failed,
+		report.Elapsed.Round(1e6), len(report.Cells))
+	if len(report.Skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "; %d matrix combinations skipped", len(report.Skipped))
+	}
+	fmt.Fprintf(os.Stderr, " -> %s\n", benchPath)
+	if errors.Is(runErr, context.Canceled) {
+		return fmt.Errorf("interrupted after %d jobs (partial results flushed)", len(report.Results))
+	}
+	return nil
+}
+
+func buildSpec(specPath, name, generators, sizes, algorithms, epsilons, powers string,
+	trials int, rootSeed int64, oracleN int) (*harness.Spec, error) {
+	if specPath != "" {
+		return harness.LoadSpec(specPath)
+	}
+	gens, err := harness.ParseGenerators(generators)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := parseInts(sizes)
+	if err != nil {
+		return nil, fmt.Errorf("-sizes: %w", err)
+	}
+	rs, err := parseInts(powers)
+	if err != nil {
+		return nil, fmt.Errorf("-powers: %w", err)
+	}
+	eps, err := parseFloats(epsilons)
+	if err != nil {
+		return nil, fmt.Errorf("-eps: %w", err)
+	}
+	spec := &harness.Spec{
+		Name:       name,
+		RootSeed:   rootSeed,
+		Trials:     trials,
+		Generators: gens,
+		Sizes:      ns,
+		Powers:     rs,
+		Algorithms: splitCSV(algorithms),
+		Epsilons:   eps,
+		OracleN:    oracleN,
+	}
+	return spec, spec.Validate()
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitCSV(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitCSV(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,3 @@
+module powergraph
+
+go 1.24

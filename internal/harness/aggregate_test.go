@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregateGroupsAndStats(t *testing.T) {
+	gen := GeneratorSpec{Name: "path"}
+	mk := func(idx, trial, rounds int, cost, opt int64, errStr string) JobResult {
+		r := JobResult{
+			Index: idx, Generator: gen, N: 8, Power: 2,
+			Algorithm: "mvc-congest", Model: ModelCongest, Problem: ProblemMVC,
+			Epsilon: 0.5, Trial: trial,
+			Cost: cost, Rounds: rounds, Verified: errStr == "",
+			Optimum: opt, Error: errStr,
+		}
+		if opt >= 0 && errStr == "" {
+			r.Ratio = float64(cost) / float64(opt)
+		}
+		return r
+	}
+	results := []JobResult{
+		mk(0, 0, 10, 4, 4, ""),
+		mk(1, 1, 20, 6, 4, ""),
+		mk(2, 2, 30, 5, -1, ""), // no oracle for this trial
+		mk(3, 3, 0, 0, -1, "boom"),
+		{Index: 4, Generator: gen, N: 16, Power: 2, Algorithm: "mvc-congest",
+			Epsilon: 0.5, Cost: 9, Rounds: 40, Verified: true, Optimum: -1},
+	}
+	cells := Aggregate(results)
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	c := cells[0]
+	if c.N != 8 || c.Trials != 4 || c.Errors != 1 || c.Verified != 3 {
+		t.Fatalf("cell 0 counts wrong: %+v", c)
+	}
+	if c.OracleTrials != 2 {
+		t.Fatalf("oracle trials = %d, want 2", c.OracleTrials)
+	}
+	if got, want := c.Rounds.Mean, 20.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("rounds mean = %v, want %v", got, want)
+	}
+	if got, want := c.Rounds.P50, 20.0; got != want {
+		t.Fatalf("rounds p50 = %v, want %v", got, want)
+	}
+	if got, want := c.Rounds.P95, 30.0; got != want {
+		t.Fatalf("rounds p95 = %v, want %v", got, want)
+	}
+	if got, want := c.Rounds.Max, 30.0; got != want {
+		t.Fatalf("rounds max = %v, want %v", got, want)
+	}
+	if got, want := c.Ratio.Mean, (1.0+1.5)/2; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ratio mean = %v, want %v", got, want)
+	}
+	// Second cell (n=16) keeps first-appearance ordering.
+	if cells[1].N != 16 || cells[1].Trials != 1 {
+		t.Fatalf("cell 1 wrong: %+v", cells[1])
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(xs, 0.5); got != 5 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(xs, 0.95); got != 10 {
+		t.Fatalf("p95 = %v", got)
+	}
+	if got := percentile(xs[:1], 0.95); got != 1 {
+		t.Fatalf("p95 of singleton = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	spec := testSpec()
+	rep := &Report{
+		Spec:      spec,
+		Results:   []JobResult{{Index: 0}},
+		Completed: 1,
+	}
+	s := rep.Summarize()
+	if s.Name != spec.Name || s.RootSeed != spec.RootSeed || s.Jobs != 1 || s.Completed != 1 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+}

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"powergraph/internal/graph"
+)
+
+// GeneratorSpec names a graph workload plus its parameters.  The zero value
+// of every parameter selects a sensible per-generator default, so a spec
+// file can say just {"name": "connected-gnp"}.
+type GeneratorSpec struct {
+	// Name selects the generator; see GeneratorNames().
+	Name string `json:"name"`
+	// P is the edge probability for gnp/connected-gnp/bipartite
+	// (0 → 8/n, sparse with constant average degree 8).
+	P float64 `json:"p,omitempty"`
+	// Radius is the unit-disk connection radius
+	// (0 → sqrt(3·ln n / n), above the connectivity threshold).
+	Radius float64 `json:"radius,omitempty"`
+	// Legs is the pendant count per spine vertex for caterpillar (0 → 3).
+	Legs int `json:"legs,omitempty"`
+	// MaxWeight, when positive, overlays uniform random vertex weights in
+	// [1, MaxWeight] drawn from the same stream as the topology.
+	MaxWeight int64 `json:"maxWeight,omitempty"`
+}
+
+// Key is the canonical cell-coordinate string for the generator, stable
+// across runs: parameters render in a fixed order and defaulted (zero)
+// parameters are omitted entirely.
+func (g GeneratorSpec) Key() string {
+	k := g.Name
+	if g.P != 0 {
+		k += fmt.Sprintf(",p=%g", g.P)
+	}
+	if g.Radius != 0 {
+		k += fmt.Sprintf(",rad=%g", g.Radius)
+	}
+	if g.Legs != 0 {
+		k += fmt.Sprintf(",legs=%d", g.Legs)
+	}
+	if g.MaxWeight != 0 {
+		k += fmt.Sprintf(",w=%d", g.MaxWeight)
+	}
+	return k
+}
+
+// generatorFn builds an n-vertex graph; rng is the job's private stream.
+type generatorFn func(n int, spec GeneratorSpec, rng *rand.Rand) *graph.Graph
+
+var generators = map[string]generatorFn{
+	"path":     func(n int, _ GeneratorSpec, _ *rand.Rand) *graph.Graph { return graph.Path(n) },
+	"cycle":    func(n int, _ GeneratorSpec, _ *rand.Rand) *graph.Graph { return graph.Cycle(n) },
+	"complete": func(n int, _ GeneratorSpec, _ *rand.Rand) *graph.Graph { return graph.Complete(n) },
+	"star":     func(n int, _ GeneratorSpec, _ *rand.Rand) *graph.Graph { return graph.Star(n) },
+	"grid": func(n int, _ GeneratorSpec, _ *rand.Rand) *graph.Graph {
+		rows := int(math.Sqrt(float64(n)))
+		if rows < 1 {
+			rows = 1
+		}
+		cols := (n + rows - 1) / rows
+		return graph.Grid(rows, cols)
+	},
+	"caterpillar": func(n int, spec GeneratorSpec, _ *rand.Rand) *graph.Graph {
+		legs := spec.Legs
+		if legs <= 0 {
+			legs = 3
+		}
+		spine := n / (1 + legs)
+		if spine < 1 {
+			spine = 1
+		}
+		return graph.Caterpillar(spine, legs)
+	},
+	"random-tree": func(n int, _ GeneratorSpec, rng *rand.Rand) *graph.Graph {
+		return graph.RandomTree(n, rng)
+	},
+	"gnp": func(n int, spec GeneratorSpec, rng *rand.Rand) *graph.Graph {
+		return graph.GNP(n, spec.gnpP(n), rng)
+	},
+	"connected-gnp": func(n int, spec GeneratorSpec, rng *rand.Rand) *graph.Graph {
+		return graph.ConnectedGNP(n, spec.gnpP(n), rng)
+	},
+	"unit-disk": func(n int, spec GeneratorSpec, rng *rand.Rand) *graph.Graph {
+		return graph.UnitDisk(n, spec.diskRadius(n), rng)
+	},
+	"connected-unit-disk": func(n int, spec GeneratorSpec, rng *rand.Rand) *graph.Graph {
+		return graph.ConnectedUnitDisk(n, spec.diskRadius(n), rng)
+	},
+}
+
+func (g GeneratorSpec) gnpP(n int) float64 {
+	if g.P > 0 {
+		return g.P
+	}
+	return math.Min(1, 8/float64(n))
+}
+
+func (g GeneratorSpec) diskRadius(n int) float64 {
+	if g.Radius > 0 {
+		return g.Radius
+	}
+	if n < 2 {
+		return 1
+	}
+	return math.Sqrt(3 * math.Log(float64(n)) / float64(n))
+}
+
+func (g GeneratorSpec) validate() error {
+	if _, ok := generators[g.Name]; !ok {
+		return fmt.Errorf("harness: unknown generator %q (known: %s)",
+			g.Name, strings.Join(GeneratorNames(), ", "))
+	}
+	if g.P < 0 || g.P > 1 {
+		return fmt.Errorf("harness: generator %s: p must be in [0,1], got %v", g.Name, g.P)
+	}
+	if g.Radius < 0 {
+		return fmt.Errorf("harness: generator %s: negative radius %v", g.Name, g.Radius)
+	}
+	if g.Legs < 0 {
+		return fmt.Errorf("harness: generator %s: negative legs %d", g.Name, g.Legs)
+	}
+	if g.MaxWeight < 0 {
+		return fmt.Errorf("harness: generator %s: negative maxWeight %d", g.Name, g.MaxWeight)
+	}
+	return nil
+}
+
+// Build materializes the workload graph on n vertices.  The topology and the
+// optional weight overlay consume the single rng stream in a fixed order, so
+// a (spec, n, seed) triple pins the instance exactly.
+func (g GeneratorSpec) Build(n int, rng *rand.Rand) (*graph.Graph, error) {
+	fn, ok := generators[g.Name]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown generator %q", g.Name)
+	}
+	built := fn(n, g, rng)
+	if g.MaxWeight > 0 {
+		built = graph.WithRandomWeights(built, g.MaxWeight, rng)
+	}
+	return built, nil
+}
+
+// GeneratorNames lists the registered generators, sorted.
+func GeneratorNames() []string {
+	names := make([]string, 0, len(generators))
+	for n := range generators {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseGenerators turns a comma-separated list of generator names (CLI
+// shorthand, no parameters) into GeneratorSpecs.
+func ParseGenerators(csv string) ([]GeneratorSpec, error) {
+	var specs []GeneratorSpec
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		g := GeneratorSpec{Name: name}
+		if err := g.validate(); err != nil {
+			return nil, err
+		}
+		specs = append(specs, g)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("harness: empty generator list")
+	}
+	return specs, nil
+}

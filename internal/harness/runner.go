@@ -1,0 +1,361 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"powergraph/internal/exact"
+	"powergraph/internal/verify"
+)
+
+// JobResult is one executed job's measurements.  Every field that is
+// serialized is a pure function of the Job, so JSONL output is reproducible;
+// wall-clock duration is kept out of the serialized form on purpose.
+type JobResult struct {
+	Index     int           `json:"index"`
+	Generator GeneratorSpec `json:"generator"`
+	N         int           `json:"n"`
+	Power     int           `json:"power"`
+	Algorithm string        `json:"algorithm"`
+	Model     string        `json:"model"`
+	Problem   string        `json:"problem"`
+	Epsilon   float64       `json:"epsilon,omitempty"`
+	Trial     int           `json:"trial"`
+	Seed      int64         `json:"seed"`
+
+	// Cost is the solution's weight on the power graph Gʳ.
+	Cost int64 `json:"cost"`
+	// SolutionSize is the solution's cardinality.
+	SolutionSize int `json:"solutionSize"`
+	// Verified reports the feasibility check (cover / domination on Gʳ).
+	Verified bool `json:"verified"`
+	// Optimum is the exact optimum when n ≤ OracleN, else -1.
+	Optimum int64 `json:"optimum"`
+	// Ratio is Cost/Optimum when the oracle ran, else 0.
+	Ratio float64 `json:"ratio,omitempty"`
+
+	// Simulator accounting (zero for centralized baselines).
+	Rounds       int   `json:"rounds"`
+	Messages     int64 `json:"messages"`
+	TotalBits    int64 `json:"totalBits"`
+	MaxRoundBits int64 `json:"maxRoundBits"`
+	Bandwidth    int   `json:"bandwidth"`
+	// PhaseISize is Algorithm 1's committed set S (-1 when not applicable).
+	PhaseISize int `json:"phaseISize"`
+	// FallbackJoins is Theorem 28's feasibility-fallback count.
+	FallbackJoins int `json:"fallbackJoins"`
+
+	// Error is set when the job failed (including recovered panics); all
+	// measurement fields are zero in that case.
+	Error string `json:"error,omitempty"`
+
+	// Elapsed is the job's wall-clock duration.  It is intentionally not
+	// serialized: timing is machine-dependent and would break the
+	// byte-identical-output determinism contract.
+	Elapsed time.Duration `json:"-"`
+}
+
+// cellKey groups results into scenario cells for aggregation; it matches
+// Job.cellKey.
+func (r *JobResult) cellKey() string {
+	return scenarioKey(r.Generator, r.N, r.Power, r.Algorithm, r.Epsilon)
+}
+
+// Progress is delivered once per completed job, in emission (job-index)
+// order, from a single goroutine.
+type Progress struct {
+	Done   int // jobs emitted so far, including this one
+	Total  int
+	Result *JobResult
+}
+
+// RunOptions tunes a harness run.
+type RunOptions struct {
+	// Workers is the worker-pool size (≤0 → GOMAXPROCS).
+	Workers int
+	// Sinks receive every result in job-index order.  Sink errors abort
+	// the run.
+	Sinks []Sink
+	// OnProgress, when non-nil, is called after each result is emitted.
+	OnProgress func(Progress)
+}
+
+func (o *RunOptions) workers() int {
+	if o == nil || o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// Report is the outcome of a run: per-job results (in job-index order,
+// possibly a subset under cancellation), their per-cell aggregation, and
+// expansion diagnostics.
+type Report struct {
+	Spec    *Spec         `json:"spec,omitempty"`
+	Results []JobResult   `json:"results"`
+	Cells   []CellSummary `json:"cells"`
+	Skipped []string      `json:"skipped,omitempty"`
+	// Completed and Failed partition Results.
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	// Elapsed is the whole run's wall-clock time (not deterministic).
+	Elapsed time.Duration `json:"-"`
+}
+
+// Run expands the spec and executes every job across the worker pool.
+// On context cancellation it returns ctx.Err() alongside a report holding
+// the results completed before the cut, flushed to the sinks in index order.
+func Run(ctx context.Context, spec *Spec, opts RunOptions) (*Report, error) {
+	jobs, expRep, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	report, err := RunJobs(ctx, jobs, opts)
+	if report != nil {
+		report.Spec = spec
+		report.Skipped = expRep.Skipped
+	}
+	return report, err
+}
+
+// RunJobs executes an explicit job list (the layer presets like
+// cmd/experiments use to pin seeds exactly).  Results are emitted to sinks
+// and the progress callback in ascending Job.Index order regardless of
+// worker interleaving — this is what makes output byte-identical across
+// worker counts.  Job indices must be unique; emission order is the sorted
+// index order, with gaps allowed (cancellation, sparse hand-built lists).
+func RunJobs(ctx context.Context, jobs []Job, opts RunOptions) (*Report, error) {
+	start := time.Now()
+	workers := opts.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// rank[pos] is the emission slot of the job at slice position pos:
+	// ascending Job.Index order, whatever order the slice arrived in.
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return jobs[order[a]].Index < jobs[order[b]].Index })
+	rank := make([]int, len(jobs))
+	for k, pos := range order {
+		if k > 0 && jobs[pos].Index == jobs[order[k-1]].Index {
+			return nil, fmt.Errorf("harness: duplicate job index %d", jobs[pos].Index)
+		}
+		rank[pos] = k
+	}
+
+	// A sink failure cancels this inner context so the feeder and workers
+	// stop immediately instead of computing results nobody will read.
+	runCtx, stopRun := context.WithCancel(ctx)
+	defer stopRun()
+
+	type ranked struct {
+		rank int
+		res  *JobResult
+	}
+	jobCh := make(chan int)
+	resCh := make(chan ranked)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for pos := range jobCh {
+				res := executeJob(jobs[pos])
+				select {
+				case resCh <- ranked{rank[pos], res}:
+				case <-runCtx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	// Feeder: stops handing out work as soon as the run is cancelled.
+	go func() {
+		defer close(jobCh)
+		for pos := range jobs {
+			select {
+			case jobCh <- pos:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Collector: reorder buffer keyed by emission rank so results flow to
+	// sinks in Job.Index order even though workers finish out of order.
+	pending := make(map[int]*JobResult, workers)
+	next := 0
+	var emitted []JobResult
+	emit := func(r *JobResult) error {
+		emitted = append(emitted, *r)
+		for _, s := range opts.Sinks {
+			if err := s.Write(r); err != nil {
+				return fmt.Errorf("harness: sink: %w", err)
+			}
+		}
+		if opts.OnProgress != nil {
+			opts.OnProgress(Progress{Done: len(emitted), Total: len(jobs), Result: r})
+		}
+		return nil
+	}
+
+	var sinkErr error
+	for ir := range resCh {
+		pending[ir.rank] = ir.res
+		for sinkErr == nil {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			sinkErr = emit(r)
+		}
+		if sinkErr != nil {
+			break
+		}
+	}
+	if sinkErr != nil {
+		// Stop the feeder and workers, then drain what's in flight.
+		stopRun()
+		for range resCh {
+		}
+		return nil, sinkErr
+	}
+
+	// Under cancellation some completed results may sit beyond a gap in the
+	// buffer; flush them too, still in ascending index order, so partial
+	// runs lose nothing that finished.
+	if len(pending) > 0 {
+		rest := make([]int, 0, len(pending))
+		for rk := range pending {
+			rest = append(rest, rk)
+		}
+		sort.Ints(rest)
+		for _, rk := range rest {
+			if err := emit(pending[rk]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	report := &Report{
+		Results: emitted,
+		Cells:   Aggregate(emitted),
+		Elapsed: time.Since(start),
+	}
+	for i := range emitted {
+		if emitted[i].Error != "" {
+			report.Failed++
+		} else {
+			report.Completed++
+		}
+	}
+	return report, ctx.Err()
+}
+
+// executeJob runs one job start to finish: build the instance from the
+// job's seed, run the algorithm, verify feasibility on Gʳ, and consult the
+// exact oracle when enabled.  Panics anywhere inside are isolated into the
+// result's Error field so one bad cell cannot take down a sweep.
+func executeJob(job Job) (out *JobResult) {
+	start := time.Now()
+	out = &JobResult{
+		Index:     job.Index,
+		Generator: job.Generator,
+		N:         job.N,
+		Power:     job.Power,
+		Algorithm: job.Algorithm,
+		Epsilon:   job.Epsilon,
+		Trial:     job.Trial,
+		Seed:      job.Seed,
+		Optimum:   -1,
+	}
+	defer func() {
+		out.Elapsed = time.Since(start)
+		if rec := recover(); rec != nil {
+			*out = JobResult{
+				Index: job.Index, Generator: job.Generator, N: job.N,
+				Power: job.Power, Algorithm: job.Algorithm,
+				Epsilon: job.Epsilon, Trial: job.Trial, Seed: job.Seed,
+				Optimum: -1,
+				Error:   fmt.Sprintf("panic: %v", rec),
+				Elapsed: time.Since(start),
+			}
+		}
+	}()
+
+	alg, ok := lookupAlgorithm(job.Algorithm)
+	if !ok {
+		out.Error = fmt.Sprintf("unknown algorithm %q", job.Algorithm)
+		return out
+	}
+	out.Model = alg.Model
+	out.Problem = alg.Problem
+
+	rng := rand.New(rand.NewSource(job.Seed))
+	g, err := job.Generator.Build(job.N, rng)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+
+	// Materialize Gʳ once: the centralized baselines run on it, and the
+	// feasibility check and oracle below need it either way.
+	power := g.Power(job.Power)
+	res, err := alg.Run(g, power, job)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+
+	out.Cost = verify.Cost(power, res.Solution)
+	out.SolutionSize = res.Solution.Count()
+	switch alg.Problem {
+	case ProblemMDS:
+		out.Verified, _ = verify.IsDominatingSet(power, res.Solution)
+	default:
+		out.Verified, _ = verify.IsVertexCover(power, res.Solution)
+	}
+	out.Rounds = res.Stats.Rounds
+	out.Messages = res.Stats.Messages
+	out.TotalBits = res.Stats.TotalBits
+	out.MaxRoundBits = res.Stats.MaxRoundBits
+	out.Bandwidth = res.Stats.Bandwidth
+	out.PhaseISize = res.PhaseISize
+	out.FallbackJoins = res.FallbackJoins
+
+	if job.OracleN > 0 && job.N <= job.OracleN {
+		var opt int64
+		switch {
+		case alg.Exact:
+			// The algorithm's own output is the optimum — don't pay the
+			// exponential solve a second time.
+			opt = out.Cost
+		case alg.Problem == ProblemMDS:
+			opt = verify.Cost(power, exact.DominatingSet(power))
+		default:
+			opt = verify.Cost(power, exact.VertexCover(power))
+		}
+		out.Optimum = opt
+		out.Ratio = verify.RatioOf(out.Cost, opt).Value
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+// Package harness is the experiment-orchestration subsystem: it expands a
+// declarative scenario matrix (generator × n × algorithm × ε × power r ×
+// trial) into concrete jobs with deterministic per-job seeds, shards them
+// across a worker pool with cancellation and per-job panic isolation, and
+// streams results into pluggable sinks (JSONL, CSV) before aggregating
+// approximation-ratio and round/message/bit statistics per scenario cell.
+//
+// The subsystem exists so that every sweep in the repo — the EXPERIMENTS.md
+// presets, cmd/powerbench, and future perf PRs — reports numbers through the
+// same deterministic machinery instead of hand-rolled serial loops.
+//
+// Determinism contract: a fixed Spec (including RootSeed) produces
+// byte-identical JSONL output regardless of worker count.  Per-job seeds are
+// derived from the root seed by hashing the job's scenario coordinates, so
+// adding or removing cells never perturbs the seeds of unrelated cells.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+)
+
+// Spec declares a scenario matrix.  Every combination of Generators × Sizes
+// × Powers × Algorithms × Epsilons × Trials expands into one Job (epsilon is
+// skipped for algorithms that do not take ε; combinations an algorithm
+// cannot serve — e.g. a CONGEST G² algorithm asked for r = 3 — are dropped
+// and reported in ExpandReport.Skipped).
+type Spec struct {
+	// Name labels output files (BENCH_<Name>.json) and summaries.
+	Name string `json:"name"`
+	// RootSeed derives every per-job seed; identical specs with identical
+	// root seeds produce identical results.
+	RootSeed int64 `json:"rootSeed"`
+	// Trials is the number of independent seeded repetitions per scenario
+	// cell (default 1).
+	Trials int `json:"trials,omitempty"`
+	// Generators lists the graph workloads to sweep.
+	Generators []GeneratorSpec `json:"generators"`
+	// Sizes lists the vertex counts n.
+	Sizes []int `json:"sizes"`
+	// Powers lists the graph powers r (default [2], the paper's G²).
+	Powers []int `json:"powers,omitempty"`
+	// Algorithms names entries of the algorithm registry (see Algorithms()).
+	Algorithms []string `json:"algorithms"`
+	// Epsilons is the ε grid for (1+ε)-approximation algorithms
+	// (default [0.5]); ignored by algorithms without an ε knob.
+	Epsilons []float64 `json:"epsilons,omitempty"`
+	// OracleN enables the exact oracle: cells with n ≤ OracleN also solve
+	// the instance exactly and report the approximation ratio (default 0 =
+	// never; the exact solvers are exponential in the worst case).
+	OracleN int `json:"oracleN,omitempty"`
+	// BandwidthFactor overrides the simulator's per-message budget
+	// multiplier (0 = per-algorithm default).
+	BandwidthFactor int `json:"bandwidthFactor,omitempty"`
+	// MaxRounds aborts runaway distributed executions (0 = engine default).
+	MaxRounds int `json:"maxRounds,omitempty"`
+}
+
+// Job is one concrete experiment: a fully bound scenario point with its
+// derived seed.  Jobs are self-contained — two equal Jobs produce equal
+// JobResults regardless of which worker runs them or when.
+type Job struct {
+	// Index is the job's position in spec-expansion order; sinks emit
+	// results in Index order, which is what makes parallel runs
+	// byte-identical to serial ones.
+	Index     int           `json:"index"`
+	Generator GeneratorSpec `json:"generator"`
+	N         int           `json:"n"`
+	Power     int           `json:"power"`
+	Algorithm string        `json:"algorithm"`
+	// Epsilon is 0 for algorithms without an ε parameter.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Trial   int     `json:"trial"`
+	// Seed drives both graph generation and the algorithm's randomness.
+	Seed int64 `json:"seed"`
+	// OracleN, BandwidthFactor, MaxRounds are copied from the Spec.
+	OracleN         int `json:"oracleN,omitempty"`
+	BandwidthFactor int `json:"bandwidthFactor,omitempty"`
+	MaxRounds       int `json:"maxRounds,omitempty"`
+}
+
+// ExpandReport describes what Expand produced.
+type ExpandReport struct {
+	// Skipped lists matrix combinations dropped because the algorithm
+	// cannot serve them (wrong power), one human-readable line each.
+	Skipped []string
+}
+
+// Validate checks the spec against the registries without expanding it.
+func (s *Spec) Validate() error {
+	if len(s.Generators) == 0 {
+		return fmt.Errorf("harness: spec %q has no generators", s.Name)
+	}
+	if len(s.Sizes) == 0 {
+		return fmt.Errorf("harness: spec %q has no sizes", s.Name)
+	}
+	if len(s.Algorithms) == 0 {
+		return fmt.Errorf("harness: spec %q has no algorithms", s.Name)
+	}
+	for _, g := range s.Generators {
+		if err := g.validate(); err != nil {
+			return err
+		}
+	}
+	for _, a := range s.Algorithms {
+		if _, ok := lookupAlgorithm(a); !ok {
+			return fmt.Errorf("harness: unknown algorithm %q (known: %v)", a, AlgorithmNames())
+		}
+	}
+	for _, n := range s.Sizes {
+		if n <= 0 {
+			return fmt.Errorf("harness: non-positive size %d", n)
+		}
+	}
+	for _, r := range s.powers() {
+		if r < 1 {
+			return fmt.Errorf("harness: non-positive power %d", r)
+		}
+	}
+	for _, e := range s.epsilons() {
+		if e <= 0 {
+			return fmt.Errorf("harness: non-positive epsilon %v", e)
+		}
+	}
+	if s.Trials < 0 {
+		return fmt.Errorf("harness: negative trial count %d", s.Trials)
+	}
+	return nil
+}
+
+func (s *Spec) trials() int {
+	if s.Trials <= 0 {
+		return 1
+	}
+	return s.Trials
+}
+
+func (s *Spec) powers() []int {
+	if len(s.Powers) == 0 {
+		return []int{2}
+	}
+	return s.Powers
+}
+
+func (s *Spec) epsilons() []float64 {
+	if len(s.Epsilons) == 0 {
+		return []float64{0.5}
+	}
+	return s.Epsilons
+}
+
+// Expand materializes the matrix into jobs in canonical order
+// (generator, size, power, algorithm, ε, trial — innermost last).
+func (s *Spec) Expand() ([]Job, ExpandReport, error) {
+	if err := s.Validate(); err != nil {
+		return nil, ExpandReport{}, err
+	}
+	var jobs []Job
+	var rep ExpandReport
+	for _, gen := range s.Generators {
+		for _, n := range s.Sizes {
+			for _, r := range s.powers() {
+				for _, name := range s.Algorithms {
+					alg, _ := lookupAlgorithm(name)
+					if !alg.SupportsPower(r) {
+						rep.Skipped = append(rep.Skipped, fmt.Sprintf(
+							"%s × n=%d × r=%d: algorithm %s only supports r=2",
+							gen.Key(), n, r, name))
+						continue
+					}
+					epsGrid := []float64{0}
+					if alg.NeedsEps {
+						epsGrid = s.epsilons()
+					}
+					for _, eps := range epsGrid {
+						for t := 0; t < s.trials(); t++ {
+							j := Job{
+								Index:           len(jobs),
+								Generator:       gen,
+								N:               n,
+								Power:           r,
+								Algorithm:       name,
+								Epsilon:         eps,
+								Trial:           t,
+								OracleN:         s.OracleN,
+								BandwidthFactor: s.BandwidthFactor,
+								MaxRounds:       s.MaxRounds,
+							}
+							j.Seed = deriveSeed(s.RootSeed, j.cellKey(), t)
+							jobs = append(jobs, j)
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, rep, fmt.Errorf("harness: spec %q expanded to zero jobs (all %d combinations skipped)",
+			s.Name, len(rep.Skipped))
+	}
+	return jobs, rep, nil
+}
+
+// scenarioKey is the canonical scenario-cell coordinate string shared by
+// seed derivation (Job) and aggregation grouping (JobResult).  It
+// deliberately excludes the trial index and the seed itself.
+func scenarioKey(gen GeneratorSpec, n, power int, algorithm string, eps float64) string {
+	return fmt.Sprintf("%s|n=%d|r=%d|%s|eps=%g", gen.Key(), n, power, algorithm, eps)
+}
+
+func (j *Job) cellKey() string {
+	return scenarioKey(j.Generator, j.N, j.Power, j.Algorithm, j.Epsilon)
+}
+
+// deriveSeed maps (root, cell, trial) to a seed via FNV-1a followed by a
+// splitmix64 finalizer.  The mapping depends only on the job's coordinates,
+// never on expansion order, so editing one axis of a spec leaves the seeds
+// of untouched cells intact.
+func deriveSeed(root int64, cellKey string, trial int) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, cellKey)
+	fmt.Fprintf(h, "|t=%d", trial)
+	z := h.Sum64() ^ uint64(root)*0x9e3779b97f4a7c15
+	// splitmix64 finalizer — full-avalanche so nearby cells get unrelated
+	// streams even under the weak FNV mix.
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// LoadSpec reads a Spec from a JSON file, rejecting unknown fields so typos
+// in a scenario matrix fail loudly instead of silently shrinking the sweep.
+func LoadSpec(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("harness: parsing spec %s: %w", path, err)
+	}
+	if s.Name == "" {
+		s.Name = "sweep"
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testSpec() *Spec {
+	return &Spec{
+		Name:     "t",
+		RootSeed: 7,
+		Trials:   2,
+		Generators: []GeneratorSpec{
+			{Name: "path"},
+			{Name: "connected-gnp"},
+			{Name: "random-tree"},
+		},
+		Sizes:      []int{12, 16},
+		Algorithms: []string{"mvc-congest", "gavril"},
+		Epsilons:   []float64{0.5},
+		OracleN:    16,
+	}
+}
+
+func TestExpandCountAndOrder(t *testing.T) {
+	jobs, rep, err := testSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 generators × 2 sizes × 1 power × 2 algorithms × 1 eps × 2 trials.
+	if want := 3 * 2 * 2 * 2; len(jobs) != want {
+		t.Fatalf("got %d jobs, want %d", len(jobs), want)
+	}
+	if len(rep.Skipped) != 0 {
+		t.Fatalf("unexpected skips: %v", rep.Skipped)
+	}
+	for i, j := range jobs {
+		if j.Index != i {
+			t.Fatalf("job %d has Index %d", i, j.Index)
+		}
+	}
+}
+
+func TestExpandSkipsIncompatiblePowers(t *testing.T) {
+	s := testSpec()
+	s.Powers = []int{2, 3}
+	jobs, rep, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mvc-congest only supports r=2; gavril supports both.
+	congest3 := 0
+	for _, j := range jobs {
+		if j.Algorithm == "mvc-congest" && j.Power == 3 {
+			congest3++
+		}
+	}
+	if congest3 != 0 {
+		t.Fatalf("expanded %d mvc-congest jobs at r=3", congest3)
+	}
+	if want := 3 * 2; len(rep.Skipped) != want { // one skip per generator×size
+		t.Fatalf("got %d skips, want %d: %v", len(rep.Skipped), want, rep.Skipped)
+	}
+}
+
+func TestSeedsAreCellLocal(t *testing.T) {
+	// Removing an axis value must not change the seeds of surviving cells.
+	full, _, err := testSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed := testSpec()
+	trimmed.Generators = trimmed.Generators[1:]
+	sub, _, err := trimmed.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[string]int64{}
+	for _, j := range full {
+		seeds[j.cellKey()+string(rune(j.Trial))] = j.Seed
+	}
+	for _, j := range sub {
+		want, ok := seeds[j.cellKey()+string(rune(j.Trial))]
+		if !ok {
+			t.Fatalf("cell %s missing from full expansion", j.cellKey())
+		}
+		if j.Seed != want {
+			t.Fatalf("cell %s trial %d: seed changed %d -> %d after trimming spec",
+				j.cellKey(), j.Trial, want, j.Seed)
+		}
+	}
+	// And different trials of one cell must get different seeds.
+	if full[0].Seed == full[1].Seed {
+		t.Fatalf("trials 0 and 1 share seed %d", full[0].Seed)
+	}
+}
+
+func TestValidateRejectsUnknownNames(t *testing.T) {
+	s := testSpec()
+	s.Algorithms = []string{"no-such-algorithm"}
+	if _, _, err := s.Expand(); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+	s = testSpec()
+	s.Generators = []GeneratorSpec{{Name: "no-such-generator"}}
+	if _, _, err := s.Expand(); err == nil {
+		t.Fatal("expected error for unknown generator")
+	}
+}
+
+func TestLoadSpecRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.json")
+	good := `{"name":"x","rootSeed":1,"generators":[{"name":"path"}],"sizes":[8],"algorithms":["gavril"]}`
+	if err := os.WriteFile(path, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(path); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	bad := strings.Replace(good, `"sizes"`, `"sizs"`, 1)
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(path); err == nil {
+		t.Fatal("expected error for unknown field")
+	}
+}
+
+func TestGeneratorBuildSizes(t *testing.T) {
+	for _, name := range GeneratorNames() {
+		g := GeneratorSpec{Name: name}
+		built, err := g.Build(16, newTestRng(1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if built.N() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+	}
+	// Weighted overlay draws from the same stream deterministically.
+	w := GeneratorSpec{Name: "connected-gnp", MaxWeight: 50}
+	a, _ := w.Build(20, newTestRng(3))
+	b, _ := w.Build(20, newTestRng(3))
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("weighted generator not deterministic")
+	}
+}

@@ -24,9 +24,44 @@
 //	g := powergraph.ConnectedGNP(64, 0.1, rand.New(rand.NewSource(1)))
 //	res, err := powergraph.MVCCongest(g, 0.5, nil)  // (1+ε)-approx of MVC(G²)
 //	ok, _ := powergraph.IsSquareVertexCover(g, res.Solution)
+//
+// # Experiment harness
+//
+// The harness turns a declarative scenario matrix into a sharded parallel
+// sweep with deterministic per-job seeds: identical specs (including the
+// root seed) produce byte-identical JSONL results regardless of worker
+// count, and cancelling a run flushes the completed prefix.  Declare a
+// Spec, pick sinks, and Run:
+//
+//	spec := &powergraph.Spec{
+//		Name:       "demo",
+//		RootSeed:   1,
+//		Trials:     3,
+//		Generators: []powergraph.GeneratorSpec{{Name: "connected-gnp"}, {Name: "random-tree"}},
+//		Sizes:      []int{32, 64},
+//		Algorithms: []string{"mvc-congest", "mvc-clique-rand"},
+//		Epsilons:   []float64{0.5},
+//		OracleN:    48, // solve exactly and report ratios up to n=48
+//	}
+//	report, err := powergraph.Run(ctx, spec, powergraph.RunOptions{
+//		Sinks: []powergraph.Sink{powergraph.NewJSONLSink(os.Stdout)},
+//	})
+//	// report.Cells holds per-scenario mean/p50/p95 ratio, round, message
+//	// and bit statistics.
+//
+// The same machinery backs the command-line sweeper:
+//
+//	go run ./cmd/powerbench -spec specs/podc20-sweep.json
+//	go run ./cmd/powerbench -generators connected-gnp,random-tree,caterpillar \
+//	    -sizes 32,64 -algorithms mvc-congest,mvc-clique-rand -trials 3
+//
+// which writes <name>.jsonl, <name>.csv and an aggregated
+// BENCH_<name>.json summary, and the EXPERIMENTS.md presets in
+// ./cmd/experiments, which pin explicit per-job seeds through RunJobs.
 package powergraph
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -36,6 +71,7 @@ import (
 	"powergraph/internal/core"
 	"powergraph/internal/exact"
 	"powergraph/internal/graph"
+	"powergraph/internal/harness"
 	"powergraph/internal/lowerbound"
 	"powergraph/internal/twoparty"
 	"powergraph/internal/verify"
@@ -336,6 +372,56 @@ func RandomIntersectingPair(k int, rng *rand.Rand) (DisjMatrix, DisjMatrix) {
 func RandomDisjointPair(k int, rng *rand.Rand) (DisjMatrix, DisjMatrix) {
 	return lowerbound.RandomDisjointPair(k, rng)
 }
+
+// Experiment harness (internal/harness), re-exported.
+type (
+	// Spec declares a scenario matrix (generators × sizes × powers ×
+	// algorithms × ε grid × trials) that expands into seeded Jobs.
+	Spec = harness.Spec
+	// GeneratorSpec names a graph workload plus its parameters.
+	GeneratorSpec = harness.GeneratorSpec
+	// Job is one fully bound scenario point with its derived seed.
+	Job = harness.Job
+	// JobResult is one executed job's measurements.
+	JobResult = harness.JobResult
+	// CellSummary aggregates every trial of one scenario cell.
+	CellSummary = harness.CellSummary
+	// BenchSummary is the BENCH_*.json payload written by cmd/powerbench.
+	BenchSummary = harness.Summary
+	// Report is a run's results, per-cell aggregates, and diagnostics.
+	Report = harness.Report
+	// RunOptions tunes a harness run (worker count, sinks, progress).
+	RunOptions = harness.RunOptions
+	// Sink receives results in job-index order.
+	Sink = harness.Sink
+	// SweepProgress is delivered once per completed job.
+	SweepProgress = harness.Progress
+)
+
+// Run expands spec and executes every job across a worker pool; see
+// harness.Run.  Identical specs yield byte-identical sink output for any
+// worker count.
+func Run(ctx context.Context, spec *Spec, opts RunOptions) (*Report, error) {
+	return harness.Run(ctx, spec, opts)
+}
+
+// RunJobs executes an explicit job list with pinned seeds; see
+// harness.RunJobs.
+func RunJobs(ctx context.Context, jobs []Job, opts RunOptions) (*Report, error) {
+	return harness.RunJobs(ctx, jobs, opts)
+}
+
+// NewJSONLSink streams results as JSON Lines to w.
+func NewJSONLSink(w io.Writer) Sink { return harness.NewJSONLSink(w) }
+
+// NewCSVSink streams results as CSV with a fixed header to w.
+func NewCSVSink(w io.Writer) Sink { return harness.NewCSVSink(w) }
+
+// SweepAlgorithms lists the algorithm registry available to Specs.
+func SweepAlgorithms() []string { return harness.AlgorithmNames() }
+
+// SweepGenerators lists the generator registry available to Specs.
+func SweepGenerators() []string { return harness.GeneratorNames() }
 
 // Two-party framework (Section 5.1).
 
