@@ -3,7 +3,7 @@
 GO ?= go
 OUT ?= bench-out
 
-.PHONY: build vet test race bench sweep clean
+.PHONY: build vet test race bench bench-engine sweep sweep-scale docs-check clean
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet
+test: vet docs-check
 	$(GO) test ./...
 
 race:
@@ -21,11 +21,34 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
+# Engine-mode comparison: goroutine vs batch vs native step programs on the
+# simulator's hot loop (see internal/congest/bench_test.go).
+bench-engine:
+	$(GO) test -bench=BenchmarkEngineModes -benchmem -run='^$$' ./internal/congest/
+
 # Full scenario sweep through the experiment harness; override SPEC to point
 # at another matrix, e.g. `make sweep SPEC=specs/power-sweep.json`.
 SPEC ?= specs/podc20-sweep.json
 sweep:
 	$(GO) run ./cmd/powerbench -spec $(SPEC) -out $(OUT)
+
+# Thousand-node engine-comparison sweep (regenerates BENCH_scale.json's
+# numbers; single worker so per-job wall clocks are uncontended).
+sweep-scale:
+	$(GO) run ./cmd/powerbench -spec specs/scale-sweep.json -workers 1 -out $(OUT)
+
+# Documentation gate: every package under internal/ must carry a package
+# comment (a "// Package <name> ..." line somewhere in the package).
+docs-check:
+	@fail=0; \
+	for d in internal/*/ internal/congest/primitives/; do \
+		p=$$(basename $$d); \
+		if ! grep -qs "^// Package $$p" $$d*.go; then \
+			echo "docs-check: package $$p ($$d) has no package comment"; fail=1; \
+		fi; \
+	done; \
+	[ $$fail -eq 0 ] && echo "docs-check: all internal packages documented"; \
+	exit $$fail
 
 clean:
 	rm -rf $(OUT)

@@ -49,6 +49,9 @@ func run() error {
 			"comma-separated algorithms ("+strings.Join(harness.AlgorithmNames(), ", ")+")")
 		epsilons = flag.String("eps", "0.5", "comma-separated ε grid")
 		powers   = flag.String("powers", "2", "comma-separated graph powers r")
+		engines  = flag.String("engines", "",
+			"comma-separated simulator engines (goroutine, batch); empty = engine default. "+
+				"Listing both runs every distributed cell under each engine on identical seeds")
 		trials   = flag.Int("trials", 1, "seeded repetitions per scenario cell")
 		rootSeed = flag.Int64("root-seed", 1, "root seed deriving every per-job seed")
 		oracleN  = flag.Int("oracle-n", 48, "solve exactly and report ratios when n ≤ this (0 disables)")
@@ -59,7 +62,7 @@ func run() error {
 	flag.Parse()
 
 	spec, err := buildSpec(*specPath, *name, *generators, *sizes, *algorithms,
-		*epsilons, *powers, *trials, *rootSeed, *oracleN)
+		*epsilons, *powers, *engines, *trials, *rootSeed, *oracleN)
 	if err != nil {
 		return err
 	}
@@ -87,9 +90,13 @@ func run() error {
 			if r.Error != "" {
 				status = "ERROR " + r.Error
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s n=%d r=%d %s eps=%g trial=%d: %s\n",
+			eng := ""
+			if r.Engine != "" {
+				eng = " eng=" + r.Engine
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s n=%d r=%d %s eps=%g%s trial=%d: %s\n",
 				p.Done, p.Total, r.Generator.Key(), r.N, r.Power, r.Algorithm,
-				r.Epsilon, r.Trial, status)
+				r.Epsilon, eng, r.Trial, status)
 		}
 	}
 
@@ -125,7 +132,7 @@ func run() error {
 	return nil
 }
 
-func buildSpec(specPath, name, generators, sizes, algorithms, epsilons, powers string,
+func buildSpec(specPath, name, generators, sizes, algorithms, epsilons, powers, engines string,
 	trials int, rootSeed int64, oracleN int) (*harness.Spec, error) {
 	if specPath != "" {
 		return harness.LoadSpec(specPath)
@@ -147,15 +154,16 @@ func buildSpec(specPath, name, generators, sizes, algorithms, epsilons, powers s
 		return nil, fmt.Errorf("-eps: %w", err)
 	}
 	spec := &harness.Spec{
-		Name:       name,
-		RootSeed:   rootSeed,
-		Trials:     trials,
-		Generators: gens,
-		Sizes:      ns,
-		Powers:     rs,
-		Algorithms: splitCSV(algorithms),
-		Epsilons:   eps,
-		OracleN:    oracleN,
+		Name:        name,
+		RootSeed:    rootSeed,
+		Trials:      trials,
+		Generators:  gens,
+		Sizes:       ns,
+		Powers:      rs,
+		Algorithms:  splitCSV(algorithms),
+		Epsilons:    eps,
+		EngineModes: splitCSV(engines),
+		OracleN:     oracleN,
 	}
 	return spec, spec.Validate()
 }

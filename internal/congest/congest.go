@@ -3,17 +3,36 @@
 // paper).
 //
 // A network is built from a communication graph G. Every node runs its
-// algorithm as a goroutine against a Node handle; rounds are barrier
-// synchronized. In each round a node may send at most one message per
-// communication link — to each G-neighbor in CONGEST, to every other node in
-// CONGESTED CLIQUE — and every message is accounted in bits and checked
-// against the bandwidth budget B = BandwidthFactor·⌈log₂ n⌉, which is the
-// "O(log n)-bit messages" constraint the paper's round bounds rely on.
-// Messages sent in round r are delivered at the start of round r+1.
+// algorithm against a Node handle; rounds are barrier synchronized. In each
+// round a node may send at most one message per communication link — to each
+// G-neighbor in CONGEST, to every other node in CONGESTED CLIQUE — and every
+// message is accounted in bits and checked against the bandwidth budget
+// B = BandwidthFactor·⌈log₂ n⌉, which is the "O(log n)-bit messages"
+// constraint the paper's round bounds rely on. Messages sent in round r are
+// delivered at the start of round r+1.
 //
 // The simulator reports rounds, message count, total bits, and (optionally)
 // the bits crossing a vertex cut — the quantity bounded by the Alice–Bob
 // framework of Section 5.1.
+//
+// # Engine modes
+//
+// Two execution engines serve the same Run/Config API and are selected by
+// Config.Engine; for a fixed Config (including Seed) they produce identical
+// outputs, round counts, and statistics:
+//
+//   - EngineGoroutine (the default) runs one goroutine per node with a
+//     channel-rendezvous barrier per round. Node programs are ordinary
+//     blocking functions, and handler work in one round runs concurrently
+//     across nodes, which helps when per-round local computation is heavy.
+//   - EngineBatch advances all nodes round-by-round on a single scheduler
+//     goroutine over flat, reusable per-round message buffers. Blocking
+//     handlers are adapted transparently (each node becomes a coroutine the
+//     scheduler resumes once per round); step-structured programs run as
+//     plain function calls with no per-node scheduling at all (see
+//     RunProgram). This mode removes the barrier, the per-round outbox
+//     maps, and almost all steady-state allocation, making thousand-node
+//     sweeps practical — see ARCHITECTURE.md for measurements.
 package congest
 
 import (
@@ -47,6 +66,46 @@ func (m Model) String() string {
 	}
 }
 
+// EngineMode selects the execution engine; both modes implement the same
+// round semantics and produce identical results for a fixed Config.
+type EngineMode int
+
+const (
+	// EngineGoroutine is the original engine: one goroutine per node,
+	// barrier-synchronized via channel rendezvous.
+	EngineGoroutine EngineMode = iota
+	// EngineBatch is the batched event-driven engine: a single scheduler
+	// goroutine advances every node once per round over flat per-round
+	// message buffers. Preferred for large n and for sweeps that already
+	// parallelize across jobs.
+	EngineBatch
+)
+
+func (m EngineMode) String() string {
+	switch m {
+	case EngineGoroutine:
+		return "goroutine"
+	case EngineBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("EngineMode(%d)", int(m))
+	}
+}
+
+// ParseEngineMode maps a mode name to an EngineMode. The empty string means
+// the default (EngineGoroutine), so callers can thread an optional config
+// field straight through.
+func ParseEngineMode(s string) (EngineMode, error) {
+	switch s {
+	case "", "goroutine":
+		return EngineGoroutine, nil
+	case "batch", "event", "event-driven":
+		return EngineBatch, nil
+	default:
+		return 0, fmt.Errorf("congest: unknown engine mode %q (want goroutine or batch)", s)
+	}
+}
+
 // Message is any payload with an explicit size in bits. Implementations
 // declare the size their fields would need on a real link; the simulator
 // enforces the per-round budget against it.
@@ -64,6 +123,10 @@ type Incoming struct {
 type Config struct {
 	Graph *graph.Graph
 	Model Model
+	// Engine selects the execution engine (default EngineGoroutine). Both
+	// engines yield identical results for identical configs; EngineBatch is
+	// markedly faster at large n.
+	Engine EngineMode
 	// BandwidthFactor scales the per-message budget B =
 	// BandwidthFactor·⌈log₂ n⌉ bits. Zero means the default of 4, enough
 	// for a constant number of IDs/weights per message as the paper's
@@ -102,9 +165,31 @@ type Result[T any] struct {
 	Stats   Stats
 }
 
-// Handler is a node program: it runs on its own goroutine, communicates via
-// the Node handle, and returns the node's output.
+// Handler is a node program in blocking form: it communicates via the Node
+// handle, calls NextRound to cross round boundaries, and returns the node's
+// output. On the goroutine engine each handler runs on its own goroutine;
+// on the batch engine handlers are adapted transparently into per-round
+// coroutine steps.
 type Handler[T any] func(*Node) (T, error)
+
+// StepProgram is a node program in explicit step form: the engine calls
+// Step once per round, so each node's per-round logic runs as a plain
+// function call with no goroutine or channel in the loop. This is the
+// native (fastest) shape for the batch engine; on the goroutine engine the
+// program is wrapped in a blocking handler, so one implementation serves
+// both modes.
+//
+// Step sees the messages delivered this round via nd.Recv and queues sends
+// for the next round; returning done = true finishes the node (messages it
+// queued in that final step are still delivered, exactly as for a handler
+// that sends and returns).
+type StepProgram[T any] interface {
+	// Step runs this node's logic for the current round.
+	Step(nd *Node) (done bool, err error)
+	// Output returns the node's final output; the engine calls it once,
+	// after Step reports done.
+	Output() T
+}
 
 // ErrMaxRounds reports that the round limit was hit before termination.
 var ErrMaxRounds = errors.New("congest: exceeded maximum round count")
@@ -122,15 +207,37 @@ func IDBits(n int) int {
 // goroutine; it never escapes the package.
 type nodePanic struct{ err error }
 
-// Node is the handle a handler uses to interact with the simulation.
-// A Node must only be used from the goroutine running its handler.
+// Node is the handle a node program uses to interact with the simulation.
+// A Node must only be used from the goroutine running its handler (or, for
+// step programs on the batch engine, from inside Step).
 type Node struct {
-	id     int
-	eng    *engine
-	rng    *rand.Rand
-	inbox  []Incoming
+	id    int
+	eng   *engine
+	rng   *rand.Rand
+	inbox []Incoming
+	round int
+
+	// outbox is the goroutine engine's per-round send buffer, recreated
+	// after every delivery.
 	outbox map[int]Message
-	round  int
+
+	// The batch engine's send buffers: flat parallel (destination, message)
+	// slices truncated and reused across rounds, with a round-stamped map
+	// replacing the per-round outbox map for duplicate-send detection.
+	// Broadcasts take a fast path that skips the per-destination checks
+	// (destinations are valid and duplicate-free by construction) and
+	// record themselves in the round-stamped bcastAll/bcastNbrs guards so
+	// later explicit sends still detect duplicates.
+	outDst    []int
+	outMsgs   []Message
+	sentRound map[int]int
+	bcastAll  int
+	bcastNbrs int
+
+	// yield parks this node's coroutine until the batch scheduler resumes
+	// it for the next round; set by the coroutine adapter, nil for step
+	// programs (which never call NextRound).
+	yield func(struct{}) bool
 }
 
 // ID returns this node's identifier (0…n-1). The paper's algorithms use ids
@@ -168,8 +275,23 @@ func (nd *Node) Send(to int, m Message) error {
 	if err := nd.sendCheck(to, m); err != nil {
 		return err
 	}
-	nd.outbox[to] = m
+	if nd.eng.mode == EngineBatch {
+		nd.sentRound[to] = nd.eng.stamp
+		nd.queue(to, m)
+	} else {
+		nd.outbox[to] = m
+	}
 	return nil
+}
+
+// queue appends one message to the batch outbox, registering this node as a
+// sender for the current round on its first send.
+func (nd *Node) queue(to int, m Message) {
+	if len(nd.outDst) == 0 {
+		nd.eng.senders = append(nd.eng.senders, nd.id)
+	}
+	nd.outDst = append(nd.outDst, to)
+	nd.outMsgs = append(nd.outMsgs, m)
 }
 
 func (nd *Node) sendCheck(to int, m Message) error {
@@ -179,7 +301,15 @@ func (nd *Node) sendCheck(to int, m Message) error {
 	if nd.eng.model == CONGEST && !nd.eng.g.HasEdge(nd.id, to) {
 		return fmt.Errorf("congest: node %d: %d is not a neighbor", nd.id, to)
 	}
-	if _, dup := nd.outbox[to]; dup {
+	dup := false
+	if nd.eng.mode == EngineBatch {
+		dup = nd.sentRound[to] == nd.eng.stamp ||
+			nd.bcastAll == nd.eng.stamp ||
+			(nd.bcastNbrs == nd.eng.stamp && nd.eng.g.HasEdge(nd.id, to))
+	} else {
+		_, dup = nd.outbox[to]
+	}
+	if dup {
 		return fmt.Errorf("congest: node %d: second message to %d in round %d", nd.id, to, nd.round)
 	}
 	if b := m.Bits(); b > nd.eng.bandwidth {
@@ -201,6 +331,10 @@ func (nd *Node) MustSend(to int, m Message) {
 // (CONGESTED CLIQUE).
 func (nd *Node) Broadcast(m Message) {
 	if nd.eng.model == CongestedClique {
+		if nd.eng.mode == EngineBatch && len(nd.outDst) == 0 {
+			nd.fastBroadcast(m, nil)
+			return
+		}
 		for to := 0; to < nd.eng.g.N(); to++ {
 			if to != nd.id {
 				nd.MustSend(to, m)
@@ -208,9 +342,59 @@ func (nd *Node) Broadcast(m Message) {
 		}
 		return
 	}
+	nd.BroadcastNeighbors(m)
+}
+
+// BroadcastNeighbors sends m to every G-neighbor regardless of model: the
+// building block of protocols that keep their G-structure semantics even
+// when the network runs in CONGESTED CLIQUE mode (all of
+// congest/primitives does).
+func (nd *Node) BroadcastNeighbors(m Message) {
+	if nd.eng.mode == EngineBatch && len(nd.outDst) == 0 {
+		nd.fastBroadcast(m, nd.eng.g.Adj(nd.id))
+		return
+	}
 	for _, to := range nd.Neighbors() {
 		nd.MustSend(to, m)
 	}
+}
+
+// fastBroadcast is the batch engine's broadcast fast path, valid only when
+// nothing was queued yet this round (the caller checked): destinations are
+// distinct and reachable by construction, so the per-destination checks
+// reduce to one bandwidth test, and the round-stamped guard keeps later
+// explicit sends honest about duplicates. adj == nil means "every node but
+// this one" (the CONGESTED CLIQUE rule).
+func (nd *Node) fastBroadcast(m Message, adj []int) {
+	n := nd.eng.g.N()
+	count := len(adj)
+	if adj == nil {
+		count = n - 1
+	}
+	if count == 0 {
+		return
+	}
+	if b := m.Bits(); b > nd.eng.bandwidth {
+		// Same failure the goroutine engine reports from MustSend's check
+		// on the first destination.
+		panic(nodePanic{fmt.Errorf("congest: node %d: message of %d bits exceeds budget %d", nd.id, b, nd.eng.bandwidth)})
+	}
+	nd.eng.senders = append(nd.eng.senders, nd.id)
+	if adj == nil {
+		for to := 0; to < n; to++ {
+			if to != nd.id {
+				nd.outDst = append(nd.outDst, to)
+				nd.outMsgs = append(nd.outMsgs, m)
+			}
+		}
+		nd.bcastAll = nd.eng.stamp
+		return
+	}
+	nd.outDst = append(nd.outDst, adj...)
+	for range adj {
+		nd.outMsgs = append(nd.outMsgs, m)
+	}
+	nd.bcastNbrs = nd.eng.stamp
 }
 
 // Recv returns the messages delivered at the start of the current round
@@ -231,8 +415,22 @@ func (nd *Node) RecvFrom(from int) (Message, bool) {
 
 // NextRound submits this round's messages and blocks until every node has
 // done the same; it then makes the messages sent to this node available via
-// Recv.
+// Recv. Step programs driven by the batch engine never call NextRound —
+// returning from Step is the round boundary.
 func (nd *Node) NextRound() {
+	if nd.eng.mode == EngineBatch {
+		if nd.yield == nil {
+			panic(nodePanic{fmt.Errorf("congest: node %d: NextRound called from a StepProgram (returning from Step is the round boundary)", nd.id)})
+		}
+		// Hand control back to the batch scheduler; the yield returns when
+		// the scheduler resumes this node for the next round, or reports
+		// false when the run was aborted while the node was parked.
+		if !nd.yield(struct{}{}) {
+			panic(nodePanic{errAborted})
+		}
+		nd.round++
+		return
+	}
 	nd.eng.arrive <- arrival{id: nd.id, done: false}
 	select {
 	case <-nd.eng.resume[nd.id]:

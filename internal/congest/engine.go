@@ -14,23 +14,41 @@ type arrival struct {
 	done bool
 }
 
+// engine is the per-run simulation state shared by both execution engines.
+// Exactly one driver (loop for EngineGoroutine, runBatch for EngineBatch)
+// touches the scheduling fields of a given instance.
 type engine struct {
 	g         graphLike
 	model     Model
+	mode      EngineMode
 	bandwidth int
 	maxRounds int
 	cutA      *bitset.Set
 
-	nodes  []*Node
-	arrive chan arrival
-	resume []chan struct{}
-	abort  chan struct{}
+	nodes []*Node
+	stats Stats
 
 	mu       sync.Mutex
 	firstErr error
 
+	// abort, when closed, unblocks every node still parked at a round
+	// boundary (both engines).
+	abort chan struct{}
+
+	// Goroutine-engine scheduling: nodes rendezvous on arrive, the driver
+	// releases them via per-node resume channels.
+	arrive    chan arrival
+	resume    []chan struct{}
 	doneCount int
-	stats     Stats
+
+	// Batch-engine scheduling: stamp is the current round's duplicate-send
+	// guard value (round index + 1, never zero); senders lists the nodes
+	// that queued messages this round (ascending, because the sweep runs in
+	// id order) and receivers the nodes whose inboxes are non-empty, so
+	// delivery cost scales with actual traffic instead of n.
+	stamp     int
+	senders   []int
+	receivers []int
 }
 
 // graphLike is the slice of the graph API the engine needs; it exists so
@@ -57,21 +75,15 @@ func (e *engine) getErr() error {
 	return e.firstErr
 }
 
-// Run executes handler on every node of cfg.Graph under the configured
-// model and returns each node's output plus run statistics. Outputs[i] is
-// node i's return value.
-//
-// The first error — from a handler, a MustSend violation, or the round
-// limit — aborts the run and is returned. Runs are deterministic for a
-// fixed Config (including Seed): node goroutines interact only at the
-// round barrier, and every node's randomness comes from its private stream.
-func Run[T any](cfg Config, handler Handler[T]) (*Result[T], error) {
+// newEngine validates cfg and builds the engine plus its nodes. It does not
+// special-case the empty graph — each Run entry point returns an empty
+// Result for n == 0 before driving the engine.
+func newEngine(cfg Config) (*engine, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("congest: nil graph")
 	}
-	n := cfg.Graph.N()
-	if n == 0 {
-		return &Result[T]{}, nil
+	if cfg.Engine != EngineGoroutine && cfg.Engine != EngineBatch {
+		return nil, fmt.Errorf("congest: unknown engine mode %d", int(cfg.Engine))
 	}
 	bwf := cfg.BandwidthFactor
 	if bwf == 0 {
@@ -84,29 +96,71 @@ func Run[T any](cfg Config, handler Handler[T]) (*Result[T], error) {
 	if maxRounds == 0 {
 		maxRounds = 1 << 22
 	}
+	n := cfg.Graph.N()
 	eng := &engine{
 		g:         cfg.Graph,
 		model:     cfg.Model,
+		mode:      cfg.Engine,
 		bandwidth: bwf * IDBits(n),
 		maxRounds: maxRounds,
 		cutA:      cfg.CutA,
-		arrive:    make(chan arrival, 2*n),
-		resume:    make([]chan struct{}, n),
 		abort:     make(chan struct{}),
 	}
 	eng.stats.Bandwidth = eng.bandwidth
 	eng.nodes = make([]*Node, n)
 	for i := 0; i < n; i++ {
-		eng.resume[i] = make(chan struct{}, 1)
-		eng.nodes[i] = &Node{
-			id:     i,
-			eng:    eng,
-			rng:    rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i) + 1)),
-			outbox: make(map[int]Message),
+		nd := &Node{
+			id:  i,
+			eng: eng,
+			rng: rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i) + 1)),
+		}
+		if cfg.Engine == EngineBatch {
+			nd.sentRound = make(map[int]int, cfg.Graph.Degree(i))
+		} else {
+			nd.outbox = make(map[int]Message)
+		}
+		eng.nodes[i] = nd
+	}
+	if cfg.Engine == EngineGoroutine {
+		eng.arrive = make(chan arrival, 2*n)
+		eng.resume = make([]chan struct{}, n)
+		for i := range eng.resume {
+			eng.resume[i] = make(chan struct{}, 1)
 		}
 	}
+	return eng, nil
+}
 
+// Run executes handler on every node of cfg.Graph under the configured
+// model and engine and returns each node's output plus run statistics.
+// Outputs[i] is node i's return value.
+//
+// The first error — from a handler, a MustSend violation, or the round
+// limit — aborts the run and is returned. Runs are deterministic for a
+// fixed Config (including Seed and Engine): nodes interact only at the
+// round barrier, and every node's randomness comes from its private stream.
+// The two engines produce identical results for identical configs.
+func Run[T any](cfg Config, handler Handler[T]) (*Result[T], error) {
+	eng, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Graph.N()
+	if n == 0 {
+		return &Result[T]{}, nil
+	}
 	outputs := make([]T, n)
+	if eng.mode == EngineBatch {
+		steppers := make([]stepper, n)
+		for i := 0; i < n; i++ {
+			steppers[i] = &coroStepper[T]{eng: eng, nd: eng.nodes[i], handler: handler, outputs: outputs}
+		}
+		if err := eng.runBatchToCompletion(steppers); err != nil {
+			return nil, err
+		}
+		return &Result[T]{Outputs: outputs, Stats: eng.stats}, nil
+	}
+
 	for i := 0; i < n; i++ {
 		go func(nd *Node) {
 			defer func() {
@@ -143,6 +197,48 @@ func Run[T any](cfg Config, handler Handler[T]) (*Result[T], error) {
 		return nil, runErr
 	}
 	if err := eng.getErr(); err != nil {
+		return nil, err
+	}
+	return &Result[T]{Outputs: outputs, Stats: eng.stats}, nil
+}
+
+// RunProgram executes a step-structured algorithm: newProgram is called once
+// per node (in id order, before round 0) and the resulting program's Step
+// runs once per round. On EngineBatch every step is a plain method call —
+// no goroutines, channels, or barriers anywhere in the round loop; on
+// EngineGoroutine the program is wrapped in a blocking handler, so one
+// implementation serves both modes with identical results.
+func RunProgram[T any](cfg Config, newProgram func(nd *Node) StepProgram[T]) (*Result[T], error) {
+	if cfg.Engine != EngineBatch {
+		return Run(cfg, func(nd *Node) (T, error) {
+			prog := newProgram(nd)
+			for {
+				done, err := prog.Step(nd)
+				if err != nil {
+					var zero T
+					return zero, err
+				}
+				if done {
+					return prog.Output(), nil
+				}
+				nd.NextRound()
+			}
+		})
+	}
+	eng, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Graph.N()
+	if n == 0 {
+		return &Result[T]{}, nil
+	}
+	outputs := make([]T, n)
+	steppers := make([]stepper, n)
+	for i := 0; i < n; i++ {
+		steppers[i] = &progStepper[T]{eng: eng, nd: eng.nodes[i], prog: newProgram(eng.nodes[i]), outputs: outputs}
+	}
+	if err := eng.runBatchToCompletion(steppers); err != nil {
 		return nil, err
 	}
 	return &Result[T]{Outputs: outputs, Stats: eng.stats}, nil

@@ -10,9 +10,14 @@
 // only on n and on values made common knowledge beforehand). This lockstep
 // contract is what keeps the barrier-synchronized simulation deadlock-free.
 //
-// All primitives communicate strictly over G-edges (explicit neighbor
-// sends, never Node.Broadcast), so they keep their G-structure semantics
-// even when the network runs in CONGESTED CLIQUE mode.
+// All primitives communicate strictly over G-edges (Node.BroadcastNeighbors
+// and explicit neighbor sends, never Node.Broadcast), so they keep their
+// G-structure semantics even when the network runs in CONGESTED CLIQUE
+// mode.
+//
+// Each blocking primitive has a step-form twin in step.go (StepMinIDLeader,
+// StepBFSTree, …) for use inside congest.StepProgram implementations; the
+// two forms send byte-identical messages in identical rounds.
 package primitives
 
 import (
@@ -20,13 +25,6 @@ import (
 
 	"powergraph/internal/congest"
 )
-
-// sendNeighbors sends m to every G-neighbor of nd.
-func sendNeighbors(nd *congest.Node, m congest.Message) {
-	for _, u := range nd.Neighbors() {
-		nd.MustSend(u, m)
-	}
-}
 
 // Tree is a node-local view of a rooted spanning tree.
 type Tree struct {
@@ -45,7 +43,7 @@ func MinIDLeader(nd *congest.Node) int {
 	w := congest.IDBits(n)
 	best := int64(nd.ID())
 	for r := 0; r < n; r++ {
-		sendNeighbors(nd, congest.NewIntWidth(best, w))
+		nd.BroadcastNeighbors(congest.NewIntWidth(best, w))
 		nd.NextRound()
 		for _, in := range nd.Recv() {
 			if v := in.Msg.(congest.Int).V; v < best {
@@ -70,7 +68,7 @@ func BFSTree(nd *congest.Node, root int) Tree {
 	announce := joined // send the join wave this round?
 	for r := 0; r < n; r++ {
 		if announce {
-			sendNeighbors(nd, congest.Flag{})
+			nd.BroadcastNeighbors(congest.Flag{})
 			announce = false
 		}
 		nd.NextRound()
@@ -246,7 +244,7 @@ func FloodItemsFromRoot(nd *congest.Node, t Tree, items []congest.Message) []con
 // Values must be non-negative.
 // Rounds consumed: 2.
 func TwoHopMax(nd *congest.Node, value int64) int64 {
-	sendNeighbors(nd, congest.NewInt(value))
+	nd.BroadcastNeighbors(congest.NewInt(value))
 	nd.NextRound()
 	m1 := value
 	for _, in := range nd.Recv() {
@@ -254,7 +252,7 @@ func TwoHopMax(nd *congest.Node, value int64) int64 {
 			m1 = v
 		}
 	}
-	sendNeighbors(nd, congest.NewInt(m1))
+	nd.BroadcastNeighbors(congest.NewInt(m1))
 	nd.NextRound()
 	m2 := m1
 	for _, in := range nd.Recv() {

@@ -1,0 +1,359 @@
+package primitives
+
+import (
+	"fmt"
+
+	"powergraph/internal/congest"
+)
+
+// Step-form primitives.
+//
+// Each Step* type is the explicit state-machine form of the blocking
+// primitive of the same name, for use inside congest.StepProgram
+// implementations: the per-round logic runs as a plain method call, which
+// is what lets the batch engine drive thousand-node networks without any
+// per-node goroutine or channel.
+//
+// The composition contract mirrors how the blocking primitives chain
+// between two NextRound calls:
+//
+//   - Step is called exactly once per round-slice; it first consumes the
+//     messages delivered this round that belong to it, then queues this
+//     round's sends.
+//   - Step returns true in the slice after its final receive, having queued
+//     nothing, so the caller must start the next stage within the same
+//     slice (the same way blocking code calls the next primitive right
+//     after the previous one returns, before the next NextRound).
+//
+// Every stage consumes the same rounds and sends byte-identical messages as
+// its blocking counterpart, so a program assembled from these stages is
+// indistinguishable — outputs and statistics — from the blocking handler it
+// replaces; TestStepPrimitivesMatchBlocking checks exactly that.
+
+// StepMinIDLeader is the step form of MinIDLeader: n slices of minimum-id
+// flooding, done on slice n.
+type StepMinIDLeader struct {
+	n, w int
+	best int64
+	r    int
+}
+
+// NewStepMinIDLeader starts a leader election at this node.
+func NewStepMinIDLeader(nd *congest.Node) *StepMinIDLeader {
+	return &StepMinIDLeader{n: nd.N(), w: congest.IDBits(nd.N()), best: int64(nd.ID())}
+}
+
+// Step advances one round-slice.
+func (s *StepMinIDLeader) Step(nd *congest.Node) bool {
+	if s.r > 0 {
+		for _, in := range nd.Recv() {
+			if v := in.Msg.(congest.Int).V; v < s.best {
+				s.best = v
+			}
+		}
+	}
+	if s.r == s.n {
+		return true
+	}
+	nd.BroadcastNeighbors(congest.NewIntWidth(s.best, s.w))
+	s.r++
+	return false
+}
+
+// Leader returns the elected minimum id; valid once Step reported done.
+func (s *StepMinIDLeader) Leader() int { return int(s.best) }
+
+// StepBFSTree is the step form of BFSTree: n flood slices plus the child
+// notification round, done on slice n+1.
+type StepBFSTree struct {
+	n        int
+	t        Tree
+	joined   bool
+	announce bool
+	r        int
+}
+
+// NewStepBFSTree starts BFS tree construction rooted at root.
+func NewStepBFSTree(nd *congest.Node, root int) *StepBFSTree {
+	s := &StepBFSTree{n: nd.N(), t: Tree{Root: root, Parent: -1, Depth: -1}}
+	if nd.ID() == root {
+		s.t.Depth = 0
+		s.joined = true
+		s.announce = true
+	}
+	return s
+}
+
+// Step advances one round-slice.
+func (s *StepBFSTree) Step(nd *congest.Node) bool {
+	if s.r == s.n+1 {
+		for _, in := range nd.Recv() {
+			s.t.Children = append(s.t.Children, in.From)
+		}
+		return true
+	}
+	if s.r >= 1 && !s.joined {
+		for _, in := range nd.Recv() {
+			// First wave to arrive: sender is at depth r-1, we join at r.
+			// Inbox is sorted by sender, so the first is the minimum id.
+			s.t.Parent = in.From
+			s.t.Depth = s.r
+			s.joined = true
+			s.announce = true
+			break
+		}
+	}
+	if s.r < s.n && s.announce {
+		nd.BroadcastNeighbors(congest.Flag{})
+		s.announce = false
+	}
+	if s.r == s.n && s.t.Parent != -1 {
+		nd.MustSend(s.t.Parent, congest.Flag{})
+	}
+	s.r++
+	return false
+}
+
+// Tree returns this node's local tree view; valid once Step reported done.
+func (s *StepBFSTree) Tree() Tree { return s.t }
+
+// StepConvergecastSum is the step form of ConvergecastSum: n slices, done
+// on slice n.
+type StepConvergecastSum struct {
+	n       int
+	t       *Tree
+	acc     int64
+	pending int
+	sent    bool
+	r       int
+}
+
+// NewStepConvergecastSum starts a sum aggregation of value toward the root
+// of t.
+func NewStepConvergecastSum(nd *congest.Node, t *Tree, value int64) *StepConvergecastSum {
+	return &StepConvergecastSum{n: nd.N(), t: t, acc: value, pending: len(t.Children)}
+}
+
+// Step advances one round-slice.
+func (s *StepConvergecastSum) Step(nd *congest.Node) bool {
+	if s.r >= 1 {
+		for _, in := range nd.Recv() {
+			if m, ok := in.Msg.(congest.Int); ok && contains(s.t.Children, in.From) {
+				s.acc += m.V
+				s.pending--
+			}
+		}
+	}
+	if s.r == s.n {
+		return true
+	}
+	if !s.sent && s.pending == 0 && s.t.Parent != -1 {
+		nd.MustSend(s.t.Parent, congest.NewInt(s.acc))
+		s.sent = true
+	}
+	s.r++
+	return false
+}
+
+// Sum returns the total at the root and 0 elsewhere; valid once done.
+func (s *StepConvergecastSum) Sum() int64 {
+	if s.t.Parent == -1 {
+		return s.acc
+	}
+	return 0
+}
+
+// StepBroadcastFromRoot is the step form of BroadcastFromRoot: n slices,
+// done on slice n.
+type StepBroadcastFromRoot struct {
+	n     int
+	t     *Tree
+	have  bool
+	relay bool
+	v     int64
+	r     int
+}
+
+// NewStepBroadcastFromRoot starts flooding value down from the root of t
+// (non-root callers pass anything; their argument is ignored).
+func NewStepBroadcastFromRoot(nd *congest.Node, t *Tree, value int64) *StepBroadcastFromRoot {
+	s := &StepBroadcastFromRoot{n: nd.N(), t: t}
+	if t.Parent == -1 {
+		s.have, s.relay, s.v = true, true, value
+	}
+	return s
+}
+
+// Step advances one round-slice.
+func (s *StepBroadcastFromRoot) Step(nd *congest.Node) bool {
+	if s.r >= 1 && !s.have {
+		if m, ok := nd.RecvFrom(s.t.Parent); ok {
+			s.v = m.(congest.Int).V
+			s.have = true
+			s.relay = true
+		}
+	}
+	if s.r == s.n {
+		return true
+	}
+	if s.relay {
+		for _, c := range s.t.Children {
+			nd.MustSend(c, congest.NewInt(s.v))
+		}
+		s.relay = false
+	}
+	s.r++
+	return false
+}
+
+// Value returns the flooded value; valid once done.
+func (s *StepBroadcastFromRoot) Value() int64 { return s.v }
+
+// StepGatherAtRoot is the step form of GatherAtRoot: an internal
+// convergecast and broadcast make the total item count common knowledge,
+// then total+n pipeline slices stream every item to the root.
+type StepGatherAtRoot struct {
+	t         *Tree
+	items     []congest.Message
+	sub       int
+	conv      *StepConvergecastSum
+	bcast     *StepBroadcastFromRoot
+	queue     []congest.Message
+	collected []congest.Message
+	r, rounds int
+}
+
+// NewStepGatherAtRoot starts gathering this node's items at the root of t.
+func NewStepGatherAtRoot(nd *congest.Node, t *Tree, items []congest.Message) *StepGatherAtRoot {
+	for i, it := range items {
+		if it.Bits() > nd.Bandwidth() {
+			panicCollective(fmt.Sprintf("primitives: item %d of node %d has %d bits > budget %d",
+				i, nd.ID(), it.Bits(), nd.Bandwidth()))
+		}
+	}
+	return &StepGatherAtRoot{t: t, items: items, conv: NewStepConvergecastSum(nd, t, int64(len(items)))}
+}
+
+// Step advances one round-slice.
+func (s *StepGatherAtRoot) Step(nd *congest.Node) bool {
+	for {
+		switch s.sub {
+		case 0:
+			if !s.conv.Step(nd) {
+				return false
+			}
+			s.bcast = NewStepBroadcastFromRoot(nd, s.t, s.conv.Sum())
+			s.sub = 1
+		case 1:
+			if !s.bcast.Step(nd) {
+				return false
+			}
+			s.rounds = int(s.bcast.Value()) + nd.N()
+			s.queue = make([]congest.Message, len(s.items))
+			copy(s.queue, s.items)
+			s.sub = 2
+		default:
+			if s.r >= 1 {
+				for _, in := range nd.Recv() {
+					if contains(s.t.Children, in.From) {
+						if s.t.Parent == -1 {
+							s.collected = append(s.collected, in.Msg)
+						} else {
+							s.queue = append(s.queue, in.Msg)
+						}
+					}
+				}
+			}
+			if s.r == s.rounds {
+				if s.t.Parent == -1 {
+					s.collected = append(s.collected, s.items...)
+				}
+				return true
+			}
+			if len(s.queue) > 0 && s.t.Parent != -1 {
+				nd.MustSend(s.t.Parent, s.queue[0])
+				s.queue = s.queue[1:]
+			}
+			s.r++
+			return false
+		}
+	}
+}
+
+// Collected returns every gathered item at the root (nil elsewhere); valid
+// once done.
+func (s *StepGatherAtRoot) Collected() []congest.Message {
+	if s.t.Parent == -1 {
+		return s.collected
+	}
+	return nil
+}
+
+// StepFloodItemsFromRoot is the step form of FloodItemsFromRoot: the item
+// count becomes common knowledge, then total+n pipeline slices stream the
+// root's items to every node.
+type StepFloodItemsFromRoot struct {
+	t         *Tree
+	sub       int
+	conv      *StepConvergecastSum
+	bcast     *StepBroadcastFromRoot
+	queue     []congest.Message
+	got       []congest.Message
+	sendIdx   int
+	r, rounds int
+}
+
+// NewStepFloodItemsFromRoot starts flooding the root's items down the tree;
+// non-root callers pass nil items.
+func NewStepFloodItemsFromRoot(nd *congest.Node, t *Tree, items []congest.Message) *StepFloodItemsFromRoot {
+	s := &StepFloodItemsFromRoot{t: t}
+	var total int64
+	if t.Parent == -1 {
+		total = int64(len(items))
+		s.queue = append(s.queue, items...)
+		s.got = append(s.got, items...)
+	}
+	s.conv = NewStepConvergecastSum(nd, t, total)
+	return s
+}
+
+// Step advances one round-slice.
+func (s *StepFloodItemsFromRoot) Step(nd *congest.Node) bool {
+	for {
+		switch s.sub {
+		case 0:
+			if !s.conv.Step(nd) {
+				return false
+			}
+			s.bcast = NewStepBroadcastFromRoot(nd, s.t, s.conv.Sum())
+			s.sub = 1
+		case 1:
+			if !s.bcast.Step(nd) {
+				return false
+			}
+			s.rounds = int(s.bcast.Value()) + nd.N()
+			s.sub = 2
+		default:
+			if s.r >= 1 && s.t.Parent != -1 {
+				if m, ok := nd.RecvFrom(s.t.Parent); ok {
+					s.queue = append(s.queue, m)
+					s.got = append(s.got, m)
+				}
+			}
+			if s.r == s.rounds {
+				return true
+			}
+			if s.sendIdx < len(s.queue) {
+				for _, c := range s.t.Children {
+					nd.MustSend(c, s.queue[s.sendIdx])
+				}
+				s.sendIdx++
+			}
+			s.r++
+			return false
+		}
+	}
+}
+
+// Items returns the root's items in root order; valid once done.
+func (s *StepFloodItemsFromRoot) Items() []congest.Message { return s.got }

@@ -18,6 +18,14 @@
 // All algorithms communicate over the input graph G only; the square G² is
 // never materialized by the distributed code (only by checkers and local
 // leader computations, as in the paper).
+//
+// Every algorithm runs on either simulator engine via Options.Engine with
+// identical results (seeds fix the whole run). Algorithm 1 is written as a
+// congest.StepProgram — its per-round logic is a plain function call — so
+// the batch engine executes it with no per-node goroutines, which is what
+// makes the n ≥ 2000 sweeps of specs/scale-sweep.json practical; the other
+// algorithms are blocking handlers that the batch engine adapts via
+// coroutines.
 package core
 
 import (
@@ -39,6 +47,11 @@ type LocalSolver func(*graph.Graph) *bitset.Set
 type Options struct {
 	// Seed drives all node-local randomness (deterministic per seed).
 	Seed int64
+	// Engine selects the simulator's execution engine
+	// (congest.EngineGoroutine by default, congest.EngineBatch for the
+	// batched event-driven engine). Both produce identical results for
+	// identical seeds; batch is the fast choice at large n.
+	Engine congest.EngineMode
 	// BandwidthFactor overrides the per-message budget multiplier
 	// (B = factor·⌈log₂ n⌉ bits). Zero selects each algorithm's default.
 	BandwidthFactor int
@@ -63,6 +76,13 @@ func (o *Options) seed() int64 {
 		return 0
 	}
 	return o.Seed
+}
+
+func (o *Options) engine() congest.EngineMode {
+	if o == nil {
+		return congest.EngineGoroutine
+	}
+	return o.Engine
 }
 
 func (o *Options) bandwidthFactor(def int) int {

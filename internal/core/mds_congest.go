@@ -115,6 +115,7 @@ func ApproxMDSCongest(g *graph.Graph, opts *MDSOptions) (*Result, error) {
 	cfg := congest.Config{
 		Graph:           g,
 		Model:           congest.CONGEST,
+		Engine:          opts.engine(),
 		BandwidthFactor: bwf,
 		MaxRounds:       opts.Options.MaxRounds,
 		Seed:            opts.Options.Seed,
@@ -156,7 +157,7 @@ func ApproxMDSCongest(g *graph.Graph, opts *MDSOptions) (*Result, error) {
 			// Step 2: candidates are 4-hop (G-distance) maxima of ρ̃.
 			maxRho := rho
 			for hop := 0; hop < 4; hop++ {
-				sendNeighborsG(nd, congest.NewIntWidth(maxRho, idw+2))
+				nd.BroadcastNeighbors(congest.NewIntWidth(maxRho, idw+2))
 				nd.NextRound()
 				for _, in := range nd.Recv() {
 					if v := in.Msg.(congest.Int).V; v > maxRho {
@@ -191,7 +192,7 @@ func ApproxMDSCongest(g *graph.Graph, opts *MDSOptions) (*Result, error) {
 				}
 				// Round A: voters broadcast (candidate, sample).
 				if own >= 0 {
-					sendNeighborsG(nd, candValMsg{Cand: int64(voteFor), Q: own, WidthC: idw, WidthQ: qWidth})
+					nd.BroadcastNeighbors(candValMsg{Cand: int64(voteFor), Q: own, WidthC: idw, WidthQ: qWidth})
 				}
 				nd.NextRound()
 				perCand := map[int64]int64{}
@@ -255,7 +256,7 @@ func ApproxMDSCongest(g *graph.Graph, opts *MDSOptions) (*Result, error) {
 
 			// Step 6: two-round coverage flood from new members.
 			if joined {
-				sendNeighborsG(nd, congest.Flag{})
+				nd.BroadcastNeighbors(congest.Flag{})
 			}
 			nd.NextRound()
 			relay := joined || len(nd.Recv()) > 0
@@ -263,7 +264,7 @@ func ApproxMDSCongest(g *graph.Graph, opts *MDSOptions) (*Result, error) {
 				covered = true
 			}
 			if relay {
-				sendNeighborsG(nd, congest.Flag{})
+				nd.BroadcastNeighbors(congest.Flag{})
 			}
 			nd.NextRound()
 			if len(nd.Recv()) > 0 {
@@ -293,7 +294,7 @@ func ApproxMDSCongest(g *graph.Graph, opts *MDSOptions) (*Result, error) {
 // and everything received (-1 if nothing was seen).
 func minFlood(nd *congest.Node, own int64, width int) int64 {
 	if own >= 0 {
-		sendNeighborsG(nd, quantMsg{Q: own, Width: width})
+		nd.BroadcastNeighbors(quantMsg{Q: own, Width: width})
 	}
 	nd.NextRound()
 	best := own
@@ -315,7 +316,7 @@ func minFlood(nd *congest.Node, own int64, width int) int64 {
 // first hop of the flood).
 func rankFlood(nd *congest.Node, rank, id int64, rankW, idW int) (int64, int64, map[int]bool) {
 	if rank >= 0 {
-		sendNeighborsG(nd, rankIDMsg{Rank: rank, ID: id, WidthR: rankW, WidthI: idW})
+		nd.BroadcastNeighbors(rankIDMsg{Rank: rank, ID: id, WidthR: rankW, WidthI: idW})
 	}
 	nd.NextRound()
 	bestR, bestID := rank, id

@@ -30,6 +30,7 @@ func ApproxMVCCliqueDeterministic(g *graph.Graph, eps float64, opts *Options) (*
 	cfg := congest.Config{
 		Graph:           g,
 		Model:           congest.CongestedClique,
+		Engine:          opts.engine(),
 		BandwidthFactor: opts.bandwidthFactor(4),
 		MaxRounds:       opts.maxRounds(),
 		Seed:            opts.seed(),
@@ -43,7 +44,7 @@ func ApproxMVCCliqueDeterministic(g *graph.Graph, eps float64, opts *Options) (*
 		// computes the global "any candidate left?" OR for one extra round
 		// per iteration, so quiet instances stop in O(1) iterations.
 		for it := 0; it < iterations; it++ {
-			sendNeighborsG(nd, congest.NewIntWidth(boolBit(inR), 1))
+			nd.BroadcastNeighbors(congest.NewIntWidth(boolBit(inR), 1))
 			nd.NextRound()
 			dR := 0
 			for _, in := range nd.Recv() {
@@ -71,7 +72,7 @@ func ApproxMVCCliqueDeterministic(g *graph.Graph, eps float64, opts *Options) (*
 			maxVal := primitives.TwoHopMax(nd, val)
 			selected := candidate && maxVal == int64(nd.ID())+1
 			if selected {
-				sendNeighborsG(nd, congest.Flag{})
+				nd.BroadcastNeighbors(congest.Flag{})
 				inC = false
 			}
 			nd.NextRound()
@@ -108,7 +109,7 @@ func cliquePhaseII(nd *congest.Node, inR bool, maxItems int, solver LocalSolver)
 		}
 	}
 	// U-status exchange over G-edges.
-	sendNeighborsG(nd, congest.NewIntWidth(boolBit(inR), 1))
+	nd.BroadcastNeighbors(congest.NewIntWidth(boolBit(inR), 1))
 	nd.NextRound()
 	var items []congest.Message
 	for _, in := range nd.Recv() {
@@ -151,11 +152,4 @@ func cliquePhaseII(nd *congest.Node, inR bool, maxItems int, solver LocalSolver)
 		inCover = true
 	}
 	return inCover
-}
-
-// sendNeighborsG sends m to every G-neighbor, regardless of model.
-func sendNeighborsG(nd *congest.Node, m congest.Message) {
-	for _, u := range nd.Neighbors() {
-		nd.MustSend(u, m)
-	}
 }

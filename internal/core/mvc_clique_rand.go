@@ -51,6 +51,7 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 	cfg := congest.Config{
 		Graph:           g,
 		Model:           congest.CongestedClique,
+		Engine:          opts.engine(),
 		BandwidthFactor: opts.bandwidthFactor(4),
 		MaxRounds:       opts.maxRounds(),
 		Seed:            opts.seed(),
@@ -63,7 +64,7 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 
 		for it := 0; ; it++ {
 			// Round 1: live-status exchange over G-edges.
-			sendNeighborsG(nd, congest.NewIntWidth(boolBit(inR), 1))
+			nd.BroadcastNeighbors(congest.NewIntWidth(boolBit(inR), 1))
 			nd.NextRound()
 			live := make([]int, 0, nd.Degree())
 			for _, in := range nd.Recv() {
@@ -97,7 +98,7 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 				} else {
 					myRank = int64(nd.ID())
 				}
-				sendNeighborsG(nd, rankMsg{Rank: myRank, Width: rankW})
+				nd.BroadcastNeighbors(rankMsg{Rank: myRank, Width: rankW})
 			}
 			nd.NextRound()
 			voteFor := -1
@@ -120,7 +121,7 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 			// Round 4: voters announce their chosen candidate to all
 			// G-neighbors; candidates count votes naming them.
 			if voteFor != -1 {
-				sendNeighborsG(nd, congest.NewIntWidth(int64(voteFor), idw))
+				nd.BroadcastNeighbors(congest.NewIntWidth(int64(voteFor), idw))
 			}
 			nd.NextRound()
 			votes := 0
@@ -133,7 +134,7 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 
 			// Round 5: successful candidates move N(c) into S.
 			if success {
-				sendNeighborsG(nd, congest.Flag{})
+				nd.BroadcastNeighbors(congest.Flag{})
 				succeeded = true
 			}
 			nd.NextRound()

@@ -19,6 +19,11 @@ import (
 // H = G²[U] locally (Lemma 3), solves it with the configured LocalSolver
 // (exact by default), and floods the solution back.
 //
+// The algorithm is implemented as a congest.StepProgram — each node's
+// per-round logic is a plain function call — so the batch engine drives it
+// with no per-node goroutine at all; on the goroutine engine the program is
+// wrapped in a blocking handler. Both engines produce identical results.
+//
 // The input graph must be connected (Phase II routes everything through one
 // leader). ε must be positive; for ε > 1 the paper's trivial 0-round
 // 2-approximation (all vertices, Lemma 6) is returned.
@@ -44,101 +49,190 @@ func ApproxMVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, erro
 	cfg := congest.Config{
 		Graph:           g,
 		Model:           congest.CONGEST,
+		Engine:          opts.engine(),
 		BandwidthFactor: opts.bandwidthFactor(4),
 		MaxRounds:       opts.maxRounds(),
 		Seed:            opts.seed(),
 		CutA:            opts.cutA(),
 	}
-	res, err := congest.Run(cfg, func(nd *congest.Node) (nodeOut, error) {
-		inR, inC := true, true
-		inS := false
-		idw := congest.IDBits(n)
-
-		inRNbrs := make(map[int]bool, nd.Degree())
-		for _, u := range nd.Neighbors() {
-			inRNbrs[u] = true
+	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
+		return &mvcCongestProgram{
+			n: n, l: l, iterations: iterations, idw: congest.IDBits(n),
+			solver: solver,
+			inR:    true, inC: true,
 		}
-
-		// Phase I.
-		for it := 0; it < iterations; it++ {
-			// Round 1: exchange R-status.
-			nd.Broadcast(congest.NewIntWidth(boolBit(inR), 1))
-			nd.NextRound()
-			dR := 0
-			for _, in := range nd.Recv() {
-				live := in.Msg.(congest.Int).V == 1
-				inRNbrs[in.From] = live
-				if live {
-					dR++
-				}
-			}
-			// Candidate: still a potential center with > 1/ε = l live
-			// neighbors (the loop guard of Algorithm 1).
-			candidate := inC && dR > l
-			// Rounds 2–3: 2-hop max-ID symmetry breaking among candidates.
-			val := int64(0)
-			if candidate {
-				val = int64(nd.ID()) + 1
-			}
-			maxVal := primitives.TwoHopMax(nd, val)
-			selected := candidate && maxVal == int64(nd.ID())+1
-			// Round 4: selected centers move N(c) into S.
-			if selected {
-				nd.Broadcast(congest.Flag{})
-				inC = false
-			} else {
-				// Stay in lockstep; no message.
-			}
-			nd.NextRound()
-			for range nd.Recv() {
-				// A JOIN from any selected center puts us into the cover.
-				inS = true
-				inR = false
-				break
-			}
-		}
-
-		// One more status round so everyone knows which neighbors are in
-		// U = V \ S = R.
-		nd.Broadcast(congest.NewIntWidth(boolBit(inR), 1))
-		nd.NextRound()
-		uNbrs := make([]int, 0, nd.Degree())
-		for _, in := range nd.Recv() {
-			if in.Msg.(congest.Int).V == 1 {
-				uNbrs = append(uNbrs, in.From)
-			}
-		}
-
-		// Phase II: leader learns F = {{v,u} ∈ E : u ∈ U} (Lemma 2).
-		leader := primitives.MinIDLeader(nd)
-		tree := primitives.BFSTree(nd, leader)
-		items := make([]congest.Message, 0, len(uNbrs))
-		for _, u := range uNbrs {
-			items = append(items, congest.NewPair(n, int64(nd.ID()), int64(u)))
-		}
-		gathered := primitives.GatherAtRoot(nd, tree, items)
-
-		// Leader-local reconstruction (Lemma 3) and solve.
-		var solutionIDs []congest.Message
-		if nd.ID() == leader {
-			cover := leaderSolveRemainder(n, gathered, solver)
-			for _, v := range cover.Elements() {
-				solutionIDs = append(solutionIDs, congest.NewIntWidth(int64(v), idw))
-			}
-		}
-		all := primitives.FloodItemsFromRoot(nd, tree, solutionIDs)
-		inRStar := false
-		for _, m := range all {
-			if m.(congest.Int).V == int64(nd.ID()) {
-				inRStar = true
-			}
-		}
-		return nodeOut{InSolution: inS || inRStar, InPhaseI: inS}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return assemble(res.Outputs, res.Stats), nil
+}
+
+// Phase II stages of the program, entered in order after Phase I.
+const (
+	mvcStageLeader = iota + 1
+	mvcStageBFS
+	mvcStageGather
+	mvcStageFlood
+)
+
+// mvcCongestProgram is Algorithm 1 in step form. Phase I runs a fixed
+// 4-slice schedule per iteration (status exchange, two 2-hop-max slices,
+// join announcements); Phase II chains the step-form primitives — leader
+// election, BFS tree, pipelined gather of F at the leader, local solve,
+// pipelined flood of the solution — with each stage starting in the slice
+// its predecessor finishes, exactly like the blocking composition.
+type mvcCongestProgram struct {
+	n, l, iterations, idw int
+	solver                LocalSolver
+
+	// Phase I state. sr counts Phase-I round-slices: slice 0 sends the
+	// first R-status broadcast, then each iteration occupies 4 slices, and
+	// slice 4·iterations+1 collects the final U-status exchange.
+	sr                  int
+	inR, inC, inS       bool
+	candidate, selected bool
+	maxVal              int64
+	uNbrs               []int
+
+	stage    int
+	leader   *primitives.StepMinIDLeader
+	bfs      *primitives.StepBFSTree
+	tree     primitives.Tree
+	gather   *primitives.StepGatherAtRoot
+	flood    *primitives.StepFloodItemsFromRoot
+	leaderID int
+	inRStar  bool
+}
+
+func (p *mvcCongestProgram) Step(nd *congest.Node) (bool, error) {
+	for {
+		switch p.stage {
+		case 0:
+			if !p.stepPhaseI(nd) {
+				return false, nil
+			}
+			p.leader = primitives.NewStepMinIDLeader(nd)
+			p.stage = mvcStageLeader
+		case mvcStageLeader:
+			if !p.leader.Step(nd) {
+				return false, nil
+			}
+			p.leaderID = p.leader.Leader()
+			p.bfs = primitives.NewStepBFSTree(nd, p.leaderID)
+			p.stage = mvcStageBFS
+		case mvcStageBFS:
+			if !p.bfs.Step(nd) {
+				return false, nil
+			}
+			p.tree = p.bfs.Tree()
+			items := make([]congest.Message, 0, len(p.uNbrs))
+			for _, u := range p.uNbrs {
+				items = append(items, congest.NewPair(p.n, int64(nd.ID()), int64(u)))
+			}
+			p.gather = primitives.NewStepGatherAtRoot(nd, &p.tree, items)
+			p.stage = mvcStageGather
+		case mvcStageGather:
+			if !p.gather.Step(nd) {
+				return false, nil
+			}
+			// Leader-local reconstruction (Lemma 3) and solve.
+			var solutionIDs []congest.Message
+			if nd.ID() == p.leaderID {
+				cover := leaderSolveRemainder(p.n, p.gather.Collected(), p.solver)
+				for _, v := range cover.Elements() {
+					solutionIDs = append(solutionIDs, congest.NewIntWidth(int64(v), p.idw))
+				}
+			}
+			p.flood = primitives.NewStepFloodItemsFromRoot(nd, &p.tree, solutionIDs)
+			p.stage = mvcStageFlood
+		case mvcStageFlood:
+			if !p.flood.Step(nd) {
+				return false, nil
+			}
+			for _, m := range p.flood.Items() {
+				if m.(congest.Int).V == int64(nd.ID()) {
+					p.inRStar = true
+				}
+			}
+			return true, nil
+		}
+	}
+}
+
+func (p *mvcCongestProgram) Output() nodeOut {
+	return nodeOut{InSolution: p.inS || p.inRStar, InPhaseI: p.inS}
+}
+
+// stepPhaseI advances one Phase-I round-slice; it reports done in the slice
+// that collects the final U-status exchange (queuing nothing, so Phase II's
+// leader election starts in that same slice).
+func (p *mvcCongestProgram) stepPhaseI(nd *congest.Node) bool {
+	switch {
+	case p.sr == 4*p.iterations+1:
+		// Final status exchange: learn which neighbors are in U = V \ S.
+		for _, in := range nd.Recv() {
+			if in.Msg.(congest.Int).V == 1 {
+				p.uNbrs = append(p.uNbrs, in.From)
+			}
+		}
+		return true
+	case p.sr == 0:
+		// Round 1 of iteration 0: exchange R-status.
+		nd.Broadcast(congest.NewIntWidth(boolBit(p.inR), 1))
+	default:
+		switch (p.sr - 1) % 4 {
+		case 0:
+			// Count live neighbors; candidates are potential centers with
+			// more than 1/ε = l live neighbors (the loop guard of
+			// Algorithm 1). First slice of the 2-hop max: flood own value.
+			dR := 0
+			for _, in := range nd.Recv() {
+				if in.Msg.(congest.Int).V == 1 {
+					dR++
+				}
+			}
+			p.candidate = p.inC && dR > p.l
+			val := int64(0)
+			if p.candidate {
+				val = int64(nd.ID()) + 1
+			}
+			p.maxVal = val
+			nd.Broadcast(congest.NewInt(val))
+		case 1:
+			// Second slice of the 2-hop max: flood the 1-hop maximum.
+			for _, in := range nd.Recv() {
+				if v := in.Msg.(congest.Int).V; v > p.maxVal {
+					p.maxVal = v
+				}
+			}
+			nd.Broadcast(congest.NewInt(p.maxVal))
+		case 2:
+			// Selected centers (2-hop maxima) move N(c) into S.
+			for _, in := range nd.Recv() {
+				if v := in.Msg.(congest.Int).V; v > p.maxVal {
+					p.maxVal = v
+				}
+			}
+			p.selected = p.candidate && p.maxVal == int64(nd.ID())+1
+			if p.selected {
+				nd.Broadcast(congest.Flag{})
+				p.inC = false
+			}
+		case 3:
+			// A JOIN from any selected center puts us into the cover; then
+			// the next iteration's status exchange (or the final U-status
+			// exchange) starts in this same slice.
+			for range nd.Recv() {
+				p.inS = true
+				p.inR = false
+				break
+			}
+			nd.Broadcast(congest.NewIntWidth(boolBit(p.inR), 1))
+		}
+	}
+	p.sr++
+	return false
 }
 
 // leaderSolveRemainder rebuilds H = G²[U] from the gathered edge set F per

@@ -44,6 +44,7 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 	cfg := congest.Config{
 		Graph:           g,
 		Model:           congest.CONGEST,
+		Engine:          opts.engine(),
 		BandwidthFactor: opts.bandwidthFactor(4),
 		MaxRounds:       opts.maxRounds(),
 		Seed:            opts.seed(),
@@ -56,7 +57,7 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 
 		for it := 0; it < totalIters; it++ {
 			// Round 1: live-status exchange.
-			sendNeighborsG(nd, congest.NewIntWidth(boolBit(inR), 1))
+			nd.BroadcastNeighbors(congest.NewIntWidth(boolBit(inR), 1))
 			nd.NextRound()
 			dR := 0
 			for _, in := range nd.Recv() {
@@ -74,7 +75,7 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 				} else {
 					myRank = int64(nd.ID())
 				}
-				sendNeighborsG(nd, rankMsg{Rank: myRank, Width: rankW})
+				nd.BroadcastNeighbors(rankMsg{Rank: myRank, Width: rankW})
 			}
 			nd.NextRound()
 			voteFor := -1
@@ -94,7 +95,7 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 
 			// Round 3: votes.
 			if voteFor != -1 {
-				sendNeighborsG(nd, congest.NewIntWidth(int64(voteFor), idw))
+				nd.BroadcastNeighbors(congest.NewIntWidth(int64(voteFor), idw))
 			}
 			nd.NextRound()
 			votes := 0
@@ -107,7 +108,7 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 
 			// Round 4: successful candidates retire their neighborhoods.
 			if success {
-				sendNeighborsG(nd, congest.Flag{})
+				nd.BroadcastNeighbors(congest.Flag{})
 				succeeded = true
 			}
 			nd.NextRound()

@@ -4,7 +4,9 @@
 // computation, generators, and basic traversal algorithms.
 //
 // Graphs are immutable after construction via Builder, which makes them safe
-// to share across the goroutine-per-node CONGEST simulator without locking.
+// to share — across the CONGEST simulator's nodes (either engine) and across
+// harness workers running simulations on the same instance — without
+// locking.
 package graph
 
 import (

@@ -3,6 +3,7 @@ package harness
 import (
 	"math"
 	"sort"
+	"time"
 )
 
 // Dist summarizes one metric's distribution over a scenario cell's trials.
@@ -23,6 +24,11 @@ type CellSummary struct {
 	Model     string        `json:"model"`
 	Problem   string        `json:"problem"`
 	Epsilon   float64       `json:"epsilon,omitempty"`
+	// Engine is the simulator execution engine the cell ran under (empty
+	// for the default engine and for centralized baselines). A two-engine
+	// sweep produces one cell per engine with identical measurement
+	// distributions; only WallMS may differ.
+	Engine string `json:"engine,omitempty"`
 
 	// Trials counts results in the cell; Errors the failed subset.
 	Trials int `json:"trials"`
@@ -39,6 +45,12 @@ type CellSummary struct {
 	Rounds   Dist `json:"rounds"`
 	Messages Dist `json:"messages"`
 	Bits     Dist `json:"bits"`
+	// WallMS is the per-job wall-clock distribution in milliseconds. Like
+	// the summary's ElapsedMS it is machine-dependent, which is why it
+	// appears only in BENCH summaries and never in the deterministic
+	// JSONL/CSV streams; it is what the engine-mode cells of a scale sweep
+	// are compared on.
+	WallMS Dist `json:"wallMS"`
 }
 
 // Aggregate groups results by scenario cell and computes per-cell
@@ -47,8 +59,8 @@ type CellSummary struct {
 // as the result stream.
 func Aggregate(results []JobResult) []CellSummary {
 	type acc struct {
-		summary                             CellSummary
-		cost, ratio, rounds, messages, bits []float64
+		summary                                   CellSummary
+		cost, ratio, rounds, messages, bits, wall []float64
 	}
 	var order []string
 	cells := map[string]*acc{}
@@ -60,7 +72,7 @@ func Aggregate(results []JobResult) []CellSummary {
 			a = &acc{summary: CellSummary{
 				Generator: r.Generator, N: r.N, Power: r.Power,
 				Algorithm: r.Algorithm, Model: r.Model, Problem: r.Problem,
-				Epsilon: r.Epsilon,
+				Epsilon: r.Epsilon, Engine: r.Engine,
 			}}
 			cells[key] = a
 			order = append(order, key)
@@ -80,6 +92,7 @@ func Aggregate(results []JobResult) []CellSummary {
 		a.rounds = append(a.rounds, float64(r.Rounds))
 		a.messages = append(a.messages, float64(r.Messages))
 		a.bits = append(a.bits, float64(r.TotalBits))
+		a.wall = append(a.wall, float64(r.Elapsed)/float64(time.Millisecond))
 		if r.Optimum >= 0 {
 			a.summary.OracleTrials++
 			a.ratio = append(a.ratio, r.Ratio)
@@ -93,6 +106,7 @@ func Aggregate(results []JobResult) []CellSummary {
 		a.summary.Rounds = distOf(a.rounds)
 		a.summary.Messages = distOf(a.messages)
 		a.summary.Bits = distOf(a.bits)
+		a.summary.WallMS = distOf(a.wall)
 		out = append(out, a.summary)
 	}
 	return out

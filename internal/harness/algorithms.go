@@ -3,6 +3,8 @@ package harness
 import (
 	"sort"
 
+	"powergraph/internal/congest"
+
 	"powergraph/internal/bitset"
 	"powergraph/internal/centralized"
 	"powergraph/internal/core"
@@ -50,12 +52,17 @@ type Algorithm struct {
 // SupportsPower reports whether the algorithm can serve power r.
 func (a *Algorithm) SupportsPower(r int) bool { return a.AnyPower || r == 2 }
 
-func distOpts(job Job) *core.Options {
+func distOpts(job Job) (*core.Options, error) {
+	engine, err := congest.ParseEngineMode(job.Engine)
+	if err != nil {
+		return nil, err
+	}
 	return &core.Options{
 		Seed:            job.Seed,
+		Engine:          engine,
 		BandwidthFactor: job.BandwidthFactor,
 		MaxRounds:       job.MaxRounds,
-	}
+	}, nil
 }
 
 // centralizedResult wraps a plain solution as a core.Result with no
@@ -68,25 +75,40 @@ var algorithms = map[string]*Algorithm{
 	"mvc-congest": {
 		Name: "mvc-congest", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true,
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
-			return core.ApproxMVCCongest(g, job.Epsilon, distOpts(job))
+			opts, err := distOpts(job)
+			if err != nil {
+				return nil, err
+			}
+			return core.ApproxMVCCongest(g, job.Epsilon, opts)
 		},
 	},
 	"mvc-congest-rand": {
 		Name: "mvc-congest-rand", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true,
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
-			return core.ApproxMVCCongestRandomized(g, job.Epsilon, distOpts(job))
+			opts, err := distOpts(job)
+			if err != nil {
+				return nil, err
+			}
+			return core.ApproxMVCCongestRandomized(g, job.Epsilon, opts)
 		},
 	},
 	"mwvc-congest": {
 		Name: "mwvc-congest", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true,
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
-			return core.ApproxMWVCCongest(g, job.Epsilon, distOpts(job))
+			opts, err := distOpts(job)
+			if err != nil {
+				return nil, err
+			}
+			return core.ApproxMWVCCongest(g, job.Epsilon, opts)
 		},
 	},
 	"mvc-congest-53": {
 		Name: "mvc-congest-53", Model: ModelCongest, Problem: ProblemMVC,
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
-			o := distOpts(job)
+			o, err := distOpts(job)
+			if err != nil {
+				return nil, err
+			}
 			o.LocalSolver = func(h *graph.Graph) *bitset.Set {
 				return centralized.FiveThirdsOnGraph(h).Cover
 			}
@@ -96,19 +118,31 @@ var algorithms = map[string]*Algorithm{
 	"mvc-clique-det": {
 		Name: "mvc-clique-det", Model: ModelClique, Problem: ProblemMVC, NeedsEps: true,
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
-			return core.ApproxMVCCliqueDeterministic(g, job.Epsilon, distOpts(job))
+			opts, err := distOpts(job)
+			if err != nil {
+				return nil, err
+			}
+			return core.ApproxMVCCliqueDeterministic(g, job.Epsilon, opts)
 		},
 	},
 	"mvc-clique-rand": {
 		Name: "mvc-clique-rand", Model: ModelClique, Problem: ProblemMVC, NeedsEps: true,
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
-			return core.ApproxMVCCliqueRandomized(g, job.Epsilon, distOpts(job))
+			opts, err := distOpts(job)
+			if err != nil {
+				return nil, err
+			}
+			return core.ApproxMVCCliqueRandomized(g, job.Epsilon, opts)
 		},
 	},
 	"mds-congest": {
 		Name: "mds-congest", Model: ModelCongest, Problem: ProblemMDS,
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
-			return core.ApproxMDSCongest(g, &core.MDSOptions{Options: *distOpts(job)})
+			opts, err := distOpts(job)
+			if err != nil {
+				return nil, err
+			}
+			return core.ApproxMDSCongest(g, &core.MDSOptions{Options: *opts})
 		},
 	},
 	"five-thirds": {

@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"context"
+	"testing"
+)
+
+// differentialJob builds one job for the given algorithm and engine with a
+// fixed seed pair, the way Expand would.
+func differentialJob(alg string, engine string, n int, eps float64) Job {
+	gen := GeneratorSpec{Name: "connected-gnp"}
+	j := Job{
+		Generator: gen, N: n, Power: 2, Algorithm: alg,
+		Epsilon: eps, Engine: engine, Trial: 0, OracleN: 26,
+	}
+	j.Seed = deriveSeed(1, j.cellKey(), 0)
+	j.InstanceSeed = deriveSeed(1, j.instanceKey(), 0)
+	return j
+}
+
+// TestEngineDifferentialAllAlgorithms runs every registered distributed
+// algorithm under both execution engines on identical seeds and requires
+// identical measurements: solutions (cost and size), round counts, and all
+// message statistics. This is the acceptance gate for the batch engine —
+// the engines must be observationally indistinguishable on the paper's
+// algorithms, not just on microbenchmarks.
+func TestEngineDifferentialAllAlgorithms(t *testing.T) {
+	for _, alg := range AlgorithmNames() {
+		entry, _ := lookupAlgorithm(alg)
+		if entry.Model == ModelCentralized {
+			continue
+		}
+		t.Run(alg, func(t *testing.T) {
+			for _, n := range []int{9, 26} {
+				gor := executeJob(differentialJob(alg, "goroutine", n, 0.5), nil)
+				bat := executeJob(differentialJob(alg, "batch", n, 0.5), nil)
+				if gor.Error != "" || bat.Error != "" {
+					t.Fatalf("n=%d: errors: goroutine=%q batch=%q", n, gor.Error, bat.Error)
+				}
+				// Neutralize the fields that legitimately differ, then
+				// require everything else to match exactly.
+				gor.Engine, bat.Engine = "", ""
+				gor.Elapsed, bat.Elapsed = 0, 0
+				if *gor != *bat {
+					t.Fatalf("n=%d: engines diverge:\ngoroutine: %+v\nbatch:     %+v", n, *gor, *bat)
+				}
+				if !gor.Verified {
+					t.Fatalf("n=%d: solution failed feasibility", n)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineAxisSweepIsDifferential runs a two-engine sweep through the
+// full Run path and checks that each (cell, trial) pair produced identical
+// measurements under both engines — the spec-level form of the
+// differential guarantee.
+func TestEngineAxisSweepIsDifferential(t *testing.T) {
+	spec := &Spec{
+		Name:     "diff",
+		RootSeed: 3,
+		Trials:   2,
+		Generators: []GeneratorSpec{
+			{Name: "connected-gnp"}, {Name: "random-tree"},
+		},
+		Sizes:       []int{14},
+		Algorithms:  []string{"mvc-congest", "mds-congest", "exact"},
+		EngineModes: []string{"goroutine", "batch"},
+		OracleN:     14,
+	}
+	rep, err := Run(context.Background(), spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d jobs failed", rep.Failed)
+	}
+	type key struct {
+		cell  string
+		trial int
+	}
+	seen := map[key]JobResult{}
+	distributed := 0
+	for _, r := range rep.Results {
+		if r.Model == ModelCentralized {
+			if r.Engine != "" {
+				t.Fatalf("centralized job carries engine %q", r.Engine)
+			}
+			continue
+		}
+		distributed++
+		k := key{scenarioKey(r.Generator, r.N, r.Power, r.Algorithm, r.Epsilon), r.Trial}
+		prev, ok := seen[k]
+		if !ok {
+			seen[k] = r
+			continue
+		}
+		if prev.Engine == r.Engine {
+			t.Fatalf("duplicate engine %q for %v", r.Engine, k)
+		}
+		prev.Engine, r.Engine = "", ""
+		prev.Elapsed, r.Elapsed = 0, 0
+		prev.Index, r.Index = 0, 0
+		if prev != r {
+			t.Fatalf("engines diverge for %v:\n%+v\n%+v", k, prev, r)
+		}
+	}
+	if want := 2 * 2 * 2; len(seen) != want || distributed != 2*want {
+		t.Fatalf("distributed results = %d over %d cells, want %d over %d",
+			distributed, len(seen), 2*want, want)
+	}
+	// The centralized exact baseline must appear once per scenario, not
+	// once per engine, and the expansion must say so.
+	if len(rep.Skipped) == 0 {
+		t.Fatal("expected engine-axis collapse notes for the centralized baseline")
+	}
+}
+
+// TestOracleCacheSharesInstanceAcrossAlgorithms checks the memoization
+// contract end to end: algorithms of one scenario cell run on the identical
+// graph (same InstanceSeed), so the per-run oracle solves each instance
+// once, and every algorithm reports the same optimum.
+func TestOracleCacheSharesInstanceAcrossAlgorithms(t *testing.T) {
+	spec := &Spec{
+		Name:       "oracle",
+		RootSeed:   5,
+		Trials:     2,
+		Generators: []GeneratorSpec{{Name: "connected-gnp"}},
+		Sizes:      []int{12, 16},
+		Algorithms: []string{"mvc-congest", "mvc-clique-rand", "gavril", "exact"},
+		OracleN:    16,
+	}
+	rep, err := Run(context.Background(), spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d jobs failed", rep.Failed)
+	}
+	type ik struct {
+		n     int
+		trial int
+	}
+	optima := map[ik]int64{}
+	for _, r := range rep.Results {
+		if r.InstanceSeed == 0 {
+			t.Fatalf("job %d has no instance seed", r.Index)
+		}
+		if r.Optimum < 0 {
+			t.Fatalf("job %d missing oracle optimum", r.Index)
+		}
+		k := ik{r.N, r.Trial}
+		if prev, ok := optima[k]; ok && prev != r.Optimum {
+			t.Fatalf("instance %v: optima differ across algorithms: %d vs %d", k, prev, r.Optimum)
+		}
+		optima[k] = r.Optimum
+	}
+}
+
+// TestOracleCacheSolvesOnce checks the cache mechanics directly: concurrent
+// lookups of one key run the solver exactly once.
+func TestOracleCacheSolvesOnce(t *testing.T) {
+	c := newOracleCache()
+	key := oracleKey{gen: "g", n: 5, power: 2, seed: 9, problem: ProblemMVC}
+	calls := 0
+	for i := 0; i < 4; i++ {
+		if got := c.optimum(key, func() int64 { calls++; return 42 }); got != 42 {
+			t.Fatalf("optimum = %d", got)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("solver ran %d times, want 1", calls)
+	}
+	other := key
+	other.problem = ProblemMDS
+	if got := c.optimum(other, func() int64 { return 7 }); got != 7 {
+		t.Fatalf("distinct key returned %d", got)
+	}
+	// A nil cache (direct executeJob use) still solves.
+	var nilCache *oracleCache
+	if got := nilCache.optimum(key, func() int64 { return 3 }); got != 3 {
+		t.Fatalf("nil cache returned %d", got)
+	}
+}

@@ -25,8 +25,12 @@ type JobResult struct {
 	Model     string        `json:"model"`
 	Problem   string        `json:"problem"`
 	Epsilon   float64       `json:"epsilon,omitempty"`
+	Engine    string        `json:"engine,omitempty"`
 	Trial     int           `json:"trial"`
 	Seed      int64         `json:"seed"`
+	// InstanceSeed is the seed that generated the graph (see
+	// Job.InstanceSeed); omitted for hand-built jobs that use Seed.
+	InstanceSeed int64 `json:"instanceSeed,omitempty"`
 
 	// Cost is the solution's weight on the power graph Gʳ.
 	Cost int64 `json:"cost"`
@@ -60,10 +64,12 @@ type JobResult struct {
 	Elapsed time.Duration `json:"-"`
 }
 
-// cellKey groups results into scenario cells for aggregation; it matches
-// Job.cellKey.
+// cellKey groups results into scenario cells for aggregation. Unlike
+// Job.cellKey (the seed-derivation key), it includes the engine mode, so a
+// two-engine sweep aggregates each engine's identical measurements — but
+// different wall clocks — into separate, comparable cells.
 func (r *JobResult) cellKey() string {
-	return scenarioKey(r.Generator, r.N, r.Power, r.Algorithm, r.Epsilon)
+	return scenarioKey(r.Generator, r.N, r.Power, r.Algorithm, r.Epsilon) + "|eng=" + r.Engine
 }
 
 // Progress is delivered once per completed job, in emission (job-index)
@@ -166,13 +172,18 @@ func RunJobs(ctx context.Context, jobs []Job, opts RunOptions) (*Report, error) 
 	jobCh := make(chan int)
 	resCh := make(chan ranked)
 
+	// One oracle cache per run: every job that needs the exact optimum of
+	// the same instance — all algorithms of one scenario cell share
+	// (generator, n, power, seed) — reuses a single exponential solve.
+	oracle := newOracleCache()
+
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for pos := range jobCh {
-				res := executeJob(jobs[pos])
+				res := executeJob(jobs[pos], oracle)
 				select {
 				case resCh <- ranked{rank[pos], res}:
 				case <-runCtx.Done():
@@ -271,22 +282,71 @@ func RunJobs(ctx context.Context, jobs []Job, opts RunOptions) (*Report, error) 
 	return report, ctx.Err()
 }
 
+// oracleKey identifies one instance for oracle memoization: the generator
+// (including parameters), n, power and seed pin the graph Gʳ exactly, and
+// the problem picks the solver.
+type oracleKey struct {
+	gen     string
+	n       int
+	power   int
+	seed    int64
+	problem string
+}
+
+// oracleCache memoizes exact-oracle optima across the jobs of one run.
+// Entries resolve through a per-key sync.Once, so concurrent workers
+// hitting the same instance block on one exponential solve instead of
+// duplicating it; the cached value is a pure function of the key, which
+// keeps results independent of worker interleaving.
+type oracleCache struct {
+	mu sync.Mutex
+	m  map[oracleKey]*oracleEntry
+}
+
+type oracleEntry struct {
+	once sync.Once
+	opt  int64
+}
+
+func newOracleCache() *oracleCache {
+	return &oracleCache{m: make(map[oracleKey]*oracleEntry)}
+}
+
+// optimum returns the memoized optimum for key, computing it with solve on
+// first use. A nil cache (direct executeJob calls in tests) just solves.
+func (c *oracleCache) optimum(key oracleKey, solve func() int64) int64 {
+	if c == nil {
+		return solve()
+	}
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &oracleEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.opt = solve() })
+	return e.opt
+}
+
 // executeJob runs one job start to finish: build the instance from the
 // job's seed, run the algorithm, verify feasibility on Gʳ, and consult the
 // exact oracle when enabled.  Panics anywhere inside are isolated into the
 // result's Error field so one bad cell cannot take down a sweep.
-func executeJob(job Job) (out *JobResult) {
+func executeJob(job Job, oracle *oracleCache) (out *JobResult) {
 	start := time.Now()
 	out = &JobResult{
-		Index:     job.Index,
-		Generator: job.Generator,
-		N:         job.N,
-		Power:     job.Power,
-		Algorithm: job.Algorithm,
-		Epsilon:   job.Epsilon,
-		Trial:     job.Trial,
-		Seed:      job.Seed,
-		Optimum:   -1,
+		Index:        job.Index,
+		Generator:    job.Generator,
+		N:            job.N,
+		Power:        job.Power,
+		Algorithm:    job.Algorithm,
+		Epsilon:      job.Epsilon,
+		Engine:       job.Engine,
+		Trial:        job.Trial,
+		Seed:         job.Seed,
+		InstanceSeed: job.InstanceSeed,
+		Optimum:      -1,
 	}
 	defer func() {
 		out.Elapsed = time.Since(start)
@@ -294,7 +354,8 @@ func executeJob(job Job) (out *JobResult) {
 			*out = JobResult{
 				Index: job.Index, Generator: job.Generator, N: job.N,
 				Power: job.Power, Algorithm: job.Algorithm,
-				Epsilon: job.Epsilon, Trial: job.Trial, Seed: job.Seed,
+				Epsilon: job.Epsilon, Engine: job.Engine,
+				Trial: job.Trial, Seed: job.Seed, InstanceSeed: job.InstanceSeed,
 				Optimum: -1,
 				Error:   fmt.Sprintf("panic: %v", rec),
 				Elapsed: time.Since(start),
@@ -310,7 +371,7 @@ func executeJob(job Job) (out *JobResult) {
 	out.Model = alg.Model
 	out.Problem = alg.Problem
 
-	rng := rand.New(rand.NewSource(job.Seed))
+	rng := rand.New(rand.NewSource(job.instanceSeed()))
 	g, err := job.Generator.Build(job.N, rng)
 	if err != nil {
 		out.Error = err.Error()
@@ -343,16 +404,25 @@ func executeJob(job Job) (out *JobResult) {
 	out.FallbackJoins = res.FallbackJoins
 
 	if job.OracleN > 0 && job.N <= job.OracleN {
+		key := oracleKey{
+			gen: job.Generator.Key(), n: job.N, power: job.Power,
+			seed: job.instanceSeed(), problem: alg.Problem,
+		}
 		var opt int64
 		switch {
 		case alg.Exact:
 			// The algorithm's own output is the optimum — don't pay the
-			// exponential solve a second time.
-			opt = out.Cost
+			// exponential solve a second time, and seed the cache for the
+			// other algorithms on this instance.
+			opt = oracle.optimum(key, func() int64 { return out.Cost })
 		case alg.Problem == ProblemMDS:
-			opt = verify.Cost(power, exact.DominatingSet(power))
+			opt = oracle.optimum(key, func() int64 {
+				return verify.Cost(power, exact.DominatingSet(power))
+			})
 		default:
-			opt = verify.Cost(power, exact.VertexCover(power))
+			opt = oracle.optimum(key, func() int64 {
+				return verify.Cost(power, exact.VertexCover(power))
+			})
 		}
 		out.Optimum = opt
 		out.Ratio = verify.RatioOf(out.Cost, opt).Value

@@ -37,9 +37,10 @@ func (s *JSONLSink) Close() error { return nil }
 // csvHeader is the fixed column order of CSVSink.
 var csvHeader = []string{
 	"index", "generator", "n", "power", "algorithm", "model", "problem",
-	"epsilon", "trial", "seed", "cost", "solutionSize", "verified",
-	"optimum", "ratio", "rounds", "messages", "totalBits", "maxRoundBits",
-	"bandwidth", "phaseISize", "fallbackJoins", "error",
+	"epsilon", "engine", "trial", "seed", "instanceSeed", "cost",
+	"solutionSize", "verified", "optimum", "ratio", "rounds", "messages",
+	"totalBits", "maxRoundBits", "bandwidth", "phaseISize", "fallbackJoins",
+	"error",
 }
 
 // CSVSink streams results as CSV with a fixed header row.
@@ -71,8 +72,10 @@ func (s *CSVSink) Write(r *JobResult) error {
 		r.Model,
 		r.Problem,
 		formatFloat(r.Epsilon),
+		r.Engine,
 		strconv.Itoa(r.Trial),
 		strconv.FormatInt(r.Seed, 10),
+		strconv.FormatInt(r.InstanceSeed, 10),
 		strconv.FormatInt(r.Cost, 10),
 		strconv.Itoa(r.SolutionSize),
 		strconv.FormatBool(r.Verified),

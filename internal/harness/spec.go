@@ -1,9 +1,10 @@
 // Package harness is the experiment-orchestration subsystem: it expands a
 // declarative scenario matrix (generator × n × algorithm × ε × power r ×
-// trial) into concrete jobs with deterministic per-job seeds, shards them
-// across a worker pool with cancellation and per-job panic isolation, and
-// streams results into pluggable sinks (JSONL, CSV) before aggregating
-// approximation-ratio and round/message/bit statistics per scenario cell.
+// engine mode × trial) into concrete jobs with deterministic per-job seeds,
+// shards them across a worker pool with cancellation and per-job panic
+// isolation, and streams results into pluggable sinks (JSONL, CSV) before
+// aggregating approximation-ratio and round/message/bit statistics per
+// scenario cell.
 //
 // The subsystem exists so that every sweep in the repo — the EXPERIMENTS.md
 // presets, cmd/powerbench, and future perf PRs — reports numbers through the
@@ -13,6 +14,22 @@
 // byte-identical JSONL output regardless of worker count.  Per-job seeds are
 // derived from the root seed by hashing the job's scenario coordinates, so
 // adding or removing cells never perturbs the seeds of unrelated cells.
+//
+// Two coordinates are deliberately excluded from seed derivation:
+//
+//   - The engine mode (Spec.EngineModes): the same cell under "goroutine"
+//     and "batch" replays the identical run, so a two-engine sweep is a
+//     built-in differential test of the simulator — measurements must
+//     match, only wall clock may differ.
+//   - The graph instance seed (Job.InstanceSeed) depends only on
+//     (generator, n, power, trial), never on algorithm or ε, so every
+//     algorithm in a scenario runs on the identical instance.
+//
+// Shared instances are what make the oracle cache work: when the exact
+// oracle is enabled (Spec.OracleN), the runner memoizes optima per
+// (generator, n, power, instance seed, problem) for the duration of one
+// run, so a matrix with k algorithms pays for each exponential exact solve
+// once instead of k times — roughly halving small-n sweep cost.
 package harness
 
 import (
@@ -21,6 +38,8 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
+
+	"powergraph/internal/congest"
 )
 
 // Spec declares a scenario matrix.  Every combination of Generators × Sizes
@@ -48,6 +67,15 @@ type Spec struct {
 	// Epsilons is the ε grid for (1+ε)-approximation algorithms
 	// (default [0.5]); ignored by algorithms without an ε knob.
 	Epsilons []float64 `json:"epsilons,omitempty"`
+	// EngineModes lists the simulator execution engines to sweep
+	// ("goroutine", "batch"; default [""] = the engine default). The mode
+	// never enters seed derivation — the same cell under two engines runs
+	// the same seeds and must produce identical measurements, which makes a
+	// two-engine sweep a live differential test — but it does split
+	// aggregation cells, so BENCH summaries compare the engines' wall
+	// clocks side by side. Centralized baselines ignore the axis (they run
+	// once, with the empty mode).
+	EngineModes []string `json:"engineModes,omitempty"`
 	// OracleN enables the exact oracle: cells with n ≤ OracleN also solve
 	// the instance exactly and report the approximation ratio (default 0 =
 	// never; the exact solvers are exponential in the worst case).
@@ -73,9 +101,20 @@ type Job struct {
 	Algorithm string        `json:"algorithm"`
 	// Epsilon is 0 for algorithms without an ε parameter.
 	Epsilon float64 `json:"epsilon,omitempty"`
-	Trial   int     `json:"trial"`
-	// Seed drives both graph generation and the algorithm's randomness.
+	// Engine is the simulator execution engine ("" = default goroutine;
+	// "batch" = the batched event-driven engine). It deliberately does not
+	// influence the derived seed: both engines replay the identical run.
+	Engine string `json:"engine,omitempty"`
+	Trial  int    `json:"trial"`
+	// Seed drives the algorithm's randomness.
 	Seed int64 `json:"seed"`
+	// InstanceSeed drives graph generation. Expand derives it from
+	// (generator, n, power, trial) only, so every algorithm (and engine
+	// mode) in a scenario cell runs on the identical instance — the paired
+	// design that makes cross-algorithm ratios meaningful and lets the
+	// runner's oracle cache solve each instance exactly once. Zero means
+	// "use Seed" (hand-built job lists keep their original behavior).
+	InstanceSeed int64 `json:"instanceSeed,omitempty"`
 	// OracleN, BandwidthFactor, MaxRounds are copied from the Spec.
 	OracleN         int `json:"oracleN,omitempty"`
 	BandwidthFactor int `json:"bandwidthFactor,omitempty"`
@@ -125,6 +164,11 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("harness: non-positive epsilon %v", e)
 		}
 	}
+	for _, m := range s.engineModes() {
+		if _, err := congest.ParseEngineMode(m); err != nil {
+			return err
+		}
+	}
 	if s.Trials < 0 {
 		return fmt.Errorf("harness: negative trial count %d", s.Trials)
 	}
@@ -152,6 +196,13 @@ func (s *Spec) epsilons() []float64 {
 	return s.Epsilons
 }
 
+func (s *Spec) engineModes() []string {
+	if len(s.EngineModes) == 0 {
+		return []string{""}
+	}
+	return s.EngineModes
+}
+
 // Expand materializes the matrix into jobs in canonical order
 // (generator, size, power, algorithm, ε, trial — innermost last).
 func (s *Spec) Expand() ([]Job, ExpandReport, error) {
@@ -175,22 +226,41 @@ func (s *Spec) Expand() ([]Job, ExpandReport, error) {
 					if alg.NeedsEps {
 						epsGrid = s.epsilons()
 					}
-					for _, eps := range epsGrid {
-						for t := 0; t < s.trials(); t++ {
-							j := Job{
-								Index:           len(jobs),
-								Generator:       gen,
-								N:               n,
-								Power:           r,
-								Algorithm:       name,
-								Epsilon:         eps,
-								Trial:           t,
-								OracleN:         s.OracleN,
-								BandwidthFactor: s.BandwidthFactor,
-								MaxRounds:       s.MaxRounds,
+					// Centralized baselines have no simulator, so the
+					// engine axis collapses to one mode-less job; extra
+					// modes are reported, not silently multiplied.
+					engines := s.engineModes()
+					if alg.Model == ModelCentralized {
+						if len(engines) > 1 {
+							rep.Skipped = append(rep.Skipped, fmt.Sprintf(
+								"%s × n=%d × r=%d: centralized algorithm %s ignores the engine axis (ran once)",
+								gen.Key(), n, r, name))
+						}
+						engines = []string{""}
+					}
+					for _, engine := range engines {
+						for _, eps := range epsGrid {
+							for t := 0; t < s.trials(); t++ {
+								j := Job{
+									Index:           len(jobs),
+									Generator:       gen,
+									N:               n,
+									Power:           r,
+									Algorithm:       name,
+									Epsilon:         eps,
+									Engine:          engine,
+									Trial:           t,
+									OracleN:         s.OracleN,
+									BandwidthFactor: s.BandwidthFactor,
+									MaxRounds:       s.MaxRounds,
+								}
+								// The engine mode is deliberately not part
+								// of the seed: both engines replay the
+								// same instance.
+								j.Seed = deriveSeed(s.RootSeed, j.cellKey(), t)
+								j.InstanceSeed = deriveSeed(s.RootSeed, j.instanceKey(), t)
+								jobs = append(jobs, j)
 							}
-							j.Seed = deriveSeed(s.RootSeed, j.cellKey(), t)
-							jobs = append(jobs, j)
 						}
 					}
 				}
@@ -213,6 +283,20 @@ func scenarioKey(gen GeneratorSpec, n, power int, algorithm string, eps float64)
 
 func (j *Job) cellKey() string {
 	return scenarioKey(j.Generator, j.N, j.Power, j.Algorithm, j.Epsilon)
+}
+
+// instanceKey is the coordinate of the graph instance alone — no
+// algorithm, ε, or engine — so all algorithms of a scenario share it.
+func (j *Job) instanceKey() string {
+	return fmt.Sprintf("%s|n=%d|r=%d|instance", j.Generator.Key(), j.N, j.Power)
+}
+
+// instanceSeed returns the seed that generates the job's graph.
+func (j *Job) instanceSeed() int64 {
+	if j.InstanceSeed != 0 {
+		return j.InstanceSeed
+	}
+	return j.Seed
 }
 
 // deriveSeed maps (root, cell, trial) to a seed via FNV-1a followed by a
