@@ -3,7 +3,7 @@
 GO ?= go
 OUT ?= bench-out
 
-.PHONY: build vet test race bench bench-engine sweep sweep-scale docs-check clean
+.PHONY: build vet test race race-diff bench bench-engine bench-step sweep sweep-scale docs-check clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,13 @@ test: vet docs-check
 race:
 	$(GO) test -race ./...
 
+# Race-detector pass over the engine differential and the step-vs-blocking
+# equivalence tests only (small n, a few minutes) — the CI race job.
+race-diff:
+	$(GO) test -race -count=1 \
+		-run 'TestEngineDifferentialAllAlgorithms|TestEngineAxisSweepIsDifferential|TestStep.*MatchesBlocking|TestStepPrimitivesMatchBlocking|TestRegistryRunsNativelyOnBatchEngine' \
+		./internal/congest/... ./internal/core/ ./internal/harness/
+
 # Go micro-benchmarks (bench_test.go and friends).
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
@@ -26,16 +33,23 @@ bench:
 bench-engine:
 	$(GO) test -bench=BenchmarkEngineModes -benchmem -run='^$$' ./internal/congest/
 
+# Per-algorithm comparison of the batch engine's two execution paths:
+# coroutine-adapted blocking reference vs native step program
+# (see internal/core/step_bench_test.go).
+bench-step:
+	$(GO) test -bench=BenchmarkStepVsCoroutine -benchmem -run='^$$' ./internal/core/
+
 # Full scenario sweep through the experiment harness; override SPEC to point
 # at another matrix, e.g. `make sweep SPEC=specs/power-sweep.json`.
 SPEC ?= specs/podc20-sweep.json
 sweep:
 	$(GO) run ./cmd/powerbench -spec $(SPEC) -out $(OUT)
 
-# Thousand-node engine-comparison sweep (regenerates BENCH_scale.json's
-# numbers; single worker so per-job wall clocks are uncontended).
+# Thousand-node engine-comparison sweep over all seven distributed
+# algorithms (regenerates BENCH_scale.json's numbers; single worker so
+# per-job wall clocks are uncontended).
 sweep-scale:
-	$(GO) run ./cmd/powerbench -spec specs/scale-sweep.json -workers 1 -out $(OUT)
+	$(GO) run ./cmd/powerbench -spec specs/step-sweep.json -workers 1 -out $(OUT)
 
 # Documentation gate: every package under internal/ must carry a package
 # comment (a "// Package <name> ..." line somewhere in the package).

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -40,6 +41,7 @@ func main() {
 
 func run() error {
 	var (
+		list       = flag.Bool("list", false, "print the registered algorithms, generators, and engine modes, then exit")
 		specPath   = flag.String("spec", "", "JSON spec file (overrides the matrix flags)")
 		name       = flag.String("name", "sweep", "sweep name (labels BENCH_<name>.json)")
 		generators = flag.String("generators", "connected-gnp,random-tree,caterpillar",
@@ -60,6 +62,11 @@ func run() error {
 		quiet    = flag.Bool("quiet", false, "suppress per-job progress on stderr")
 	)
 	flag.Parse()
+
+	if *list {
+		printRegistry(os.Stdout)
+		return nil
+	}
 
 	spec, err := buildSpec(*specPath, *name, *generators, *sizes, *algorithms,
 		*epsilons, *powers, *engines, *trials, *rootSeed, *oracleN)
@@ -130,6 +137,40 @@ func run() error {
 		return fmt.Errorf("interrupted after %d jobs (partial results flushed)", len(report.Results))
 	}
 	return nil
+}
+
+// printRegistry writes the -list output: every registry key a spec can name,
+// with enough context that spec authors stop guessing.
+func printRegistry(w io.Writer) {
+	fmt.Fprintln(w, "algorithms:")
+	for _, a := range harness.AlgorithmInfos() {
+		var tags []string
+		if a.NeedsEps {
+			tags = append(tags, "eps-grid")
+		}
+		if a.AnyPower {
+			tags = append(tags, "any-power")
+		} else {
+			tags = append(tags, "r=2")
+		}
+		if a.Exact {
+			tags = append(tags, "exact")
+		}
+		if a.NativeStep {
+			tags = append(tags, "native-step")
+		}
+		fmt.Fprintf(w, "  %-17s %-12s %-4s [%s]\n", a.Name, a.Model, a.Problem, strings.Join(tags, ","))
+		fmt.Fprintf(w, "  %-17s %s\n", "", a.Description)
+	}
+	fmt.Fprintln(w, "\ngenerators:")
+	for _, g := range harness.GeneratorNames() {
+		fmt.Fprintf(w, "  %-21s %s\n", g, harness.GeneratorDescription(g))
+	}
+	fmt.Fprintln(w, "\nengine modes:")
+	fmt.Fprintf(w, "  %-11s %s\n", "goroutine", "one goroutine per node, channel-rendezvous barrier (the default)")
+	fmt.Fprintf(w, "  %-11s %s\n", "batch", "single-scheduler round sweeps; native stepping for all registry algorithms (fast at large n)")
+	fmt.Fprintln(w, "\nListing several engine modes in a spec runs every distributed cell under each engine")
+	fmt.Fprintln(w, "on identical seeds, which makes the sweep a live engine-differential test.")
 }
 
 func buildSpec(specPath, name, generators, sizes, algorithms, epsilons, powers, engines string,

@@ -1,0 +1,76 @@
+package congest_test
+
+import (
+	"testing"
+
+	"powergraph/internal/congest"
+	"powergraph/internal/harness"
+)
+
+// TestRegistryBandwidthStaysLogarithmic is the CONGEST-budget property test:
+// every distributed registry algorithm, run under both engines at several
+// sizes, must keep its enforced per-message budget within a constant
+// multiple of ⌈log₂ n⌉ bits — the "O(log n)-bit messages" assumption all of
+// the paper's round bounds rely on. The simulator already rejects any single
+// message over the budget, so a clean run plus a bounded budget pins both
+// sides; a step-form rewrite that accidentally fattens a payload (or inflates
+// its declared width) fails here before it can skew any benchmark.
+//
+// The constant 8 is the largest bandwidth factor any algorithm requests
+// (Theorem 28's estimator payloads); everything else runs at the default 4.
+func TestRegistryBandwidthStaysLogarithmic(t *testing.T) {
+	const maxFactor = 8
+	var distributed []string
+	for _, info := range harness.AlgorithmInfos() {
+		if info.Model != harness.ModelCentralized {
+			distributed = append(distributed, info.Name)
+		}
+	}
+	spec := &harness.Spec{
+		Name:     "bandwidth",
+		RootSeed: 11,
+		Trials:   1,
+		Generators: []harness.GeneratorSpec{
+			// Weighted instances exercise the weight reports of Theorem 7.
+			{Name: "connected-gnp", MaxWeight: 20},
+			{Name: "random-tree"},
+		},
+		Sizes:       []int{10, 17, 33},
+		Algorithms:  distributed,
+		Epsilons:    []float64{0.5},
+		EngineModes: []string{"goroutine", "batch"},
+		OracleN:     0,
+	}
+	rep, err := harness.Run(t.Context(), spec, harness.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		for _, r := range rep.Results {
+			if r.Error != "" {
+				t.Errorf("%s n=%d eng=%s: %s", r.Algorithm, r.N, r.Engine, r.Error)
+			}
+		}
+		t.Fatalf("%d jobs failed", rep.Failed)
+	}
+	for _, r := range rep.Results {
+		idw := congest.IDBits(r.N)
+		if r.Bandwidth > maxFactor*idw {
+			t.Errorf("%s n=%d eng=%s: budget %d bits exceeds %d·⌈log₂ n⌉ = %d",
+				r.Algorithm, r.N, r.Engine, r.Bandwidth, maxFactor, maxFactor*idw)
+		}
+		if !r.Verified {
+			t.Errorf("%s n=%d eng=%s: solution failed feasibility", r.Algorithm, r.N, r.Engine)
+		}
+		// Internal consistency of the accounting: no round (and no total)
+		// can exceed what its message count allows under the budget.
+		if r.TotalBits > r.Messages*int64(r.Bandwidth) {
+			t.Errorf("%s n=%d eng=%s: totalBits %d > messages %d × budget %d",
+				r.Algorithm, r.N, r.Engine, r.TotalBits, r.Messages, r.Bandwidth)
+		}
+		if r.MaxRoundBits > r.TotalBits {
+			t.Errorf("%s n=%d eng=%s: maxRoundBits %d > totalBits %d",
+				r.Algorithm, r.N, r.Engine, r.MaxRoundBits, r.TotalBits)
+		}
+	}
+}

@@ -3,7 +3,21 @@ package congest
 import (
 	"fmt"
 	"iter"
+	"sync/atomic"
 )
+
+// adapterRuns counts batch-engine runs that fell back to the coroutine
+// adapter for a blocking handler (Run with EngineBatch) rather than stepping
+// a native StepProgram (RunProgram).
+var adapterRuns atomic.Int64
+
+// AdapterRuns reports how many batch-engine runs in this process adapted a
+// blocking handler via coroutines instead of stepping native StepPrograms.
+// Every registry algorithm is a native step program, so sweeps keep this
+// counter flat; it exists so tests can prove a hot path carries no coroutine
+// adaptation (the adapter remains as a compatibility shim for user-supplied
+// blocking handlers).
+func AdapterRuns() int64 { return adapterRuns.Load() }
 
 // The batched event-driven engine: a single scheduler goroutine advances
 // every node once per round (in id order) and then moves all queued messages

@@ -151,6 +151,7 @@ func Run[T any](cfg Config, handler Handler[T]) (*Result[T], error) {
 	}
 	outputs := make([]T, n)
 	if eng.mode == EngineBatch {
+		adapterRuns.Add(1)
 		steppers := make([]stepper, n)
 		for i := 0; i < n; i++ {
 			steppers[i] = &coroStepper[T]{eng: eng, nd: eng.nodes[i], handler: handler, outputs: outputs}

@@ -357,3 +357,687 @@ func (s *StepFloodItemsFromRoot) Step(nd *congest.Node) bool {
 
 // Items returns the root's items in root order; valid once done.
 func (s *StepFloodItemsFromRoot) Items() []congest.Message { return s.got }
+
+// StepHopMax floods a running maximum for a fixed number of hops (every
+// node sends every hop). After k hops each node holds the maximum over its
+// closed k-hop neighborhood. A positive width fixes the message size;
+// width ≤ 0 sends natural-width messages, the wire format of TwoHopMax.
+// Done on slice k.
+type StepHopMax struct {
+	m    int64
+	w, k int
+	r    int
+}
+
+// NewStepHopMax starts a k-hop maximum of value with width-bit messages.
+func NewStepHopMax(value int64, width, hops int) *StepHopMax {
+	return &StepHopMax{m: value, w: width, k: hops}
+}
+
+// NewStepTwoHopMax is the step form of TwoHopMax (2 natural-width flood
+// slices, done on slice 2): the "maximum ID in its two hop neighborhood"
+// test of Theorem 1's Phase I.
+func NewStepTwoHopMax(value int64) *StepHopMax { return &StepHopMax{m: value, k: 2} }
+
+// Step advances one round-slice.
+func (s *StepHopMax) Step(nd *congest.Node) bool {
+	if s.r >= 1 {
+		for _, in := range nd.Recv() {
+			if v := in.Msg.(congest.Int).V; v > s.m {
+				s.m = v
+			}
+		}
+	}
+	if s.r == s.k {
+		return true
+	}
+	if s.w > 0 {
+		nd.BroadcastNeighbors(congest.NewIntWidth(s.m, s.w))
+	} else {
+		nd.BroadcastNeighbors(congest.NewInt(s.m))
+	}
+	s.r++
+	return false
+}
+
+// Max returns the k-hop maximum; valid once done.
+func (s *StepHopMax) Max() int64 { return s.m }
+
+// StepMinFlood is one round of minimum aggregation over G-neighbors, the
+// estimator building block of Theorem 28's greedy-cover simulation: nodes
+// holding a sample (own ≥ 0) broadcast it with a fixed width, and every node
+// ends with the minimum of its own value and everything received (-1 when it
+// saw nothing). Done on slice 1.
+type StepMinFlood struct {
+	best  int64
+	width int
+	r     int
+}
+
+// NewStepMinFlood starts a min-flood contributing own (-1 = no sample).
+func NewStepMinFlood(own int64, width int) *StepMinFlood {
+	return &StepMinFlood{best: own, width: width}
+}
+
+// Step advances one round-slice.
+func (s *StepMinFlood) Step(nd *congest.Node) bool {
+	if s.r == 1 {
+		for _, in := range nd.Recv() {
+			m, ok := in.Msg.(congest.Int)
+			if !ok {
+				continue
+			}
+			if s.best < 0 || m.V < s.best {
+				s.best = m.V
+			}
+		}
+		return true
+	}
+	if s.best >= 0 {
+		nd.BroadcastNeighbors(congest.NewIntWidth(s.best, s.width))
+	}
+	s.r = 1
+	return false
+}
+
+// Min returns the aggregated minimum (-1 if nothing was seen); valid once
+// done.
+func (s *StepMinFlood) Min() int64 { return s.best }
+
+// RankID is StepRankFlood's message: a (rank, id) pair with explicit widths.
+type RankID struct {
+	Rank, ID       int64
+	WidthR, WidthI int
+}
+
+// Bits returns the total declared width.
+func (m RankID) Bits() int { return m.WidthR + m.WidthI }
+
+// StepRankFlood is one round of lexicographic (rank, id) minimum aggregation
+// over G-neighbors; rank < 0 means "no value". It also records which
+// neighbors sent a value (the first hop of Theorem 28's voting uses this to
+// detect neighboring candidates). Done on slice 1.
+type StepRankFlood struct {
+	rank, id int64
+	wR, wI   int
+	senders  map[int]bool
+	r        int
+}
+
+// NewStepRankFlood starts a rank-flood contributing (rank, id).
+func NewStepRankFlood(rank, id int64, rankW, idW int) *StepRankFlood {
+	return &StepRankFlood{rank: rank, id: id, wR: rankW, wI: idW}
+}
+
+// Step advances one round-slice.
+func (s *StepRankFlood) Step(nd *congest.Node) bool {
+	if s.r == 1 {
+		s.senders = make(map[int]bool)
+		for _, in := range nd.Recv() {
+			m, ok := in.Msg.(RankID)
+			if !ok {
+				continue
+			}
+			s.senders[in.From] = true
+			if s.rank < 0 || m.Rank < s.rank || (m.Rank == s.rank && m.ID < s.id) {
+				s.rank, s.id = m.Rank, m.ID
+			}
+		}
+		if s.rank < 0 {
+			s.id = -1
+		}
+		return true
+	}
+	if s.rank >= 0 {
+		nd.BroadcastNeighbors(RankID{Rank: s.rank, ID: s.id, WidthR: s.wR, WidthI: s.wI})
+	}
+	s.r = 1
+	return false
+}
+
+// Best returns the lexicographic minimum (rank, id); id is -1 when nothing
+// was seen. Valid once done.
+func (s *StepRankFlood) Best() (rank, id int64) { return s.rank, s.id }
+
+// Senders reports which neighbors sent a value this flood; valid once done.
+func (s *StepRankFlood) Senders() map[int]bool { return s.senders }
+
+// CandMin is StepCandidateMinFlood's message: a candidate id plus a
+// quantized sample.
+type CandMin struct {
+	Cand, Q        int64
+	WidthC, WidthQ int
+}
+
+// Bits returns the total declared width.
+func (m CandMin) Bits() int { return m.WidthC + m.WidthQ }
+
+// StepCandidateMinFlood is the two-round per-candidate minimum flood of
+// Theorem 28's vote estimation (the congestion-avoiding trick of
+// Section 6.1): voters broadcast a sample tagged with their chosen
+// candidate, relay nodes forward to each neighboring candidate only that
+// candidate's minimum, and candidates read their own minimum. Done on
+// slice 2.
+type StepCandidateMinFlood struct {
+	voteFor   int
+	own       int64
+	candNbrs  map[int]bool
+	candidate bool
+	wC, wQ    int
+	perCand   map[int64]int64
+	best      int64
+	r         int
+}
+
+// NewStepCandidateMinFlood starts one vote-estimation flood: voteFor is the
+// candidate this node contributes to (-1 = none), own its quantized sample
+// (-1 = none), candNbrs the G-neighbors known to be candidates, and
+// candidate whether this node collects a minimum for itself.
+func NewStepCandidateMinFlood(voteFor int, own int64, candNbrs map[int]bool, candidate bool, candW, sampleW int) *StepCandidateMinFlood {
+	return &StepCandidateMinFlood{
+		voteFor: voteFor, own: own, candNbrs: candNbrs, candidate: candidate,
+		wC: candW, wQ: sampleW, best: -1,
+	}
+}
+
+// Step advances one round-slice.
+func (s *StepCandidateMinFlood) Step(nd *congest.Node) bool {
+	switch s.r {
+	case 0:
+		if s.own >= 0 {
+			nd.BroadcastNeighbors(CandMin{Cand: int64(s.voteFor), Q: s.own, WidthC: s.wC, WidthQ: s.wQ})
+		}
+	case 1:
+		s.perCand = map[int64]int64{}
+		if s.own >= 0 {
+			s.perCand[int64(s.voteFor)] = s.own
+		}
+		for _, in := range nd.Recv() {
+			m, ok := in.Msg.(CandMin)
+			if !ok {
+				continue
+			}
+			if cur, seen := s.perCand[m.Cand]; !seen || m.Q < cur {
+				s.perCand[m.Cand] = m.Q
+			}
+		}
+		for _, u := range nd.Neighbors() {
+			if !s.candNbrs[u] {
+				continue
+			}
+			if q, ok := s.perCand[int64(u)]; ok {
+				nd.MustSend(u, CandMin{Cand: int64(u), Q: q, WidthC: s.wC, WidthQ: s.wQ})
+			}
+		}
+	default:
+		if s.candidate {
+			if q, ok := s.perCand[int64(nd.ID())]; ok {
+				s.best = q
+			}
+			for _, in := range nd.Recv() {
+				m, ok := in.Msg.(CandMin)
+				if !ok || m.Cand != int64(nd.ID()) {
+					continue
+				}
+				if s.best < 0 || m.Q < s.best {
+					s.best = m.Q
+				}
+			}
+		}
+		return true
+	}
+	s.r++
+	return false
+}
+
+// Min returns this candidate's vote minimum (-1 when it saw none, or when
+// the node is not a candidate); valid once done.
+func (s *StepCandidateMinFlood) Min() int64 { return s.best }
+
+// StepStatusExchange broadcasts a one-bit status to every G-neighbor and
+// collects the neighbors that reported 1 (the R/U-status exchanges of
+// Algorithm 1 and its variants). Done on slice 1.
+type StepStatusExchange struct {
+	status bool
+	on     []int
+	r      int
+}
+
+// NewStepStatusExchange starts a status exchange reporting status.
+func NewStepStatusExchange(status bool) *StepStatusExchange {
+	return &StepStatusExchange{status: status}
+}
+
+// Step advances one round-slice.
+func (s *StepStatusExchange) Step(nd *congest.Node) bool {
+	if s.r == 1 {
+		for _, in := range nd.Recv() {
+			if in.Msg.(congest.Int).V == 1 {
+				s.on = append(s.on, in.From)
+			}
+		}
+		return true
+	}
+	nd.BroadcastNeighbors(congest.NewIntWidth(bit(s.status), 1))
+	s.r = 1
+	return false
+}
+
+// On returns the neighbors that reported 1, in id order; valid once done.
+func (s *StepStatusExchange) On() []int { return s.on }
+
+// VotingConfig parameterizes StepVotingPhase.
+type VotingConfig struct {
+	// Tau is the candidacy threshold: a node is a candidate while its live
+	// degree exceeds Tau (and it has not yet succeeded).
+	Tau int
+	// RandomIters is the number of iterations drawing random ranks before
+	// ranks deterministically become node ids (the unconditional-termination
+	// switch of Theorem 11 / Section 3.3).
+	RandomIters int
+	// MaxIters is the fixed iteration count of the CONGEST variant (which
+	// has no cheap global OR); ignored when Clique is set.
+	MaxIters int
+	// Clique inserts the CONGESTED CLIQUE's global-OR round after each
+	// status exchange and terminates as soon as no candidate remains.
+	Clique bool
+	// RankWidth and IDWidth are the bit widths of rank and vote messages.
+	RankWidth int
+	IDWidth   int
+}
+
+// StepVotingPhase is the step form of the randomized-rounding Phase I shared
+// by Section 3.3 (plain CONGEST) and Theorem 11 (CONGESTED CLIQUE): each
+// iteration exchanges live status, lets candidates announce random ranks,
+// has live vertices vote for their highest-ranked incident candidate, and
+// moves the neighborhoods of sufficiently-voted candidates into the cover.
+// The clique variant spends one extra all-to-all round per iteration on the
+// global "any candidate left?" OR and stops on it; the CONGEST variant runs
+// a fixed iteration schedule instead. Done in the slice that collects the
+// final iteration's join flags (queuing nothing, so the next stage starts in
+// that same slice).
+type StepVotingPhase struct {
+	cfg     VotingConfig
+	rankMax int64
+
+	it, sub             int
+	inR, inS, succeeded bool
+	dR                  int
+	candidate           bool
+	voteFor             int
+}
+
+// NewStepVotingPhase starts the voting phase at this node.
+func NewStepVotingPhase(cfg VotingConfig) *StepVotingPhase {
+	return &StepVotingPhase{cfg: cfg, rankMax: int64(1) << uint(cfg.RankWidth), inR: true}
+}
+
+// Step advances one round-slice.
+func (s *StepVotingPhase) Step(nd *congest.Node) bool {
+	switch s.sub {
+	case 0: // iteration start: collect joins, then exchange live status
+		if s.it > 0 && len(nd.Recv()) > 0 {
+			s.inS, s.inR = true, false
+		}
+		if !s.cfg.Clique && s.it == s.cfg.MaxIters {
+			return true
+		}
+		nd.BroadcastNeighbors(congest.NewIntWidth(bit(s.inR), 1))
+		s.sub = 1
+	case 1: // count live neighbors; clique: start the global OR
+		s.dR = 0
+		for _, in := range nd.Recv() {
+			if in.Msg.(congest.Int).V == 1 {
+				s.dR++
+			}
+		}
+		s.candidate = !s.succeeded && s.dR > s.cfg.Tau
+		if s.cfg.Clique {
+			nd.Broadcast(congest.NewIntWidth(bit(s.candidate), 1))
+			s.sub = 2
+		} else {
+			s.sendRank(nd)
+			s.sub = 3
+		}
+	case 2: // clique only: read the OR; terminate, or announce ranks
+		any := s.candidate
+		for _, in := range nd.Recv() {
+			if in.Msg.(congest.Int).V == 1 {
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		s.sendRank(nd)
+		s.sub = 3
+	case 3: // live vertices vote for the best incident rank
+		s.voteFor = -1
+		var bestRank int64 = -1
+		if s.inR {
+			for _, in := range nd.Recv() {
+				m, ok := in.Msg.(congest.Int)
+				if !ok {
+					continue
+				}
+				// Highest rank wins; ties break toward the higher id
+				// (deterministic, consistent at every voter).
+				if m.V > bestRank || (m.V == bestRank && in.From > s.voteFor) {
+					bestRank = m.V
+					s.voteFor = in.From
+				}
+			}
+		}
+		if s.voteFor != -1 {
+			nd.BroadcastNeighbors(congest.NewIntWidth(int64(s.voteFor), s.cfg.IDWidth))
+		}
+		s.sub = 4
+	default: // count votes; successful candidates retire their neighborhoods
+		votes := 0
+		for _, in := range nd.Recv() {
+			if m, ok := in.Msg.(congest.Int); ok && int(m.V) == nd.ID() {
+				votes++
+			}
+		}
+		if s.candidate && votes*8 >= s.dR {
+			nd.BroadcastNeighbors(congest.Flag{})
+			s.succeeded = true
+		}
+		s.it++
+		s.sub = 0
+	}
+	return false
+}
+
+// sendRank announces this candidate's rank: random below the w.h.p. horizon,
+// then deterministically the node id.
+func (s *StepVotingPhase) sendRank(nd *congest.Node) {
+	if !s.candidate {
+		return
+	}
+	var rank int64
+	if s.it < s.cfg.RandomIters {
+		rank = nd.Rand().Int63n(s.rankMax)
+	} else {
+		rank = int64(nd.ID())
+	}
+	nd.BroadcastNeighbors(congest.NewIntWidth(rank, s.cfg.RankWidth))
+}
+
+// InR reports whether this node is still live (in R); valid once done.
+func (s *StepVotingPhase) InR() bool { return s.inR }
+
+// InS reports whether this node was moved into the cover during the phase;
+// valid once done.
+func (s *StepVotingPhase) InS() bool { return s.inS }
+
+// PayeeSelector chooses, from this node's neighbor weights and live
+// statuses, the neighbors a selected center would pay into the cover this
+// iteration (the ripe weight classes of Theorem 7). An empty result means
+// the node is not a candidate. The selector must be a pure function of its
+// arguments — it is consulted once per iteration at every node.
+type PayeeSelector func(nd *congest.Node, nbrWeight map[int]int64, inRNbr map[int]bool) []int
+
+// StepWeightedLocalRatio is the step form of Theorem 7's Phase I, the
+// weighted local-ratio payment loop: after one round learning neighbor
+// weights, each of the fixed lockstep iterations exchanges live status,
+// breaks symmetry between candidates with a 2-hop maximum, and lets each
+// selected center pay its chosen neighbors (the selector's ripe-class
+// members) into the cover; a final status exchange then collects the live
+// neighborhood U. A node starts live iff its own weight is positive
+// (zero-weight vertices are pre-covered, Section 3.2). Done in the slice
+// that collects the final U-status exchange.
+type StepWeightedLocalRatio struct {
+	iterations, wBits int
+	selector          PayeeSelector
+
+	sub, it   int
+	inR, inS  bool
+	nbrWeight map[int]int64
+	inRNbr    map[int]bool
+	ripe      []int
+	hop       *StepHopMax
+	uNbrs     []int
+}
+
+// Phase states of StepWeightedLocalRatio.
+const (
+	wlrWeights = iota // initial weight broadcast sent, awaiting delivery
+	wlrStatus         // status read + candidate selection + 2-hop max start
+	wlrHop            // 2-hop max in flight, payments on its final slice
+	wlrJoin           // join flags read + next status broadcast
+	wlrFinal          // final U-status read
+)
+
+// NewStepWeightedLocalRatio starts the weighted Phase I at this node; wBits
+// is the fixed width of a weight report.
+func NewStepWeightedLocalRatio(nd *congest.Node, iterations, wBits int, selector PayeeSelector) *StepWeightedLocalRatio {
+	inR := nd.Weight() > 0
+	return &StepWeightedLocalRatio{
+		iterations: iterations, wBits: wBits, selector: selector,
+		inR: inR, inS: !inR,
+	}
+}
+
+// Step advances one round-slice.
+func (s *StepWeightedLocalRatio) Step(nd *congest.Node) bool {
+	switch s.sub {
+	case wlrWeights:
+		nd.BroadcastNeighbors(congest.NewIntWidth(nd.Weight(), s.wBits))
+		// The weight read happens at the top of the next slice, which also
+		// broadcasts iteration 0's status — model it as iteration -1's join
+		// slice so the shared wlrJoin path handles both.
+		s.sub = wlrJoin
+		s.it = -1
+	case wlrJoin:
+		if s.it < 0 {
+			s.nbrWeight = make(map[int]int64, nd.Degree())
+			for _, in := range nd.Recv() {
+				s.nbrWeight[in.From] = in.Msg.(congest.Int).V
+			}
+			s.inRNbr = make(map[int]bool, nd.Degree())
+			for _, u := range nd.Neighbors() {
+				s.inRNbr[u] = s.nbrWeight[u] > 0
+			}
+		} else if len(nd.Recv()) > 0 {
+			s.inS, s.inR = true, false
+		}
+		s.it++
+		nd.BroadcastNeighbors(congest.NewIntWidth(bit(s.inR), 1))
+		if s.it == s.iterations {
+			s.sub = wlrFinal
+		} else {
+			s.sub = wlrStatus
+		}
+	case wlrStatus:
+		for _, in := range nd.Recv() {
+			s.inRNbr[in.From] = in.Msg.(congest.Int).V == 1
+		}
+		s.ripe = s.selector(nd, s.nbrWeight, s.inRNbr)
+		val := int64(0)
+		if len(s.ripe) > 0 {
+			val = int64(nd.ID()) + 1
+		}
+		s.hop = NewStepTwoHopMax(val)
+		s.hop.Step(nd)
+		s.sub = wlrHop
+	case wlrHop:
+		if !s.hop.Step(nd) {
+			return false
+		}
+		if len(s.ripe) > 0 && s.hop.Max() == int64(nd.ID())+1 {
+			for _, u := range s.ripe {
+				nd.MustSend(u, congest.Flag{})
+			}
+		}
+		s.sub = wlrJoin
+	default: // wlrFinal
+		for _, in := range nd.Recv() {
+			if in.Msg.(congest.Int).V == 1 {
+				s.uNbrs = append(s.uNbrs, in.From)
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// InR reports whether this node is still live; valid once done.
+func (s *StepWeightedLocalRatio) InR() bool { return s.inR }
+
+// InS reports whether this node was paid into the cover during Phase I;
+// valid once done.
+func (s *StepWeightedLocalRatio) InS() bool { return s.inS }
+
+// UNbrs returns the neighbors still live after Phase I (the F-edge
+// endpoints of Lemma 8), in id order; valid once done.
+func (s *StepWeightedLocalRatio) UNbrs() []int { return s.uNbrs }
+
+// NbrWeight returns the learned neighbor weights; valid once the first two
+// slices completed (it is what the PayeeSelector receives).
+func (s *StepWeightedLocalRatio) NbrWeight() map[int]int64 { return s.nbrWeight }
+
+// StepLeaderPipeline chains the CONGEST Phase II of Theorem 1 and its
+// variants: elect the minimum-id leader, build its BFS tree, pipeline every
+// node's items to the leader, let the leader turn the gathered items into an
+// answer (the solve callback, invoked only at the leader), and flood that
+// answer back to every node. Done when the flood finishes.
+type StepLeaderPipeline struct {
+	items []congest.Message
+	solve func(gathered []congest.Message) []congest.Message
+
+	sub      int
+	leader   *StepMinIDLeader
+	bfs      *StepBFSTree
+	tree     Tree
+	gather   *StepGatherAtRoot
+	flood    *StepFloodItemsFromRoot
+	leaderID int
+}
+
+// NewStepLeaderPipeline starts the pipeline: items are this node's
+// contributions to the leader gather; solve runs once at the leader over
+// everything gathered and returns the items to flood back.
+func NewStepLeaderPipeline(nd *congest.Node, items []congest.Message, solve func(gathered []congest.Message) []congest.Message) *StepLeaderPipeline {
+	return &StepLeaderPipeline{items: items, solve: solve, leader: NewStepMinIDLeader(nd)}
+}
+
+// Step advances one round-slice.
+func (s *StepLeaderPipeline) Step(nd *congest.Node) bool {
+	for {
+		switch s.sub {
+		case 0:
+			if !s.leader.Step(nd) {
+				return false
+			}
+			s.leaderID = s.leader.Leader()
+			s.bfs = NewStepBFSTree(nd, s.leaderID)
+			s.sub = 1
+		case 1:
+			if !s.bfs.Step(nd) {
+				return false
+			}
+			s.tree = s.bfs.Tree()
+			s.gather = NewStepGatherAtRoot(nd, &s.tree, s.items)
+			s.sub = 2
+		case 2:
+			if !s.gather.Step(nd) {
+				return false
+			}
+			var down []congest.Message
+			if nd.ID() == s.leaderID {
+				down = s.solve(s.gather.Collected())
+			}
+			s.flood = NewStepFloodItemsFromRoot(nd, &s.tree, down)
+			s.sub = 3
+		default:
+			return s.flood.Step(nd)
+		}
+	}
+}
+
+// Leader returns the elected leader id; valid once the election finished.
+func (s *StepLeaderPipeline) Leader() int { return s.leaderID }
+
+// Items returns the flooded answer in leader order; valid once done.
+func (s *StepLeaderPipeline) Items() []congest.Message { return s.flood.Items() }
+
+// StepCliqueLeader is the CONGESTED CLIQUE's one-round leader election
+// (Lemma 9): everyone flags everyone, the minimum id wins. Done on slice 1.
+type StepCliqueLeader struct {
+	leader int
+	r      int
+}
+
+// NewStepCliqueLeader starts the election at this node.
+func NewStepCliqueLeader(nd *congest.Node) *StepCliqueLeader {
+	return &StepCliqueLeader{leader: nd.ID()}
+}
+
+// Step advances one round-slice.
+func (s *StepCliqueLeader) Step(nd *congest.Node) bool {
+	if s.r == 1 {
+		for _, in := range nd.Recv() {
+			if in.From < s.leader {
+				s.leader = in.From
+			}
+		}
+		return true
+	}
+	nd.Broadcast(congest.Flag{})
+	s.r = 1
+	return false
+}
+
+// Leader returns the elected minimum id; valid once done.
+func (s *StepCliqueLeader) Leader() int { return s.leader }
+
+// StepDirectGather is Lemma 9's parallel direct shipping over the clique's
+// all-to-all links: in shipping slice j every non-root node sends its j-th
+// item straight to the root. maxItems must upper-bound every node's item
+// count and be common knowledge. The root ends with every item (its own
+// appended last); done on slice maxItems.
+type StepDirectGather struct {
+	root, maxItems int
+	items          []congest.Message
+	collected      []congest.Message
+	r              int
+}
+
+// NewStepDirectGather starts shipping this node's items to root.
+func NewStepDirectGather(root int, items []congest.Message, maxItems int) *StepDirectGather {
+	return &StepDirectGather{root: root, items: items, maxItems: maxItems}
+}
+
+// Step advances one round-slice.
+func (s *StepDirectGather) Step(nd *congest.Node) bool {
+	if s.r >= 1 && nd.ID() == s.root {
+		for _, in := range nd.Recv() {
+			s.collected = append(s.collected, in.Msg)
+		}
+	}
+	if s.r == s.maxItems {
+		if nd.ID() == s.root {
+			s.collected = append(s.collected, s.items...)
+		}
+		return true
+	}
+	if s.r < len(s.items) && nd.ID() != s.root {
+		nd.MustSend(s.root, s.items[s.r])
+	}
+	s.r++
+	return false
+}
+
+// Collected returns every gathered item at the root (nil elsewhere); valid
+// once done.
+func (s *StepDirectGather) Collected() []congest.Message {
+	return s.collected
+}
+
+func bit(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -20,12 +20,14 @@
 // leader computations, as in the paper).
 //
 // Every algorithm runs on either simulator engine via Options.Engine with
-// identical results (seeds fix the whole run). Algorithm 1 is written as a
-// congest.StepProgram — its per-round logic is a plain function call — so
-// the batch engine executes it with no per-node goroutines, which is what
-// makes the n ≥ 2000 sweeps of specs/scale-sweep.json practical; the other
-// algorithms are blocking handlers that the batch engine adapts via
-// coroutines.
+// identical results (seeds fix the whole run). All of them are written as
+// congest.StepPrograms — each node's per-round logic is a plain function
+// call — so the batch engine executes them with no per-node goroutines or
+// coroutine adaptation at all, which is what makes the n ≥ 2000 sweeps of
+// specs/step-sweep.json practical. Each algorithm's original blocking
+// handler is preserved verbatim in its *_equiv_test.go file, where an
+// equivalence test proves the step program message-for-message and
+// stat-for-stat indistinguishable from it on both engines.
 package core
 
 import (
@@ -139,6 +141,27 @@ func assemble(outs []nodeOut, stats congest.Stats) *Result {
 		}
 	}
 	return &Result{Solution: sol, PhaseISize: phase1, Stats: stats}
+}
+
+// coverIDItems encodes a cover as the width-idw vertex-id messages Phase II
+// floods back from the leader.
+func coverIDItems(cover *bitset.Set, idw int) []congest.Message {
+	var out []congest.Message
+	cover.ForEach(func(v int) bool {
+		out = append(out, congest.NewIntWidth(int64(v), idw))
+		return true
+	})
+	return out
+}
+
+// uEdgeItems encodes node id's F-edge reports {id, u}, one per live
+// neighbor u ∈ U, as the (v, u) pairs of Lemma 2's gather.
+func uEdgeItems(n, id int, uNbrs []int) []congest.Message {
+	items := make([]congest.Message, 0, len(uNbrs))
+	for _, u := range uNbrs {
+		items = append(items, congest.NewPair(n, int64(id), int64(u)))
+	}
+	return items
 }
 
 // epsilonToL converts ε into the paper's l = ⌈1/ε⌉ so that ε' = 1/l ≤ ε is

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"powergraph/internal/congest"
+	"powergraph/internal/congest/primitives"
 	"powergraph/internal/estimate"
 	"powergraph/internal/graph"
 )
@@ -19,34 +20,6 @@ type MDSOptions struct {
 	// O(log n·log Δ) phases w.h.p. Zero selects the default of 2.
 	PhaseFactor int
 }
-
-// quantMsg carries one quantized exponential sample (step-1 minima floods).
-type quantMsg struct {
-	Q     int64
-	Width int
-}
-
-func (m quantMsg) Bits() int { return m.Width }
-
-// candValMsg carries a per-candidate quantized minimum (step-4 vote
-// estimation): the candidate id plus the sample.
-type candValMsg struct {
-	Cand   int64
-	Q      int64
-	WidthC int
-	WidthQ int
-}
-
-func (m candValMsg) Bits() int { return m.WidthC + m.WidthQ }
-
-// rankIDMsg floods the lexicographically minimal (rank, id) candidate
-// within two hops (step-3 voting).
-type rankIDMsg struct {
-	Rank, ID       int64
-	WidthR, WidthI int
-}
-
-func (m rankIDMsg) Bits() int { return m.WidthR + m.WidthI }
 
 // ApproxMDSCongest runs Theorem 28: a randomized O(log Δ)-approximation for
 // minimum dominating set on G², communicating over G in the CONGEST model,
@@ -71,13 +44,58 @@ func (m rankIDMsg) Bits() int { return m.WidthR + m.WidthI }
 // After the w.h.p. phase budget, any still-uncovered vertex joins the
 // dominating set itself (feasibility is unconditional; Result.FallbackJoins
 // reports how many did, which is 0 w.h.p.).
+//
+// The algorithm is a congest.StepProgram over the greedy-cover step
+// primitives (StepMinFlood, StepHopMax, StepRankFlood,
+// StepCandidateMinFlood), so the batch engine drives it with no per-node
+// goroutine; the blocking reference is preserved in
+// mds_congest_equiv_test.go and TestStepMDSMatchesBlockingReference proves
+// the two indistinguishable.
 func ApproxMDSCongest(g *graph.Graph, opts *MDSOptions) (*Result, error) {
 	if opts == nil {
 		opts = &MDSOptions{}
 	}
+	p, bwf, err := deriveMDSParams(g, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := congest.Config{
+		Graph:           g,
+		Model:           congest.CONGEST,
+		Engine:          opts.engine(),
+		BandwidthFactor: bwf,
+		MaxRounds:       opts.Options.MaxRounds,
+		Seed:            opts.Options.Seed,
+		CutA:            opts.Options.CutA,
+	}
+	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
+		prog := &mdsCongestProgram{mdsParams: *p}
+		prog.startPhase(nd)
+		return prog
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := assemble(res.Outputs, res.Stats)
+	out.FallbackJoins = out.PhaseISize
+	out.PhaseISize = -1
+	return out, nil
+}
+
+// mdsParams derives the shared simulation parameters of Theorem 28 from the
+// graph and options: estimator repetitions r, phase budget, message widths,
+// and the bandwidth factor wide enough for the largest estimator payload.
+type mdsParams struct {
+	n, r, phases                 int
+	idw, fracBits, qWidth, rankW int
+	rankMax                      int64
+}
+
+func deriveMDSParams(g *graph.Graph, opts *MDSOptions) (*mdsParams, int, error) {
 	n := g.N()
 	if n == 0 {
-		return nil, fmt.Errorf("core: empty graph")
+		return nil, 0, fmt.Errorf("core: empty graph")
 	}
 	idw := congest.IDBits(n)
 	sampleFactor := opts.SampleFactor
@@ -99,7 +117,6 @@ func ApproxMDSCongest(g *graph.Graph, opts *MDSOptions) (*Result, error) {
 	fracBits := 2*idw + 4
 	qWidth := estimate.IntBits + fracBits
 	rankW := 4 * idw
-	rankMax := int64(1) << uint(rankW)
 	// Largest message: candidate id + quantized value. Pick the bandwidth
 	// factor so it fits (Θ(log n) with a bigger constant than the MVC
 	// algorithms, as the estimator payloads are wider).
@@ -111,228 +128,227 @@ func ApproxMDSCongest(g *graph.Graph, opts *MDSOptions) (*Result, error) {
 			bwf = 8
 		}
 	}
+	return &mdsParams{
+		n: n, r: r, phases: phases,
+		idw: idw, fracBits: fracBits, qWidth: qWidth, rankW: rankW,
+		rankMax: int64(1) << uint(rankW),
+	}, bwf, nil
+}
 
-	cfg := congest.Config{
-		Graph:           g,
-		Model:           congest.CONGEST,
-		Engine:          opts.engine(),
-		BandwidthFactor: bwf,
-		MaxRounds:       opts.Options.MaxRounds,
-		Seed:            opts.Options.Seed,
-		CutA:            opts.Options.CutA,
+// Sub-stages of one mdsCongestProgram phase, entered in order.
+const (
+	mdsEstimate = iota // step 1: r chained coverage min-flood pairs
+	mdsHop             // step 2: 4-hop ρ̃ maximum
+	mdsRank            // step 3: two chained (rank, id) floods
+	mdsVotes           // step 4: r chained per-candidate vote floods
+	mdsCover           // step 6: two-round coverage flood
+)
+
+// mdsCongestProgram is Theorem 28 in step form: each phase chains the
+// greedy-cover primitives — coverage estimation, candidate selection by
+// 4-hop maximum, rank voting, vote estimation, and the coverage flood —
+// with every stage starting in the slice its predecessor finishes, exactly
+// like the blocking composition.
+type mdsCongestProgram struct {
+	mdsParams
+
+	covered, inDS, fallback bool
+
+	phase, sub, j int
+
+	// Step 1 (coverage estimation) state.
+	flood      *primitives.StepMinFlood
+	floodStage int
+	minima     []float64
+	sawAny     bool
+	dTilde     float64
+	rho        int64
+
+	// Step 2 (candidate selection) state.
+	hop *primitives.StepHopMax
+
+	// Step 3 (rank voting) state.
+	rank      *primitives.StepRankFlood
+	rankStage int
+	candNbrs  map[int]bool
+	candidate bool
+	voteFor   int
+
+	// Step 4 (vote estimation) state.
+	votes      *primitives.StepCandidateMinFlood
+	voteMinima []float64
+	gotVotes   bool
+
+	// Step 6 (coverage flood) state.
+	joined   bool
+	covRound int
+}
+
+// startPhase resets the per-phase estimator state and stages the first
+// coverage min-flood (its send is queued by the next Step call).
+func (p *mdsCongestProgram) startPhase(nd *congest.Node) {
+	p.minima = p.minima[:0]
+	p.sawAny = true
+	p.j = 0
+	p.floodStage = 0
+	p.flood = primitives.NewStepMinFlood(p.coverageSample(nd), p.qWidth)
+	p.sub = mdsEstimate
+}
+
+// coverageSample draws one quantized Exp(1) sample, or -1 when this node is
+// already covered and contributes nothing.
+func (p *mdsCongestProgram) coverageSample(nd *congest.Node) int64 {
+	if p.covered {
+		return -1
 	}
-	res, err := congest.Run(cfg, func(nd *congest.Node) (nodeOut, error) {
-		covered := false
-		inDS := false
-		rng := nd.Rand()
+	return estimate.Quantize(estimate.Sample(nd.Rand()), p.fracBits)
+}
 
-		for phase := 0; phase < phases; phase++ {
-			// Step 1: estimate C_v = |uncovered ∩ ball₂(v)| via r
-			// two-round min-floods of quantized Exp(1) samples.
-			minima := make([]float64, 0, r)
-			sawAny := true
-			for j := 0; j < r; j++ {
-				var own int64 = -1 // -1 = no sample to contribute
-				if !covered {
-					own = estimate.Quantize(estimate.Sample(rng), fracBits)
-				}
-				m1 := minFlood(nd, own, qWidth)
-				m2 := minFlood(nd, m1, qWidth)
-				if m2 < 0 {
-					sawAny = false
-					continue
-				}
-				minima = append(minima, estimate.Dequantize(m2, fracBits))
-			}
-			var dTilde float64
-			var rho int64
-			if sawAny && len(minima) == r {
-				dTilde = estimate.FromMinima(minima)
-				if dTilde > float64(n) {
-					dTilde = float64(n) // clamp: can never cover more than n
-				}
-				rho = estimate.RoundUpPow2(dTilde)
-			}
+// voteSample draws one quantized sample toward the chosen candidate, or -1
+// when this node votes for nobody.
+func (p *mdsCongestProgram) voteSample(nd *congest.Node) int64 {
+	if p.voteFor == -1 {
+		return -1
+	}
+	return estimate.Quantize(estimate.Sample(nd.Rand()), p.fracBits)
+}
 
-			// Step 2: candidates are 4-hop (G-distance) maxima of ρ̃.
-			maxRho := rho
-			for hop := 0; hop < 4; hop++ {
-				nd.BroadcastNeighbors(congest.NewIntWidth(maxRho, idw+2))
-				nd.NextRound()
-				for _, in := range nd.Recv() {
-					if v := in.Msg.(congest.Int).V; v > maxRho {
-						maxRho = v
-					}
-				}
+func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
+	for {
+		switch p.sub {
+		case mdsEstimate:
+			if !p.flood.Step(nd) {
+				return false, nil
 			}
-			candidate := rho > 0 && rho >= maxRho
-
-			// Step 3: candidates draw ranks; uncovered vertices vote for
-			// the minimal (rank, id) candidate within two hops.
+			if p.floodStage == 0 {
+				// Second hop of the two-round min-flood.
+				p.flood = primitives.NewStepMinFlood(p.flood.Min(), p.qWidth)
+				p.floodStage = 1
+				continue
+			}
+			if m2 := p.flood.Min(); m2 < 0 {
+				p.sawAny = false
+			} else {
+				p.minima = append(p.minima, estimate.Dequantize(m2, p.fracBits))
+			}
+			p.j++
+			if p.j < p.r {
+				p.floodStage = 0
+				p.flood = primitives.NewStepMinFlood(p.coverageSample(nd), p.qWidth)
+				continue
+			}
+			p.dTilde = 0
+			p.rho = 0
+			if p.sawAny && len(p.minima) == p.r {
+				p.dTilde = estimate.FromMinima(p.minima)
+				if p.dTilde > float64(p.n) {
+					p.dTilde = float64(p.n) // clamp: can never cover more than n
+				}
+				p.rho = estimate.RoundUpPow2(p.dTilde)
+			}
+			p.hop = primitives.NewStepHopMax(p.rho, p.idw+2, 4)
+			p.sub = mdsHop
+		case mdsHop:
+			if !p.hop.Step(nd) {
+				return false, nil
+			}
+			p.candidate = p.rho > 0 && p.rho >= p.hop.Max()
 			var myRank int64 = -1
-			if candidate {
-				myRank = rng.Int63n(rankMax)
+			if p.candidate {
+				myRank = nd.Rand().Int63n(p.rankMax)
 			}
-			r1, id1, fromNbr := rankFlood(nd, myRank, int64(nd.ID()), rankW, idw)
-			_, id2, _ := rankFlood(nd, r1, id1, rankW, idw)
-			candNbrs := fromNbr // which G-neighbors are candidates (direct senders in flood 1)
-			voteFor := -1
-			if !covered && id2 >= 0 {
-				voteFor = int(id2)
+			p.rank = primitives.NewStepRankFlood(myRank, int64(nd.ID()), p.rankW, p.idw)
+			p.rankStage = 0
+			p.sub = mdsRank
+		case mdsRank:
+			if !p.rank.Step(nd) {
+				return false, nil
 			}
-
-			// Step 4: estimate per-candidate vote counts with r repetitions
-			// of a two-round per-candidate min-flood.
-			voteMinima := make([]float64, 0, r)
-			gotVotes := true
-			for j := 0; j < r; j++ {
-				var own int64 = -1
-				if voteFor != -1 {
-					own = estimate.Quantize(estimate.Sample(rng), fracBits)
-				}
-				// Round A: voters broadcast (candidate, sample).
-				if own >= 0 {
-					nd.BroadcastNeighbors(candValMsg{Cand: int64(voteFor), Q: own, WidthC: idw, WidthQ: qWidth})
-				}
-				nd.NextRound()
-				perCand := map[int64]int64{}
-				if own >= 0 {
-					perCand[int64(voteFor)] = own
-				}
-				for _, in := range nd.Recv() {
-					m, ok := in.Msg.(candValMsg)
-					if !ok {
-						continue
-					}
-					if cur, seen := perCand[m.Cand]; !seen || m.Q < cur {
-						perCand[m.Cand] = m.Q
-					}
-				}
-				// Round B: forward each neighboring candidate its minimum.
-				for _, u := range nd.Neighbors() {
-					if !candNbrs[u] {
-						continue
-					}
-					if q, ok := perCand[int64(u)]; ok {
-						nd.MustSend(u, candValMsg{Cand: int64(u), Q: q, WidthC: idw, WidthQ: qWidth})
-					}
-				}
-				nd.NextRound()
-				best := int64(-1)
-				if candidate {
-					if q, ok := perCand[int64(nd.ID())]; ok {
-						best = q
-					}
-					for _, in := range nd.Recv() {
-						m, ok := in.Msg.(candValMsg)
-						if !ok || m.Cand != int64(nd.ID()) {
-							continue
-						}
-						if best < 0 || m.Q < best {
-							best = m.Q
-						}
-					}
-				}
-				if best < 0 {
-					gotVotes = false
-					continue
-				}
-				voteMinima = append(voteMinima, estimate.Dequantize(best, fracBits))
+			if p.rankStage == 0 {
+				r1, id1 := p.rank.Best()
+				// Direct senders in the first flood are the neighboring
+				// candidates (used to route step 4's forwarded minima).
+				p.candNbrs = p.rank.Senders()
+				p.rank = primitives.NewStepRankFlood(r1, id1, p.rankW, p.idw)
+				p.rankStage = 1
+				continue
 			}
-
+			_, id2 := p.rank.Best()
+			p.voteFor = -1
+			if !p.covered && id2 >= 0 {
+				p.voteFor = int(id2)
+			}
+			p.voteMinima = p.voteMinima[:0]
+			p.gotVotes = true
+			p.j = 0
+			p.votes = primitives.NewStepCandidateMinFlood(
+				p.voteFor, p.voteSample(nd), p.candNbrs, p.candidate, p.idw, p.qWidth)
+			p.sub = mdsVotes
+		case mdsVotes:
+			if !p.votes.Step(nd) {
+				return false, nil
+			}
+			if best := p.votes.Min(); best < 0 {
+				p.gotVotes = false
+			} else {
+				p.voteMinima = append(p.voteMinima, estimate.Dequantize(best, p.fracBits))
+			}
+			p.j++
+			if p.j < p.r {
+				p.votes = primitives.NewStepCandidateMinFlood(
+					p.voteFor, p.voteSample(nd), p.candNbrs, p.candidate, p.idw, p.qWidth)
+				continue
+			}
 			// Step 5: join on votes ≥ C̃_v/8.
-			joined := false
-			if candidate && gotVotes && len(voteMinima) == r {
-				votes := estimate.FromMinima(voteMinima)
-				if votes > float64(n) {
-					votes = float64(n)
+			p.joined = false
+			if p.candidate && p.gotVotes && len(p.voteMinima) == p.r {
+				votes := estimate.FromMinima(p.voteMinima)
+				if votes > float64(p.n) {
+					votes = float64(p.n)
 				}
-				if votes >= dTilde/8 {
-					inDS = true
-					joined = true
-					covered = true
+				if votes >= p.dTilde/8 {
+					p.inDS = true
+					p.joined = true
+					p.covered = true
 				}
 			}
-
 			// Step 6: two-round coverage flood from new members.
-			if joined {
+			if p.joined {
 				nd.BroadcastNeighbors(congest.Flag{})
 			}
-			nd.NextRound()
-			relay := joined || len(nd.Recv()) > 0
+			p.covRound = 0
+			p.sub = mdsCover
+			return false, nil
+		default: // mdsCover
+			if p.covRound == 0 {
+				relay := p.joined || len(nd.Recv()) > 0
+				if len(nd.Recv()) > 0 {
+					p.covered = true
+				}
+				if relay {
+					nd.BroadcastNeighbors(congest.Flag{})
+				}
+				p.covRound = 1
+				return false, nil
+			}
 			if len(nd.Recv()) > 0 {
-				covered = true
+				p.covered = true
 			}
-			if relay {
-				nd.BroadcastNeighbors(congest.Flag{})
+			p.phase++
+			if p.phase < p.phases {
+				p.startPhase(nd)
+				continue
 			}
-			nd.NextRound()
-			if len(nd.Recv()) > 0 {
-				covered = true
+			// Unconditional feasibility: leftover uncovered vertices join.
+			if !p.covered {
+				p.inDS = true
+				p.fallback = true
 			}
+			return true, nil
 		}
-
-		// Unconditional feasibility: leftover uncovered vertices join.
-		fallback := false
-		if !covered {
-			inDS = true
-			fallback = true
-		}
-		return nodeOut{InSolution: inDS, InPhaseI: fallback}, nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	out := assemble(res.Outputs, res.Stats)
-	out.FallbackJoins = out.PhaseISize
-	out.PhaseISize = -1
-	return out, nil
 }
 
-// minFlood performs one round of minimum aggregation: nodes with own ≥ 0
-// send it to all G-neighbors; everyone returns the minimum of its own value
-// and everything received (-1 if nothing was seen).
-func minFlood(nd *congest.Node, own int64, width int) int64 {
-	if own >= 0 {
-		nd.BroadcastNeighbors(quantMsg{Q: own, Width: width})
-	}
-	nd.NextRound()
-	best := own
-	for _, in := range nd.Recv() {
-		m, ok := in.Msg.(quantMsg)
-		if !ok {
-			continue
-		}
-		if best < 0 || m.Q < best {
-			best = m.Q
-		}
-	}
-	return best
-}
-
-// rankFlood performs one round of lexicographic (rank, id) minimum
-// aggregation; rank < 0 means "no value". It also reports which neighbors
-// sent a value this round (used to detect neighboring candidates in the
-// first hop of the flood).
-func rankFlood(nd *congest.Node, rank, id int64, rankW, idW int) (int64, int64, map[int]bool) {
-	if rank >= 0 {
-		nd.BroadcastNeighbors(rankIDMsg{Rank: rank, ID: id, WidthR: rankW, WidthI: idW})
-	}
-	nd.NextRound()
-	bestR, bestID := rank, id
-	senders := make(map[int]bool)
-	for _, in := range nd.Recv() {
-		m, ok := in.Msg.(rankIDMsg)
-		if !ok {
-			continue
-		}
-		senders[in.From] = true
-		if bestR < 0 || m.Rank < bestR || (m.Rank == bestR && m.ID < bestID) {
-			bestR, bestID = m.Rank, m.ID
-		}
-	}
-	if bestR < 0 {
-		bestID = -1
-	}
-	return bestR, bestID, senders
+func (p *mdsCongestProgram) Output() nodeOut {
+	return nodeOut{InSolution: p.inDS, InPhaseI: p.fallback}
 }

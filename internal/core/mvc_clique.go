@@ -12,6 +12,12 @@ import (
 // rounds. Phase I is Algorithm 1's (run over G-edges); Phase II uses the
 // clique's all-to-all links: every node ships its ≤ 1/ε F-edges straight to
 // the leader in parallel (Lemma 9) and the leader answers in one round.
+//
+// The algorithm is a congest.StepProgram (clique-model broadcast primitives
+// StepCliqueLeader and StepDirectGather serve Phase II); the blocking
+// reference is preserved in mvc_clique_equiv_test.go and
+// TestStepCliqueDetMatchesBlockingReference proves the two
+// indistinguishable.
 func ApproxMVCCliqueDeterministic(g *graph.Graph, eps float64, opts *Options) (*Result, error) {
 	l, err := epsilonToL(eps)
 	if err != nil {
@@ -36,54 +42,11 @@ func ApproxMVCCliqueDeterministic(g *graph.Graph, eps float64, opts *Options) (*
 		Seed:            opts.seed(),
 		CutA:            opts.cutA(),
 	}
-	res, err := congest.Run(cfg, func(nd *congest.Node) (nodeOut, error) {
-		inR, inC, inS := true, true, false
-
-		// Phase I (identical to Algorithm 1's, over G-edges), with an
-		// early-exit check per iteration: the clique's all-to-all round
-		// computes the global "any candidate left?" OR for one extra round
-		// per iteration, so quiet instances stop in O(1) iterations.
-		for it := 0; it < iterations; it++ {
-			nd.BroadcastNeighbors(congest.NewIntWidth(boolBit(inR), 1))
-			nd.NextRound()
-			dR := 0
-			for _, in := range nd.Recv() {
-				if in.Msg.(congest.Int).V == 1 {
-					dR++
-				}
-			}
-			candidate := inC && dR > l
-			// Global OR via the clique.
-			nd.Broadcast(congest.NewIntWidth(boolBit(candidate), 1))
-			nd.NextRound()
-			any := candidate
-			for _, in := range nd.Recv() {
-				if in.Msg.(congest.Int).V == 1 {
-					any = true
-				}
-			}
-			if !any {
-				break
-			}
-			val := int64(0)
-			if candidate {
-				val = int64(nd.ID()) + 1
-			}
-			maxVal := primitives.TwoHopMax(nd, val)
-			selected := candidate && maxVal == int64(nd.ID())+1
-			if selected {
-				nd.BroadcastNeighbors(congest.Flag{})
-				inC = false
-			}
-			nd.NextRound()
-			if len(nd.Recv()) > 0 {
-				inS = true
-				inR = false
-			}
+	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
+		return &mvcCliqueDetProgram{
+			n: n, l: l, iterations: iterations, solver: solver,
+			inR: true, inC: true,
 		}
-
-		sol := cliquePhaseII(nd, inR, l, solver)
-		return nodeOut{InSolution: inS || sol, InPhaseI: inS}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -91,65 +54,182 @@ func ApproxMVCCliqueDeterministic(g *graph.Graph, eps float64, opts *Options) (*
 	return assemble(res.Outputs, res.Stats), nil
 }
 
-// cliquePhaseII is the shared CONGESTED CLIQUE Phase II (Lemma 9): a
-// one-round leader election, a final U-status exchange, maxItems parallel
-// rounds of direct F-edge shipping to the leader, a local solve, and a
-// one-round answer. It returns whether this node is in the leader's cover.
-// maxItems must upper-bound every node's F-edge count.
-func cliquePhaseII(nd *congest.Node, inR bool, maxItems int, solver LocalSolver) bool {
-	n := nd.N()
-	// Leader election: everyone flags everyone; min id wins (always 0, but
-	// paid for honestly with one clique round).
-	nd.Broadcast(congest.Flag{})
-	nd.NextRound()
-	leader := nd.ID()
-	for _, in := range nd.Recv() {
-		if in.From < leader {
-			leader = in.From
-		}
-	}
-	// U-status exchange over G-edges.
-	nd.BroadcastNeighbors(congest.NewIntWidth(boolBit(inR), 1))
-	nd.NextRound()
-	var items []congest.Message
-	for _, in := range nd.Recv() {
-		if in.Msg.(congest.Int).V == 1 {
-			items = append(items, congest.NewPair(n, int64(nd.ID()), int64(in.From)))
-		}
-	}
-	if len(items) > maxItems {
-		// Protocol invariant broken: Phase I should have bounded U-degrees.
-		panic("core: clique Phase II item bound violated")
-	}
-	// Parallel direct shipping: round j sends each node's j-th item.
-	var gathered []congest.Message
-	for j := 0; j < maxItems; j++ {
-		if j < len(items) && nd.ID() != leader {
-			nd.MustSend(leader, items[j])
-		}
-		nd.NextRound()
-		if nd.ID() == leader {
-			for _, in := range nd.Recv() {
-				gathered = append(gathered, in.Msg)
+// Phase-I states of mvcCliqueDetProgram.
+const (
+	cliqueDetStatus = iota // join read + status broadcast (or Phase II entry)
+	cliqueDetDR            // status read + clique OR start
+	cliqueDetOR            // OR read: early exit, or 2-hop max start
+	cliqueDetHop           // 2-hop max in flight, JOINs on its final slice
+)
+
+// mvcCliqueDetProgram is Corollary 10 in step form. Phase I mirrors
+// Algorithm 1's center selection over G-edges with one extra clique round
+// per iteration computing the global "any candidate left?" OR, so quiet
+// instances stop in O(1) iterations; Phase II is the step-form Lemma 9
+// gather (cliqueStepPhaseII).
+type mvcCliqueDetProgram struct {
+	n, l, iterations int
+	solver           LocalSolver
+
+	sub, it       int
+	inR, inC, inS bool
+	candidate     bool
+	hop           *primitives.StepHopMax
+	phase2        *cliqueStepPhaseII
+}
+
+func (p *mvcCliqueDetProgram) Step(nd *congest.Node) (bool, error) {
+	for {
+		if p.phase2 != nil {
+			if !p.phase2.Step(nd) {
+				return false, nil
 			}
+			return true, nil
+		}
+		switch p.sub {
+		case cliqueDetStatus:
+			if p.it > 0 && len(nd.Recv()) > 0 {
+				p.inS = true
+				p.inR = false
+			}
+			if p.it == p.iterations {
+				p.enterPhaseII(nd)
+				continue
+			}
+			nd.BroadcastNeighbors(congest.NewIntWidth(boolBit(p.inR), 1))
+			p.sub = cliqueDetDR
+			return false, nil
+		case cliqueDetDR:
+			dR := 0
+			for _, in := range nd.Recv() {
+				if in.Msg.(congest.Int).V == 1 {
+					dR++
+				}
+			}
+			p.candidate = p.inC && dR > p.l
+			// Global OR via the clique.
+			nd.Broadcast(congest.NewIntWidth(boolBit(p.candidate), 1))
+			p.sub = cliqueDetOR
+			return false, nil
+		case cliqueDetOR:
+			any := p.candidate
+			for _, in := range nd.Recv() {
+				if in.Msg.(congest.Int).V == 1 {
+					any = true
+				}
+			}
+			if !any {
+				p.enterPhaseII(nd)
+				continue
+			}
+			val := int64(0)
+			if p.candidate {
+				val = int64(nd.ID()) + 1
+			}
+			p.hop = primitives.NewStepTwoHopMax(val)
+			p.hop.Step(nd)
+			p.sub = cliqueDetHop
+			return false, nil
+		default: // cliqueDetHop
+			if !p.hop.Step(nd) {
+				return false, nil
+			}
+			if p.candidate && p.hop.Max() == int64(nd.ID())+1 {
+				nd.BroadcastNeighbors(congest.Flag{})
+				p.inC = false
+			}
+			p.it++
+			p.sub = cliqueDetStatus
+			return false, nil
 		}
 	}
-	// Leader solves locally and answers every cover member in one round.
-	inCover := false
-	if nd.ID() == leader {
-		gathered = append(gathered, items...)
-		cover := leaderSolveRemainder(n, gathered, solver)
-		inCover = cover.Contains(nd.ID())
-		cover.ForEach(func(v int) bool {
-			if v != nd.ID() {
-				nd.MustSend(v, congest.Flag{})
+}
+
+// enterPhaseII starts the clique Phase II in the current slice (its first
+// send, the leader-election broadcast, is queued by the caller's next
+// phase2.Step call in the same slice).
+func (p *mvcCliqueDetProgram) enterPhaseII(nd *congest.Node) {
+	p.phase2 = newCliqueStepPhaseII(nd, p.inR, p.l, p.n, p.solver)
+}
+
+func (p *mvcCliqueDetProgram) Output() nodeOut {
+	return nodeOut{InSolution: p.inS || p.phase2.InCover(), InPhaseI: p.inS}
+}
+
+// cliqueStepPhaseII is the step form of the shared CONGESTED CLIQUE Phase II
+// (Lemma 9): a one-round leader election, a final U-status exchange over
+// G-edges, maxItems parallel rounds of direct F-edge shipping to the leader,
+// a local solve, and a one-round answer. maxItems must upper-bound every
+// node's F-edge count.
+type cliqueStepPhaseII struct {
+	n, maxItems int
+	inR         bool
+	solver      LocalSolver
+
+	sub      int
+	leader   *primitives.StepCliqueLeader
+	status   *primitives.StepStatusExchange
+	gather   *primitives.StepDirectGather
+	leaderID int
+	inCover  bool
+}
+
+func newCliqueStepPhaseII(nd *congest.Node, inR bool, maxItems, n int, solver LocalSolver) *cliqueStepPhaseII {
+	return &cliqueStepPhaseII{
+		n: n, maxItems: maxItems, inR: inR, solver: solver,
+		leader: primitives.NewStepCliqueLeader(nd),
+	}
+}
+
+func (p *cliqueStepPhaseII) Step(nd *congest.Node) bool {
+	for {
+		switch p.sub {
+		case 0:
+			if !p.leader.Step(nd) {
+				return false
+			}
+			p.leaderID = p.leader.Leader()
+			p.status = primitives.NewStepStatusExchange(p.inR)
+			p.sub = 1
+		case 1:
+			if !p.status.Step(nd) {
+				return false
+			}
+			items := uEdgeItems(p.n, nd.ID(), p.status.On())
+			if len(items) > p.maxItems {
+				// Protocol invariant broken: Phase I should have bounded
+				// U-degrees.
+				panic("core: clique Phase II item bound violated")
+			}
+			p.gather = primitives.NewStepDirectGather(p.leaderID, items, p.maxItems)
+			p.sub = 2
+		case 2:
+			if !p.gather.Step(nd) {
+				return false
+			}
+			// Leader solves locally and answers every cover member in one
+			// round.
+			if nd.ID() == p.leaderID {
+				cover := leaderSolveRemainder(p.n, p.gather.Collected(), p.solver)
+				p.inCover = cover.Contains(nd.ID())
+				cover.ForEach(func(v int) bool {
+					if v != nd.ID() {
+						nd.MustSend(v, congest.Flag{})
+					}
+					return true
+				})
+			}
+			p.sub = 3
+			return false
+		default:
+			if len(nd.Recv()) > 0 {
+				p.inCover = true
 			}
 			return true
-		})
+		}
 	}
-	nd.NextRound()
-	if len(nd.Recv()) > 0 {
-		inCover = true
-	}
-	return inCover
 }
+
+// InCover reports whether this node is in the leader's cover; valid once
+// done.
+func (p *cliqueStepPhaseII) InCover() bool { return p.inCover }

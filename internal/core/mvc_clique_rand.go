@@ -5,17 +5,9 @@ import (
 
 	"powergraph/internal/bitset"
 	"powergraph/internal/congest"
+	"powergraph/internal/congest/primitives"
 	"powergraph/internal/graph"
 )
-
-// rankMsg announces a candidate's random rank (drawn from [n⁴], exactly the
-// 4·⌈log₂ n⌉ bits the paper's voting scheme budgets for).
-type rankMsg struct {
-	Rank  int64
-	Width int
-}
-
-func (m rankMsg) Bits() int { return m.Width }
 
 // ApproxMVCCliqueRandomized runs Theorem 11: a randomized
 // (1+ε)-approximation for G²-MVC in the CONGESTED CLIQUE in O(log n + 1/ε)
@@ -29,6 +21,12 @@ func (m rankMsg) Bits() int { return m.Width }
 // to the node ids, which makes the globally maximal candidate always
 // succeed and guarantees termination unconditionally. Phase II is Lemma 9's
 // direct O(1/ε)-round gather.
+//
+// The algorithm is a congest.StepProgram (StepVotingPhase in clique mode
+// for Phase I, the clique-model broadcast primitives for Phase II); the
+// blocking reference is preserved in mvc_clique_rand_equiv_test.go and
+// TestStepCliqueRandMatchesBlockingReference proves the two
+// indistinguishable.
 func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Result, error) {
 	if _, err := epsilonToL(eps); err != nil {
 		return nil, err
@@ -44,9 +42,6 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 	// Threshold: a vertex is a candidate while dR(c) > 8/ε + 2 (it "leaves
 	// C" as soon as its live degree drops to the threshold or below).
 	tau := int(math.Ceil(8/eps)) + 2
-	randomIters := 8*congest.IDBits(n) + 16
-	rankW := 4 * congest.IDBits(n)
-	rankMax := int64(1) << uint(rankW)
 
 	cfg := congest.Config{
 		Graph:           g,
@@ -57,98 +52,50 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 		Seed:            opts.seed(),
 		CutA:            opts.cutA(),
 	}
-	res, err := congest.Run(cfg, func(nd *congest.Node) (nodeOut, error) {
-		inR, inS := true, false
-		succeeded := false
-		idw := congest.IDBits(n)
-
-		for it := 0; ; it++ {
-			// Round 1: live-status exchange over G-edges.
-			nd.BroadcastNeighbors(congest.NewIntWidth(boolBit(inR), 1))
-			nd.NextRound()
-			live := make([]int, 0, nd.Degree())
-			for _, in := range nd.Recv() {
-				if in.Msg.(congest.Int).V == 1 {
-					live = append(live, in.From)
-				}
-			}
-			dR := len(live)
-			candidate := !succeeded && dR > tau
-
-			// Round 2: global termination OR via the clique.
-			nd.Broadcast(congest.NewIntWidth(boolBit(candidate), 1))
-			nd.NextRound()
-			any := candidate
-			for _, in := range nd.Recv() {
-				if in.Msg.(congest.Int).V == 1 {
-					any = true
-				}
-			}
-			if !any {
-				break
-			}
-
-			// Round 3: candidates announce ranks to their G-neighbors.
-			// After the w.h.p. horizon, ranks deterministically become the
-			// candidate's id, forcing the global maximum to succeed.
-			var myRank int64
-			if candidate {
-				if it < randomIters {
-					myRank = nd.Rand().Int63n(rankMax)
-				} else {
-					myRank = int64(nd.ID())
-				}
-				nd.BroadcastNeighbors(rankMsg{Rank: myRank, Width: rankW})
-			}
-			nd.NextRound()
-			voteFor := -1
-			var bestRank int64 = -1
-			if inR {
-				for _, in := range nd.Recv() {
-					m, ok := in.Msg.(rankMsg)
-					if !ok {
-						continue
-					}
-					// Highest rank wins; ties break toward the higher id
-					// (deterministic, consistent at every voter).
-					if m.Rank > bestRank || (m.Rank == bestRank && in.From > voteFor) {
-						bestRank = m.Rank
-						voteFor = in.From
-					}
-				}
-			}
-
-			// Round 4: voters announce their chosen candidate to all
-			// G-neighbors; candidates count votes naming them.
-			if voteFor != -1 {
-				nd.BroadcastNeighbors(congest.NewIntWidth(int64(voteFor), idw))
-			}
-			nd.NextRound()
-			votes := 0
-			for _, in := range nd.Recv() {
-				if m, ok := in.Msg.(congest.Int); ok && int(m.V) == nd.ID() {
-					votes++
-				}
-			}
-			success := candidate && votes*8 >= dR
-
-			// Round 5: successful candidates move N(c) into S.
-			if success {
-				nd.BroadcastNeighbors(congest.Flag{})
-				succeeded = true
-			}
-			nd.NextRound()
-			if len(nd.Recv()) > 0 {
-				inS = true
-				inR = false
-			}
+	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
+		return &mvcCliqueRandProgram{
+			n: n, tau: tau, solver: solver,
+			voting: primitives.NewStepVotingPhase(primitives.VotingConfig{
+				Tau:         tau,
+				RandomIters: 8*congest.IDBits(n) + 16,
+				Clique:      true,
+				RankWidth:   4 * congest.IDBits(n),
+				IDWidth:     congest.IDBits(n),
+			}),
 		}
-
-		sol := cliquePhaseII(nd, inR, tau, solver)
-		return nodeOut{InSolution: inS || sol, InPhaseI: inS}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return assemble(res.Outputs, res.Stats), nil
+}
+
+// mvcCliqueRandProgram is Theorem 11 in step form: the clique-mode voting
+// phase (terminated by the per-iteration global OR), then the step-form
+// Lemma 9 Phase II.
+type mvcCliqueRandProgram struct {
+	n, tau int
+	solver LocalSolver
+
+	voting *primitives.StepVotingPhase
+	phase2 *cliqueStepPhaseII
+}
+
+func (p *mvcCliqueRandProgram) Step(nd *congest.Node) (bool, error) {
+	for {
+		if p.phase2 != nil {
+			if !p.phase2.Step(nd) {
+				return false, nil
+			}
+			return true, nil
+		}
+		if !p.voting.Step(nd) {
+			return false, nil
+		}
+		p.phase2 = newCliqueStepPhaseII(nd, p.voting.InR(), p.tau, p.n, p.solver)
+	}
+}
+
+func (p *mvcCliqueRandProgram) Output() nodeOut {
+	return nodeOut{InSolution: p.voting.InS() || p.phase2.InCover(), InPhaseI: p.voting.InS()}
 }

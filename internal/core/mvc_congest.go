@@ -68,20 +68,12 @@ func ApproxMVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, erro
 	return assemble(res.Outputs, res.Stats), nil
 }
 
-// Phase II stages of the program, entered in order after Phase I.
-const (
-	mvcStageLeader = iota + 1
-	mvcStageBFS
-	mvcStageGather
-	mvcStageFlood
-)
-
 // mvcCongestProgram is Algorithm 1 in step form. Phase I runs a fixed
 // 4-slice schedule per iteration (status exchange, two 2-hop-max slices,
-// join announcements); Phase II chains the step-form primitives — leader
-// election, BFS tree, pipelined gather of F at the leader, local solve,
-// pipelined flood of the solution — with each stage starting in the slice
-// its predecessor finishes, exactly like the blocking composition.
+// join announcements); Phase II is the shared leader pipeline — leader
+// election, BFS tree, pipelined gather of F at the leader, local solve
+// (Lemma 3), pipelined flood of the solution — with each stage starting in
+// the slice its predecessor finishes, exactly like the blocking composition.
 type mvcCongestProgram struct {
 	n, l, iterations, idw int
 	solver                LocalSolver
@@ -95,14 +87,9 @@ type mvcCongestProgram struct {
 	maxVal              int64
 	uNbrs               []int
 
-	stage    int
-	leader   *primitives.StepMinIDLeader
-	bfs      *primitives.StepBFSTree
-	tree     primitives.Tree
-	gather   *primitives.StepGatherAtRoot
-	flood    *primitives.StepFloodItemsFromRoot
-	leaderID int
-	inRStar  bool
+	stage   int
+	pipe    *primitives.StepLeaderPipeline
+	inRStar bool
 }
 
 func (p *mvcCongestProgram) Step(nd *congest.Node) (bool, error) {
@@ -112,45 +99,16 @@ func (p *mvcCongestProgram) Step(nd *congest.Node) (bool, error) {
 			if !p.stepPhaseI(nd) {
 				return false, nil
 			}
-			p.leader = primitives.NewStepMinIDLeader(nd)
-			p.stage = mvcStageLeader
-		case mvcStageLeader:
-			if !p.leader.Step(nd) {
+			items := uEdgeItems(p.n, nd.ID(), p.uNbrs)
+			p.pipe = primitives.NewStepLeaderPipeline(nd, items, func(gathered []congest.Message) []congest.Message {
+				return coverIDItems(leaderSolveRemainder(p.n, gathered, p.solver), p.idw)
+			})
+			p.stage = 1
+		default:
+			if !p.pipe.Step(nd) {
 				return false, nil
 			}
-			p.leaderID = p.leader.Leader()
-			p.bfs = primitives.NewStepBFSTree(nd, p.leaderID)
-			p.stage = mvcStageBFS
-		case mvcStageBFS:
-			if !p.bfs.Step(nd) {
-				return false, nil
-			}
-			p.tree = p.bfs.Tree()
-			items := make([]congest.Message, 0, len(p.uNbrs))
-			for _, u := range p.uNbrs {
-				items = append(items, congest.NewPair(p.n, int64(nd.ID()), int64(u)))
-			}
-			p.gather = primitives.NewStepGatherAtRoot(nd, &p.tree, items)
-			p.stage = mvcStageGather
-		case mvcStageGather:
-			if !p.gather.Step(nd) {
-				return false, nil
-			}
-			// Leader-local reconstruction (Lemma 3) and solve.
-			var solutionIDs []congest.Message
-			if nd.ID() == p.leaderID {
-				cover := leaderSolveRemainder(p.n, p.gather.Collected(), p.solver)
-				for _, v := range cover.Elements() {
-					solutionIDs = append(solutionIDs, congest.NewIntWidth(int64(v), p.idw))
-				}
-			}
-			p.flood = primitives.NewStepFloodItemsFromRoot(nd, &p.tree, solutionIDs)
-			p.stage = mvcStageFlood
-		case mvcStageFlood:
-			if !p.flood.Step(nd) {
-				return false, nil
-			}
-			for _, m := range p.flood.Items() {
+			for _, m := range p.pipe.Items() {
 				if m.(congest.Int).V == int64(nd.ID()) {
 					p.inRStar = true
 				}

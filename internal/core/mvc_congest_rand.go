@@ -22,6 +22,11 @@ import (
 // by the potential argument of Theorem 11), then n/(τ+1)+1 deterministic
 // iterations with rank = id, each of which is guaranteed to retire the
 // globally maximal candidate.
+//
+// The algorithm is a congest.StepProgram (StepVotingPhase for Phase I,
+// StepLeaderPipeline for Phase II); the blocking reference is preserved in
+// mvc_congest_rand_equiv_test.go and TestStepMVCRandMatchesBlockingReference
+// proves the two indistinguishable.
 func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Result, error) {
 	if _, err := epsilonToL(eps); err != nil {
 		return nil, err
@@ -37,9 +42,6 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 	tau := int(math.Ceil(8/eps)) + 2
 	randomIters := 8*congest.IDBits(n) + 16
 	fallbackIters := n/(tau+1) + 1
-	totalIters := randomIters + fallbackIters
-	rankW := 4 * congest.IDBits(n)
-	rankMax := int64(1) << uint(rankW)
 
 	cfg := congest.Config{
 		Graph:           g,
@@ -50,109 +52,69 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 		Seed:            opts.seed(),
 		CutA:            opts.cutA(),
 	}
-	res, err := congest.Run(cfg, func(nd *congest.Node) (nodeOut, error) {
-		inR, inS := true, false
-		succeeded := false
-		idw := congest.IDBits(n)
-
-		for it := 0; it < totalIters; it++ {
-			// Round 1: live-status exchange.
-			nd.BroadcastNeighbors(congest.NewIntWidth(boolBit(inR), 1))
-			nd.NextRound()
-			dR := 0
-			for _, in := range nd.Recv() {
-				if in.Msg.(congest.Int).V == 1 {
-					dR++
-				}
-			}
-			candidate := !succeeded && dR > tau
-
-			// Round 2: candidate ranks.
-			var myRank int64
-			if candidate {
-				if it < randomIters {
-					myRank = nd.Rand().Int63n(rankMax)
-				} else {
-					myRank = int64(nd.ID())
-				}
-				nd.BroadcastNeighbors(rankMsg{Rank: myRank, Width: rankW})
-			}
-			nd.NextRound()
-			voteFor := -1
-			var bestRank int64 = -1
-			if inR {
-				for _, in := range nd.Recv() {
-					m, ok := in.Msg.(rankMsg)
-					if !ok {
-						continue
-					}
-					if m.Rank > bestRank || (m.Rank == bestRank && in.From > voteFor) {
-						bestRank = m.Rank
-						voteFor = in.From
-					}
-				}
-			}
-
-			// Round 3: votes.
-			if voteFor != -1 {
-				nd.BroadcastNeighbors(congest.NewIntWidth(int64(voteFor), idw))
-			}
-			nd.NextRound()
-			votes := 0
-			for _, in := range nd.Recv() {
-				if m, ok := in.Msg.(congest.Int); ok && int(m.V) == nd.ID() {
-					votes++
-				}
-			}
-			success := candidate && votes*8 >= dR
-
-			// Round 4: successful candidates retire their neighborhoods.
-			if success {
-				nd.BroadcastNeighbors(congest.Flag{})
-				succeeded = true
-			}
-			nd.NextRound()
-			if len(nd.Recv()) > 0 {
-				inS = true
-				inR = false
-			}
+	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
+		return &mvcRandCongestProgram{
+			n: n, idw: congest.IDBits(n), solver: solver,
+			voting: primitives.NewStepVotingPhase(primitives.VotingConfig{
+				Tau:         tau,
+				RandomIters: randomIters,
+				MaxIters:    randomIters + fallbackIters,
+				RankWidth:   4 * congest.IDBits(n),
+				IDWidth:     congest.IDBits(n),
+			}),
 		}
-
-		// Standard CONGEST Phase II (as in Algorithm 1): every node now has
-		// at most τ live neighbors.
-		nd.Broadcast(congest.NewIntWidth(boolBit(inR), 1))
-		nd.NextRound()
-		uNbrs := make([]int, 0, nd.Degree())
-		for _, in := range nd.Recv() {
-			if in.Msg.(congest.Int).V == 1 {
-				uNbrs = append(uNbrs, in.From)
-			}
-		}
-		leader := primitives.MinIDLeader(nd)
-		tree := primitives.BFSTree(nd, leader)
-		items := make([]congest.Message, 0, len(uNbrs))
-		for _, u := range uNbrs {
-			items = append(items, congest.NewPair(n, int64(nd.ID()), int64(u)))
-		}
-		gathered := primitives.GatherAtRoot(nd, tree, items)
-		var solutionIDs []congest.Message
-		if nd.ID() == leader {
-			cover := leaderSolveRemainder(n, gathered, solver)
-			for _, v := range cover.Elements() {
-				solutionIDs = append(solutionIDs, congest.NewIntWidth(int64(v), idw))
-			}
-		}
-		all := primitives.FloodItemsFromRoot(nd, tree, solutionIDs)
-		inRStar := false
-		for _, m := range all {
-			if m.(congest.Int).V == int64(nd.ID()) {
-				inRStar = true
-			}
-		}
-		return nodeOut{InSolution: inS || inRStar, InPhaseI: inS}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return assemble(res.Outputs, res.Stats), nil
+}
+
+// mvcRandCongestProgram is Section 3.3 in step form: the randomized voting
+// phase, the final U-status exchange, then the standard leader pipeline.
+type mvcRandCongestProgram struct {
+	n, idw int
+	solver LocalSolver
+
+	voting  *primitives.StepVotingPhase
+	status  *primitives.StepStatusExchange
+	pipe    *primitives.StepLeaderPipeline
+	stage   int
+	inRStar bool
+}
+
+func (p *mvcRandCongestProgram) Step(nd *congest.Node) (bool, error) {
+	for {
+		switch p.stage {
+		case 0:
+			if !p.voting.Step(nd) {
+				return false, nil
+			}
+			p.status = primitives.NewStepStatusExchange(p.voting.InR())
+			p.stage = 1
+		case 1:
+			if !p.status.Step(nd) {
+				return false, nil
+			}
+			items := uEdgeItems(p.n, nd.ID(), p.status.On())
+			p.pipe = primitives.NewStepLeaderPipeline(nd, items, func(gathered []congest.Message) []congest.Message {
+				return coverIDItems(leaderSolveRemainder(p.n, gathered, p.solver), p.idw)
+			})
+			p.stage = 2
+		default:
+			if !p.pipe.Step(nd) {
+				return false, nil
+			}
+			for _, m := range p.pipe.Items() {
+				if m.(congest.Int).V == int64(nd.ID()) {
+					p.inRStar = true
+				}
+			}
+			return true, nil
+		}
+	}
+}
+
+func (p *mvcRandCongestProgram) Output() nodeOut {
+	return nodeOut{InSolution: p.voting.InS() || p.inRStar, InPhaseI: p.voting.InS()}
 }

@@ -34,6 +34,12 @@ func (m edgeOrWeight) Bits() int { return 1 + m.WA + m.WB }
 // the center eligible while any class remains ripe, which is what the |F|
 // bound of Lemma 8 (and hence the Phase-II round bound) actually requires.
 //
+// The algorithm is a congest.StepProgram over the step-form primitives
+// (StepWeightedLocalRatio for Phase I, StepLeaderPipeline for Phase II), so
+// the batch engine drives it with no per-node goroutine; the blocking
+// reference implementation is preserved in mwvc_congest_equiv_test.go and
+// TestStepMWVCMatchesBlockingReference proves the two indistinguishable.
+//
 // Vertex weights must be non-negative and fit in 3·⌈log₂ n⌉-1 bits (the
 // paper's O(log n)-bit weight assumption); zero-weight vertices join the
 // cover for free upfront, as in Section 3.2. The graph must be connected.
@@ -80,18 +86,25 @@ func ApproxMWVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, err
 		Seed:            opts.seed(),
 		CutA:            opts.cutA(),
 	}
-	res, err := congest.Run(cfg, func(nd *congest.Node) (nodeOut, error) {
-		inR := nd.Weight() > 0 // zero-weight vertices start in the cover
-		inS := !inR
-
-		// Round 0: learn neighbor weights (w is already bounded to fit).
-		nd.Broadcast(congest.NewIntWidth(nd.Weight(), maxWBits))
-		nd.NextRound()
-		nbrWeight := make(map[int]int64, nd.Degree())
-		for _, in := range nd.Recv() {
-			nbrWeight[in.From] = in.Msg.(congest.Int).V
+	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
+		return &mwvcCongestProgram{
+			n: n, idw: idw, maxWBits: maxWBits, solver: solver,
+			phase1: primitives.NewStepWeightedLocalRatio(nd, iterations, maxWBits, ripeSelector(ratio)),
 		}
-		// Fixed class structure over the full neighborhood N(c).
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assemble(res.Outputs, res.Stats), nil
+}
+
+// ripeSelector builds the PayeeSelector implementing condition (7) of
+// Theorem 7: partition the live neighborhood into weight classes of
+// geometrically increasing weight (anchored at the smallest positive
+// neighbor weight) and return the union of N_i(c) ∩ R over every class
+// whose maximum live weight is at most the class total times ε/(1+ε).
+func ripeSelector(ratio float64) primitives.PayeeSelector {
+	return func(nd *congest.Node, nbrWeight map[int]int64, inRNbr map[int]bool) []int {
 		wMin := int64(0)
 		for _, w := range nbrWeight {
 			if w > 0 && (wMin == 0 || w < wMin) {
@@ -109,118 +122,89 @@ func ApproxMWVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, err
 			}
 			return c
 		}
-
-		inRNbr := make(map[int]bool, nd.Degree())
+		type agg struct {
+			sum, max int64
+			members  []int
+		}
+		classes := map[int]*agg{}
 		for _, u := range nd.Neighbors() {
-			inRNbr[u] = nbrWeight[u] > 0
+			if !inRNbr[u] {
+				continue
+			}
+			ci := classOf(u)
+			if ci < 0 {
+				continue
+			}
+			a := classes[ci]
+			if a == nil {
+				a = &agg{}
+				classes[ci] = a
+			}
+			w := nbrWeight[u]
+			a.sum += w
+			if w > a.max {
+				a.max = w
+			}
+			a.members = append(a.members, u)
 		}
-
-		// ripeMembers returns the union of N_i(c) ∩ R over all ripe classes
-		// i (condition (7): w*_i ≤ W_i · ε/(1+ε)).
-		ripeMembers := func() []int {
-			type agg struct {
-				sum, max int64
-				members  []int
-			}
-			classes := map[int]*agg{}
-			for _, u := range nd.Neighbors() {
-				if !inRNbr[u] {
-					continue
-				}
-				ci := classOf(u)
-				if ci < 0 {
-					continue
-				}
-				a := classes[ci]
-				if a == nil {
-					a = &agg{}
-					classes[ci] = a
-				}
-				w := nbrWeight[u]
-				a.sum += w
-				if w > a.max {
-					a.max = w
-				}
-				a.members = append(a.members, u)
-			}
-			var out []int
-			for _, a := range classes {
-				if float64(a.max) <= float64(a.sum)*ratio+1e-12 {
-					out = append(out, a.members...)
-				}
-			}
-			return out
-		}
-
-		// Phase I.
-		for it := 0; it < iterations; it++ {
-			nd.Broadcast(congest.NewIntWidth(boolBit(inR), 1))
-			nd.NextRound()
-			for _, in := range nd.Recv() {
-				inRNbr[in.From] = in.Msg.(congest.Int).V == 1
-			}
-			ripe := ripeMembers()
-			val := int64(0)
-			if len(ripe) > 0 {
-				val = int64(nd.ID()) + 1
-			}
-			maxVal := primitives.TwoHopMax(nd, val)
-			selected := len(ripe) > 0 && maxVal == int64(nd.ID())+1
-			if selected {
-				for _, u := range ripe {
-					nd.MustSend(u, congest.Flag{})
-				}
-			}
-			nd.NextRound()
-			if len(nd.Recv()) > 0 {
-				inS = true
-				inR = false
+		var out []int
+		for _, a := range classes {
+			if float64(a.max) <= float64(a.sum)*ratio+1e-12 {
+				out = append(out, a.members...)
 			}
 		}
-
-		// Final status round: learn which neighbors are in U = R.
-		nd.Broadcast(congest.NewIntWidth(boolBit(inR), 1))
-		nd.NextRound()
-		uNbrs := make([]int, 0, nd.Degree())
-		for _, in := range nd.Recv() {
-			if in.Msg.(congest.Int).V == 1 {
-				uNbrs = append(uNbrs, in.From)
-			}
-		}
-
-		// Phase II: gather F plus the weights of U-vertices, solve at the
-		// leader, flood the solution.
-		leader := primitives.MinIDLeader(nd)
-		tree := primitives.BFSTree(nd, leader)
-		items := make([]congest.Message, 0, len(uNbrs)+1)
-		for _, u := range uNbrs {
-			items = append(items, edgeOrWeight{A: int64(nd.ID()), B: int64(u), WA: idw, WB: idw})
-		}
-		if inR {
-			items = append(items, edgeOrWeight{IsWeight: true, A: int64(nd.ID()), B: nd.Weight(), WA: idw, WB: maxWBits})
-		}
-		gathered := primitives.GatherAtRoot(nd, tree, items)
-
-		var solutionIDs []congest.Message
-		if nd.ID() == leader {
-			cover := leaderSolveWeightedRemainder(n, gathered, solver)
-			for _, v := range cover.Elements() {
-				solutionIDs = append(solutionIDs, congest.NewIntWidth(int64(v), idw))
-			}
-		}
-		all := primitives.FloodItemsFromRoot(nd, tree, solutionIDs)
-		inRStar := false
-		for _, m := range all {
-			if m.(congest.Int).V == int64(nd.ID()) {
-				inRStar = true
-			}
-		}
-		return nodeOut{InSolution: inS || inRStar, InPhaseI: inS}, nil
-	})
-	if err != nil {
-		return nil, err
+		return out
 	}
-	return assemble(res.Outputs, res.Stats), nil
+}
+
+// mwvcCongestProgram is Theorem 7 in step form: the weighted local-ratio
+// Phase I, then the standard leader pipeline gathering F plus the weights of
+// U-vertices and flooding the leader's cover of H = G²[U] back.
+type mwvcCongestProgram struct {
+	n, idw, maxWBits int
+	solver           LocalSolver
+
+	phase1  *primitives.StepWeightedLocalRatio
+	pipe    *primitives.StepLeaderPipeline
+	stage   int
+	inRStar bool
+}
+
+func (p *mwvcCongestProgram) Step(nd *congest.Node) (bool, error) {
+	for {
+		switch p.stage {
+		case 0:
+			if !p.phase1.Step(nd) {
+				return false, nil
+			}
+			uNbrs := p.phase1.UNbrs()
+			items := make([]congest.Message, 0, len(uNbrs)+1)
+			for _, u := range uNbrs {
+				items = append(items, edgeOrWeight{A: int64(nd.ID()), B: int64(u), WA: p.idw, WB: p.idw})
+			}
+			if p.phase1.InR() {
+				items = append(items, edgeOrWeight{IsWeight: true, A: int64(nd.ID()), B: nd.Weight(), WA: p.idw, WB: p.maxWBits})
+			}
+			p.pipe = primitives.NewStepLeaderPipeline(nd, items, func(gathered []congest.Message) []congest.Message {
+				return coverIDItems(leaderSolveWeightedRemainder(p.n, gathered, p.solver), p.idw)
+			})
+			p.stage = 1
+		default:
+			if !p.pipe.Step(nd) {
+				return false, nil
+			}
+			for _, m := range p.pipe.Items() {
+				if m.(congest.Int).V == int64(nd.ID()) {
+					p.inRStar = true
+				}
+			}
+			return true, nil
+		}
+	}
+}
+
+func (p *mwvcCongestProgram) Output() nodeOut {
+	return nodeOut{InSolution: p.phase1.InS() || p.inRStar, InPhaseI: p.phase1.InS()}
 }
 
 // leaderSolveWeightedRemainder rebuilds the weighted H = G²[U] from the

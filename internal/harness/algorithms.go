@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"sort"
 
 	"powergraph/internal/congest"
@@ -31,6 +32,8 @@ type Algorithm struct {
 	Name    string
 	Model   string
 	Problem string
+	// Description is the one-line summary printed by powerbench -list.
+	Description string
 	// NeedsEps marks (1+ε)-style algorithms; the spec's ε grid only
 	// multiplies jobs for these.
 	NeedsEps bool
@@ -41,6 +44,11 @@ type Algorithm struct {
 	// Exact marks entries whose own output is the optimum; the harness
 	// oracle reuses their cost instead of solving the instance twice.
 	Exact bool
+	// NativeStep marks distributed algorithms implemented as native
+	// congest.StepPrograms: the batch engine drives them with plain
+	// per-round function calls, no goroutine or coroutine adapter anywhere
+	// (TestRegistryRunsNativelyOnBatchEngine enforces the claim).
+	NativeStep bool
 	// Run executes the algorithm for the job's power/epsilon.  g is the
 	// communication graph; power is the pre-materialized Gʳ (centralized
 	// baselines run on it directly — the distributed algorithms ignore it
@@ -57,12 +65,32 @@ func distOpts(job Job) (*core.Options, error) {
 	if err != nil {
 		return nil, err
 	}
+	solver, err := parseLocalSolver(job.LocalSolver)
+	if err != nil {
+		return nil, err
+	}
 	return &core.Options{
 		Seed:            job.Seed,
 		Engine:          engine,
 		BandwidthFactor: job.BandwidthFactor,
 		MaxRounds:       job.MaxRounds,
+		LocalSolver:     solver,
 	}, nil
+}
+
+// parseLocalSolver maps a job/spec solver name to a core.LocalSolver; nil
+// means "the algorithm's default" (exact).
+func parseLocalSolver(name string) (core.LocalSolver, error) {
+	switch name {
+	case "", "exact":
+		return nil, nil
+	case "five-thirds":
+		return func(h *graph.Graph) *bitset.Set {
+			return centralized.FiveThirdsOnGraph(h).Cover
+		}, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown local solver %q (want exact or five-thirds)", name)
+	}
 }
 
 // centralizedResult wraps a plain solution as a core.Result with no
@@ -73,7 +101,8 @@ func centralizedResult(sol *bitset.Set) *core.Result {
 
 var algorithms = map[string]*Algorithm{
 	"mvc-congest": {
-		Name: "mvc-congest", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true,
+		Name: "mvc-congest", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
+		Description: "Algorithm 1 (Thm 1): deterministic (1+eps)-approx G²-MVC in O(n/eps) CONGEST rounds",
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
 			opts, err := distOpts(job)
 			if err != nil {
@@ -83,7 +112,8 @@ var algorithms = map[string]*Algorithm{
 		},
 	},
 	"mvc-congest-rand": {
-		Name: "mvc-congest-rand", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true,
+		Name: "mvc-congest-rand", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
+		Description: "Section 3.3: randomized voting Phase I in plain CONGEST (O(log n) heavy-neighborhood drain)",
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
 			opts, err := distOpts(job)
 			if err != nil {
@@ -93,7 +123,8 @@ var algorithms = map[string]*Algorithm{
 		},
 	},
 	"mwvc-congest": {
-		Name: "mwvc-congest", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true,
+		Name: "mwvc-congest", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
+		Description: "Theorem 7: deterministic (1+eps)-approx weighted G²-MVC via ripe weight classes",
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
 			opts, err := distOpts(job)
 			if err != nil {
@@ -103,7 +134,8 @@ var algorithms = map[string]*Algorithm{
 		},
 	},
 	"mvc-congest-53": {
-		Name: "mvc-congest-53", Model: ModelCongest, Problem: ProblemMVC,
+		Name: "mvc-congest-53", Model: ModelCongest, Problem: ProblemMVC, NativeStep: true,
+		Description: "Corollary 17: 5/3-approx G²-MVC with polynomial local work (Algorithm 1 + 5/3 solver)",
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
 			o, err := distOpts(job)
 			if err != nil {
@@ -116,7 +148,8 @@ var algorithms = map[string]*Algorithm{
 		},
 	},
 	"mvc-clique-det": {
-		Name: "mvc-clique-det", Model: ModelClique, Problem: ProblemMVC, NeedsEps: true,
+		Name: "mvc-clique-det", Model: ModelClique, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
+		Description: "Corollary 10: deterministic (1+eps)-approx G²-MVC in O(eps·n + 1/eps) CONGESTED CLIQUE rounds",
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
 			opts, err := distOpts(job)
 			if err != nil {
@@ -126,7 +159,8 @@ var algorithms = map[string]*Algorithm{
 		},
 	},
 	"mvc-clique-rand": {
-		Name: "mvc-clique-rand", Model: ModelClique, Problem: ProblemMVC, NeedsEps: true,
+		Name: "mvc-clique-rand", Model: ModelClique, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
+		Description: "Theorem 11: randomized (1+eps)-approx G²-MVC in O(log n + 1/eps) CONGESTED CLIQUE rounds",
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
 			opts, err := distOpts(job)
 			if err != nil {
@@ -136,7 +170,8 @@ var algorithms = map[string]*Algorithm{
 		},
 	},
 	"mds-congest": {
-		Name: "mds-congest", Model: ModelCongest, Problem: ProblemMDS,
+		Name: "mds-congest", Model: ModelCongest, Problem: ProblemMDS, NativeStep: true,
+		Description: "Theorem 28: randomized O(log Δ)-approx G²-MDS in polylog(n) CONGEST rounds (sketch estimator)",
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
 			opts, err := distOpts(job)
 			if err != nil {
@@ -147,40 +182,68 @@ var algorithms = map[string]*Algorithm{
 	},
 	"five-thirds": {
 		Name: "five-thirds", Model: ModelCentralized, Problem: ProblemMVC,
+		Description: "centralized 5/3-approximation for MVC on the materialized G²",
 		Run: func(_, power *graph.Graph, _ Job) (*core.Result, error) {
 			return centralizedResult(centralized.FiveThirdsOnGraph(power).Cover), nil
 		},
 	},
 	"gavril": {
 		Name: "gavril", Model: ModelCentralized, Problem: ProblemMVC, AnyPower: true,
+		Description: "centralized Gavril 2-approximation (maximal matching) on the materialized Gʳ",
 		Run: func(_, power *graph.Graph, _ Job) (*core.Result, error) {
 			return centralizedResult(centralized.Gavril2Approx(power)), nil
 		},
 	},
 	"all-vertices": {
 		Name: "all-vertices", Model: ModelCentralized, Problem: ProblemMVC, AnyPower: true,
+		Description: "trivial all-vertices cover (Lemma 6 upper bound)",
 		Run: func(g, _ *graph.Graph, _ Job) (*core.Result, error) {
 			return centralizedResult(centralized.AllVerticesPowerMVC(g)), nil
 		},
 	},
 	"greedy-mds": {
 		Name: "greedy-mds", Model: ModelCentralized, Problem: ProblemMDS, AnyPower: true,
+		Description: "centralized greedy set-cover ln(Δ)-approximation for MDS on Gʳ",
 		Run: func(_, power *graph.Graph, _ Job) (*core.Result, error) {
 			return centralizedResult(exact.GreedyDominatingSet(power)), nil
 		},
 	},
 	"exact": {
 		Name: "exact", Model: ModelCentralized, Problem: ProblemMVC, AnyPower: true, Exact: true,
+		Description: "exact MVC on Gʳ (exponential branch-and-bound; the ratio oracle)",
 		Run: func(_, power *graph.Graph, _ Job) (*core.Result, error) {
 			return centralizedResult(exact.VertexCover(power)), nil
 		},
 	},
 	"exact-mds": {
 		Name: "exact-mds", Model: ModelCentralized, Problem: ProblemMDS, AnyPower: true, Exact: true,
+		Description: "exact MDS on Gʳ (exponential set-cover solve; the ratio oracle)",
 		Run: func(_, power *graph.Graph, _ Job) (*core.Result, error) {
 			return centralizedResult(exact.DominatingSet(power)), nil
 		},
 	},
+}
+
+// Info is a read-only view of one registry entry for listings (powerbench
+// -list) and tests.
+type Info struct {
+	Name, Model, Problem, Description string
+	NeedsEps, AnyPower, Exact         bool
+	NativeStep                        bool
+}
+
+// AlgorithmInfos lists every registered algorithm's metadata, sorted by
+// name.
+func AlgorithmInfos() []Info {
+	out := make([]Info, 0, len(algorithms))
+	for _, name := range AlgorithmNames() {
+		a := algorithms[name]
+		out = append(out, Info{
+			Name: a.Name, Model: a.Model, Problem: a.Problem, Description: a.Description,
+			NeedsEps: a.NeedsEps, AnyPower: a.AnyPower, Exact: a.Exact, NativeStep: a.NativeStep,
+		})
+	}
+	return out
 }
 
 func lookupAlgorithm(name string) (*Algorithm, bool) {

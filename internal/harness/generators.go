@@ -145,6 +145,26 @@ func (g GeneratorSpec) Build(n int, rng *rand.Rand) (*graph.Graph, error) {
 	return built, nil
 }
 
+// generatorDescriptions holds the one-line summaries printed by powerbench
+// -list; every entry in generators must have one (TestGeneratorDescriptions).
+var generatorDescriptions = map[string]string{
+	"path":                "path P_n (diameter n-1, the pipelining worst case)",
+	"cycle":               "cycle C_n",
+	"complete":            "complete graph K_n (G² = G)",
+	"star":                "star K_{1,n-1} (one hub dominates G²)",
+	"grid":                "near-square 2D grid",
+	"caterpillar":         "caterpillar: spine path with `legs` pendant vertices each (default 3)",
+	"random-tree":         "uniform random labeled tree (Prüfer sequence)",
+	"gnp":                 "Erdős–Rényi G(n,p) (default p = 8/n, constant average degree; may be disconnected)",
+	"connected-gnp":       "G(n,p) resampled/patched until connected (default p = 8/n)",
+	"unit-disk":           "random unit-disk graph (default radius above the connectivity threshold)",
+	"connected-unit-disk": "unit-disk graph conditioned on connectivity",
+}
+
+// GeneratorDescription returns the one-line summary for a registered
+// generator ("" for unknown names).
+func GeneratorDescription(name string) string { return generatorDescriptions[name] }
+
 // GeneratorNames lists the registered generators, sorted.
 func GeneratorNames() []string {
 	names := make([]string, 0, len(generators))

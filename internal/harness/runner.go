@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"powergraph/internal/exact"
@@ -301,6 +302,10 @@ type oracleKey struct {
 type oracleCache struct {
 	mu sync.Mutex
 	m  map[oracleKey]*oracleEntry
+	// solves counts solver-closure invocations — exactly one per distinct
+	// key, however many jobs share the instance (tested by
+	// TestOracleCacheSolvesOncePerInstance).
+	solves atomic.Int64
 }
 
 type oracleEntry struct {
@@ -325,7 +330,10 @@ func (c *oracleCache) optimum(key oracleKey, solve func() int64) int64 {
 		c.m[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.opt = solve() })
+	e.once.Do(func() {
+		c.solves.Add(1)
+		e.opt = solve()
+	})
 	return e.opt
 }
 

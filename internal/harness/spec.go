@@ -85,6 +85,13 @@ type Spec struct {
 	BandwidthFactor int `json:"bandwidthFactor,omitempty"`
 	// MaxRounds aborts runaway distributed executions (0 = engine default).
 	MaxRounds int `json:"maxRounds,omitempty"`
+	// LocalSolver picks the Phase-II leader solver of the MVC algorithms:
+	// "" or "exact" (the default, exponential worst case) or "five-thirds"
+	// (Corollary 17's polynomial 5/3-approximation). Thousand-node sweeps
+	// need "five-thirds" whenever an algorithm can hand the leader a large
+	// remainder (the randomized variants on sparse graphs do); MDS and the
+	// centralized baselines ignore it.
+	LocalSolver string `json:"localSolver,omitempty"`
 }
 
 // Job is one concrete experiment: a fully bound scenario point with its
@@ -115,10 +122,12 @@ type Job struct {
 	// runner's oracle cache solve each instance exactly once. Zero means
 	// "use Seed" (hand-built job lists keep their original behavior).
 	InstanceSeed int64 `json:"instanceSeed,omitempty"`
-	// OracleN, BandwidthFactor, MaxRounds are copied from the Spec.
-	OracleN         int `json:"oracleN,omitempty"`
-	BandwidthFactor int `json:"bandwidthFactor,omitempty"`
-	MaxRounds       int `json:"maxRounds,omitempty"`
+	// OracleN, BandwidthFactor, MaxRounds, LocalSolver are copied from the
+	// Spec.
+	OracleN         int    `json:"oracleN,omitempty"`
+	BandwidthFactor int    `json:"bandwidthFactor,omitempty"`
+	MaxRounds       int    `json:"maxRounds,omitempty"`
+	LocalSolver     string `json:"localSolver,omitempty"`
 }
 
 // ExpandReport describes what Expand produced.
@@ -171,6 +180,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Trials < 0 {
 		return fmt.Errorf("harness: negative trial count %d", s.Trials)
+	}
+	if _, err := parseLocalSolver(s.LocalSolver); err != nil {
+		return err
 	}
 	return nil
 }
@@ -253,6 +265,7 @@ func (s *Spec) Expand() ([]Job, ExpandReport, error) {
 									OracleN:         s.OracleN,
 									BandwidthFactor: s.BandwidthFactor,
 									MaxRounds:       s.MaxRounds,
+									LocalSolver:     s.LocalSolver,
 								}
 								// The engine mode is deliberately not part
 								// of the seed: both engines replay the
