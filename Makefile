@@ -3,7 +3,7 @@
 GO ?= go
 OUT ?= bench-out
 
-.PHONY: build vet test race race-diff bench bench-engine bench-step sweep sweep-scale docs-check clean
+.PHONY: build vet test race race-diff bench bench-engine bench-step sweep sweep-scale sweep-power-smoke docs-check clean
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,12 @@ sweep:
 # per-job wall clocks are uncontended).
 sweep-scale:
 	$(GO) run ./cmd/powerbench -spec specs/step-sweep.json -workers 1 -out $(OUT)
+
+# CI gate for the (algorithm × power) matrix: a small distributed power
+# sweep (n ≤ 200, r = 1…4, both engines) that fails on any job error or any
+# solution that is not a feasible cover/dominating set of its Gʳ.
+sweep-power-smoke:
+	$(GO) run ./cmd/powerbench -spec specs/power-smoke.json -strict -quiet -out $(OUT)
 
 # Documentation gate: every package under internal/ must carry a package
 # comment (a "// Package <name> ..." line somewhere in the package).

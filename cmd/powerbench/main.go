@@ -60,6 +60,8 @@ func run() error {
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		outDir   = flag.String("out", "bench-out", "output directory")
 		quiet    = flag.Bool("quiet", false, "suppress per-job progress on stderr")
+		strict   = flag.Bool("strict", false,
+			"exit non-zero if any job fails or any solution fails its Gʳ feasibility check (CI smoke gates)")
 	)
 	flag.Parse()
 
@@ -136,6 +138,17 @@ func run() error {
 	if errors.Is(runErr, context.Canceled) {
 		return fmt.Errorf("interrupted after %d jobs (partial results flushed)", len(report.Results))
 	}
+	if *strict {
+		unverified := 0
+		for _, r := range report.Results {
+			if r.Error == "" && !r.Verified {
+				unverified++
+			}
+		}
+		if report.Failed > 0 || unverified > 0 {
+			return fmt.Errorf("strict: %d jobs failed, %d solutions infeasible", report.Failed, unverified)
+		}
+	}
 	return nil
 }
 
@@ -148,11 +161,7 @@ func printRegistry(w io.Writer) {
 		if a.NeedsEps {
 			tags = append(tags, "eps-grid")
 		}
-		if a.AnyPower {
-			tags = append(tags, "any-power")
-		} else {
-			tags = append(tags, "r=2")
-		}
+		tags = append(tags, "r="+a.Powers)
 		if a.Exact {
 			tags = append(tags, "exact")
 		}

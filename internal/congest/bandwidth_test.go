@@ -9,12 +9,15 @@ import (
 
 // TestRegistryBandwidthStaysLogarithmic is the CONGEST-budget property test:
 // every distributed registry algorithm, run under both engines at several
-// sizes, must keep its enforced per-message budget within a constant
-// multiple of ⌈log₂ n⌉ bits — the "O(log n)-bit messages" assumption all of
-// the paper's round bounds rely on. The simulator already rejects any single
-// message over the budget, so a clean run plus a bounded budget pins both
-// sides; a step-form rewrite that accidentally fattens a payload (or inflates
-// its declared width) fails here before it can skew any benchmark.
+// sizes and at every supported power r ∈ {1, 2, 3, 4}, must keep its
+// enforced per-message budget within a constant multiple of ⌈log₂ n⌉ bits —
+// the "O(log n)-bit messages" assumption all of the paper's round bounds
+// rely on, which the Gʳ generalization must not erode (its depth-r
+// collectives re-flood fixed-width payloads; depth never widens a message).
+// The simulator already rejects any single message over the budget, so a
+// clean run plus a bounded budget pins both sides; a rewrite that
+// accidentally fattens a payload (or inflates its declared width) fails here
+// before it can skew any benchmark.
 //
 // The constant 8 is the largest bandwidth factor any algorithm requests
 // (Theorem 28's estimator payloads); everything else runs at the default 4.
@@ -36,6 +39,7 @@ func TestRegistryBandwidthStaysLogarithmic(t *testing.T) {
 			{Name: "random-tree"},
 		},
 		Sizes:       []int{10, 17, 33},
+		Powers:      []int{1, 2, 3, 4},
 		Algorithms:  distributed,
 		Epsilons:    []float64{0.5},
 		EngineModes: []string{"goroutine", "batch"},
@@ -53,24 +57,31 @@ func TestRegistryBandwidthStaysLogarithmic(t *testing.T) {
 		}
 		t.Fatalf("%d jobs failed", rep.Failed)
 	}
+	seenPowers := map[int]bool{}
 	for _, r := range rep.Results {
+		seenPowers[r.Power] = true
 		idw := congest.IDBits(r.N)
 		if r.Bandwidth > maxFactor*idw {
-			t.Errorf("%s n=%d eng=%s: budget %d bits exceeds %d·⌈log₂ n⌉ = %d",
-				r.Algorithm, r.N, r.Engine, r.Bandwidth, maxFactor, maxFactor*idw)
+			t.Errorf("%s n=%d r=%d eng=%s: budget %d bits exceeds %d·⌈log₂ n⌉ = %d",
+				r.Algorithm, r.N, r.Power, r.Engine, r.Bandwidth, maxFactor, maxFactor*idw)
 		}
 		if !r.Verified {
-			t.Errorf("%s n=%d eng=%s: solution failed feasibility", r.Algorithm, r.N, r.Engine)
+			t.Errorf("%s n=%d r=%d eng=%s: solution failed feasibility", r.Algorithm, r.N, r.Power, r.Engine)
 		}
 		// Internal consistency of the accounting: no round (and no total)
 		// can exceed what its message count allows under the budget.
 		if r.TotalBits > r.Messages*int64(r.Bandwidth) {
-			t.Errorf("%s n=%d eng=%s: totalBits %d > messages %d × budget %d",
-				r.Algorithm, r.N, r.Engine, r.TotalBits, r.Messages, r.Bandwidth)
+			t.Errorf("%s n=%d r=%d eng=%s: totalBits %d > messages %d × budget %d",
+				r.Algorithm, r.N, r.Power, r.Engine, r.TotalBits, r.Messages, r.Bandwidth)
 		}
 		if r.MaxRoundBits > r.TotalBits {
-			t.Errorf("%s n=%d eng=%s: maxRoundBits %d > totalBits %d",
-				r.Algorithm, r.N, r.Engine, r.MaxRoundBits, r.TotalBits)
+			t.Errorf("%s n=%d r=%d eng=%s: maxRoundBits %d > totalBits %d",
+				r.Algorithm, r.N, r.Power, r.Engine, r.MaxRoundBits, r.TotalBits)
+		}
+	}
+	for _, r := range []int{1, 2, 3, 4} {
+		if !seenPowers[r] {
+			t.Errorf("no distributed jobs ran at power r=%d", r)
 		}
 	}
 }

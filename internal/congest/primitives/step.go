@@ -377,7 +377,19 @@ func NewStepHopMax(value int64, width, hops int) *StepHopMax {
 // NewStepTwoHopMax is the step form of TwoHopMax (2 natural-width flood
 // slices, done on slice 2): the "maximum ID in its two hop neighborhood"
 // test of Theorem 1's Phase I.
-func NewStepTwoHopMax(value int64) *StepHopMax { return &StepHopMax{m: value, k: 2} }
+func NewStepTwoHopMax(value int64) *StepHopMax { return NewStepRHopMax(value, 2) }
+
+// NewStepRHopMax is the depth-parametric form of NewStepTwoHopMax: r
+// natural-width flood slices leave every node with the maximum over its
+// closed r-hop neighborhood (done on slice r); at r = 2 it is
+// message-for-message NewStepTwoHopMax. Fixed-width depth-r maxima (the
+// MDS ρ̃ selection over 2r hops) use NewStepHopMax instead.
+func NewStepRHopMax(value int64, hops int) *StepHopMax {
+	if hops < 1 {
+		panicCollective(fmt.Sprintf("primitives: NewStepRHopMax with hops %d < 1", hops))
+	}
+	return &StepHopMax{m: value, k: hops}
+}
 
 // Step advances one round-slice.
 func (s *StepHopMax) Step(nd *congest.Node) bool {
@@ -512,61 +524,85 @@ type CandMin struct {
 // Bits returns the total declared width.
 func (m CandMin) Bits() int { return m.WidthC + m.WidthQ }
 
-// StepCandidateMinFlood is the two-round per-candidate minimum flood of
+// StepCandidateMinFlood is the r-round per-candidate minimum flood of
 // Theorem 28's vote estimation (the congestion-avoiding trick of
-// Section 6.1): voters broadcast a sample tagged with their chosen
-// candidate, relay nodes forward to each neighboring candidate only that
-// candidate's minimum, and candidates read their own minimum. Done on
-// slice 2.
+// Section 6.1), generalized to depth-r collection for the Gʳ pipeline:
+// voters broadcast a sample tagged with their chosen candidate, relay nodes
+// forward to each neighboring candidate only that candidate's running
+// minimum, and candidates read their own minimum. Done on slice hops+1.
+//
+// At hops = 2 (the paper's G² case) the flood is exact and byte-identical
+// to the original two-round trick: every voter is two hops from its
+// candidate, so the single relay slice delivers every sample's minimum.
+// For hops ≥ 3 the intermediate slices additionally spread each relay's
+// single most promising pair — the minimum sample it knows, the one that
+// can still decide a FromMinima estimate — to its non-candidate neighbors;
+// one message per link per round cannot carry every candidate's minimum
+// across r-hop relays, so distant samples may be dropped and the estimate
+// is conservative (votes are never overestimated). Candidates that join on
+// a conservative estimate still satisfy the join rule, and feasibility is
+// unconditional via the coverage flood and fallback.
 type StepCandidateMinFlood struct {
 	voteFor   int
 	own       int64
 	candNbrs  map[int]bool
 	candidate bool
 	wC, wQ    int
+	hops      int
 	perCand   map[int64]int64
 	best      int64
 	r         int
 }
 
-// NewStepCandidateMinFlood starts one vote-estimation flood: voteFor is the
-// candidate this node contributes to (-1 = none), own its quantized sample
-// (-1 = none), candNbrs the G-neighbors known to be candidates, and
-// candidate whether this node collects a minimum for itself.
+// NewStepCandidateMinFlood starts one two-hop vote-estimation flood (the
+// paper's G² case): voteFor is the candidate this node contributes to
+// (-1 = none), own its quantized sample (-1 = none), candNbrs the
+// G-neighbors known to be candidates, and candidate whether this node
+// collects a minimum for itself.
 func NewStepCandidateMinFlood(voteFor int, own int64, candNbrs map[int]bool, candidate bool, candW, sampleW int) *StepCandidateMinFlood {
+	return NewStepCandidateMinFloodR(voteFor, own, candNbrs, candidate, candW, sampleW, 2)
+}
+
+// NewStepCandidateMinFloodR is the depth-r form of NewStepCandidateMinFlood:
+// samples travel up to hops ≥ 1 G-hops toward their candidate.
+func NewStepCandidateMinFloodR(voteFor int, own int64, candNbrs map[int]bool, candidate bool, candW, sampleW, hops int) *StepCandidateMinFlood {
+	if hops < 1 {
+		panicCollective(fmt.Sprintf("primitives: NewStepCandidateMinFloodR with hops %d < 1", hops))
+	}
 	return &StepCandidateMinFlood{
 		voteFor: voteFor, own: own, candNbrs: candNbrs, candidate: candidate,
-		wC: candW, wQ: sampleW, best: -1,
+		wC: candW, wQ: sampleW, hops: hops, best: -1,
 	}
 }
 
 // Step advances one round-slice.
 func (s *StepCandidateMinFlood) Step(nd *congest.Node) bool {
-	switch s.r {
-	case 0:
-		if s.own >= 0 {
-			nd.BroadcastNeighbors(CandMin{Cand: int64(s.voteFor), Q: s.own, WidthC: s.wC, WidthQ: s.wQ})
-		}
-	case 1:
+	switch {
+	case s.r == 0:
 		s.perCand = map[int64]int64{}
 		if s.own >= 0 {
 			s.perCand[int64(s.voteFor)] = s.own
+			nd.BroadcastNeighbors(CandMin{Cand: int64(s.voteFor), Q: s.own, WidthC: s.wC, WidthQ: s.wQ})
 		}
-		for _, in := range nd.Recv() {
-			m, ok := in.Msg.(CandMin)
-			if !ok {
-				continue
-			}
-			if cur, seen := s.perCand[m.Cand]; !seen || m.Q < cur {
-				s.perCand[m.Cand] = m.Q
-			}
-		}
+	case s.r < s.hops:
+		s.mergeRecv(nd)
 		for _, u := range nd.Neighbors() {
 			if !s.candNbrs[u] {
 				continue
 			}
 			if q, ok := s.perCand[int64(u)]; ok {
 				nd.MustSend(u, CandMin{Cand: int64(u), Q: q, WidthC: s.wC, WidthQ: s.wQ})
+			}
+		}
+		if s.r < s.hops-1 {
+			// Spread slice (hops ≥ 3 only): relay the single minimum-sample
+			// pair onward so it can cross the remaining hops.
+			if cand, q, ok := s.minPair(); ok {
+				for _, u := range nd.Neighbors() {
+					if !s.candNbrs[u] {
+						nd.MustSend(u, CandMin{Cand: cand, Q: q, WidthC: s.wC, WidthQ: s.wQ})
+					}
+				}
 			}
 		}
 	default:
@@ -588,6 +624,31 @@ func (s *StepCandidateMinFlood) Step(nd *congest.Node) bool {
 	}
 	s.r++
 	return false
+}
+
+// mergeRecv folds this slice's deliveries into the per-candidate minima.
+func (s *StepCandidateMinFlood) mergeRecv(nd *congest.Node) {
+	for _, in := range nd.Recv() {
+		m, ok := in.Msg.(CandMin)
+		if !ok {
+			continue
+		}
+		if cur, seen := s.perCand[m.Cand]; !seen || m.Q < cur {
+			s.perCand[m.Cand] = m.Q
+		}
+	}
+}
+
+// minPair returns the (candidate, sample) pair with the smallest sample this
+// node knows, ties broken toward the smaller candidate id (deterministic
+// across engines).
+func (s *StepCandidateMinFlood) minPair() (cand, q int64, ok bool) {
+	for c, v := range s.perCand {
+		if !ok || v < q || (v == q && c < cand) {
+			cand, q, ok = c, v, true
+		}
+	}
+	return cand, q, ok
 }
 
 // Min returns this candidate's vote minimum (-1 when it saw none, or when
@@ -625,6 +686,46 @@ func (s *StepStatusExchange) Step(nd *congest.Node) bool {
 
 // On returns the neighbors that reported 1, in id order; valid once done.
 func (s *StepStatusExchange) On() []int { return s.on }
+
+// StepNearFlood grows a vertex set by a fixed number of G-hops: every slice,
+// marked nodes broadcast a one-bit flag and receivers become marked, so after
+// hops slices a node is marked iff it started marked or is within hops
+// G-hops of a marked node. The Gʳ Phase II uses it to find the nodes within
+// ⌊(r-1)/2⌋ hops of U, whose incident edges suffice to reconstruct Gʳ[U] at
+// the leader. Done on slice hops (hops = 0 is a no-op finishing immediately,
+// consuming and sending nothing).
+type StepNearFlood struct {
+	near bool
+	hops int
+	r    int
+}
+
+// NewStepNearFlood starts the flood; near marks this node as initially in
+// the set.
+func NewStepNearFlood(near bool, hops int) *StepNearFlood {
+	if hops < 0 {
+		panicCollective(fmt.Sprintf("primitives: NewStepNearFlood with hops %d < 0", hops))
+	}
+	return &StepNearFlood{near: near, hops: hops}
+}
+
+// Step advances one round-slice.
+func (s *StepNearFlood) Step(nd *congest.Node) bool {
+	if s.r >= 1 && len(nd.Recv()) > 0 {
+		s.near = true
+	}
+	if s.r == s.hops {
+		return true
+	}
+	if s.near {
+		nd.BroadcastNeighbors(congest.Flag{})
+	}
+	s.r++
+	return false
+}
+
+// Near reports whether this node ended up in the grown set; valid once done.
+func (s *StepNearFlood) Near() bool { return s.near }
 
 // VotingConfig parameterizes StepVotingPhase.
 type VotingConfig struct {

@@ -19,6 +19,13 @@
 // never materialized by the distributed code (only by checkers and local
 // leader computations, as in the paper).
 //
+// Beyond the paper, every algorithm is generalized to arbitrary power
+// graphs Gʳ via Options.Power (default r = 2, reproducing the paper's
+// behavior bit for bit): Phase I is power-independent for r ≥ 2 and
+// disabled at r = 1, Phase II rebuilds Gʳ[U] from the near-U edge gather of
+// power_phase2.go, and the Theorem 28 estimator floods run at depth r. See
+// ARCHITECTURE.md, "Parametric Gʳ collectives".
+//
 // Every algorithm runs on either simulator engine via Options.Engine with
 // identical results (seeds fix the whole run). All of them are written as
 // congest.StepPrograms — each node's per-round logic is a plain function
@@ -59,6 +66,15 @@ type Options struct {
 	BandwidthFactor int
 	// MaxRounds aborts runaway executions; zero selects the engine default.
 	MaxRounds int
+	// Power selects the graph power r the run targets: the solution is a
+	// cover / dominating set of Gʳ while communication still happens over G
+	// only. Zero selects the paper's default r = 2. r = 1 degenerates the
+	// MVC/MWVC algorithms to a pure Phase II (1-hop neighborhoods are not
+	// G¹-cliques, so Phase I's charging argument needs r ≥ 2); r ≥ 3 keeps
+	// Phase I verbatim (a 1-hop neighborhood is a clique of every Gʳ with
+	// r ≥ 2) and widens Phase II's reconstruction and the MDS estimator
+	// floods to depth r. See ARCHITECTURE.md, "Parametric Gʳ collectives".
+	Power int
 	// LocalSolver overrides the leader's Phase-II solver (default exact).
 	LocalSolver LocalSolver
 	// CutA, when non-nil, makes the run report bits crossing the given
@@ -99,6 +115,17 @@ func (o *Options) maxRounds() int {
 		return 0
 	}
 	return o.MaxRounds
+}
+
+// power resolves Options.Power, rejecting non-positive explicit values.
+func (o *Options) power() (int, error) {
+	if o == nil || o.Power == 0 {
+		return 2, nil
+	}
+	if o.Power < 0 {
+		return 0, fmt.Errorf("core: power must be ≥ 1, got %d", o.Power)
+	}
+	return o.Power, nil
 }
 
 func (o *Options) cutA() *bitset.Set {

@@ -22,10 +22,14 @@ type MDSOptions struct {
 }
 
 // ApproxMDSCongest runs Theorem 28: a randomized O(log Δ)-approximation for
-// minimum dominating set on G², communicating over G in the CONGEST model,
-// in polylog(n) rounds. It simulates the [CD18] MDS algorithm on G² using
-// the Lemma 29 exponential-sketch estimator for every quantity a node would
-// need from its 2-hop neighborhood:
+// minimum dominating set on the power graph Gʳ (Options.Power, default the
+// paper's r = 2), communicating over G in the CONGEST model, in polylog(n)
+// rounds. It simulates the [CD18] MDS algorithm on Gʳ using the Lemma 29
+// exponential-sketch estimator for every quantity a node would need from
+// its r-hop neighborhood (described below for r = 2, whose schedule is
+// reproduced exactly; other powers deepen every flood to r hops — the vote
+// estimation of step 4 becomes conservative for r ≥ 3, see
+// StepCandidateMinFlood, which only ever delays joins):
 //
 //  1. each vertex estimates its coverage C_v (uncovered vertices within two
 //     hops) with r = Θ(log n) two-round min-floods and rounds it to a power
@@ -84,18 +88,37 @@ func ApproxMDSCongest(g *graph.Graph, opts *MDSOptions) (*Result, error) {
 }
 
 // mdsParams derives the shared simulation parameters of Theorem 28 from the
-// graph and options: estimator repetitions r, phase budget, message widths,
-// and the bandwidth factor wide enough for the largest estimator payload.
+// graph and options: the target power rpow, estimator repetitions r, phase
+// budget, message widths, and the bandwidth factor wide enough for the
+// largest estimator payload.
 type mdsParams struct {
-	n, r, phases                 int
+	n, rpow, r, phases           int
 	idw, fracBits, qWidth, rankW int
 	rankMax                      int64
+}
+
+// cappedPow returns base^exp, saturating well below int64 overflow (the
+// result only ever feeds a logarithm).
+func cappedPow(base int64, exp int) int64 {
+	const limit = int64(1) << 50
+	p := int64(1)
+	for i := 0; i < exp; i++ {
+		if base != 0 && p > limit/base {
+			return limit
+		}
+		p *= base
+	}
+	return p
 }
 
 func deriveMDSParams(g *graph.Graph, opts *MDSOptions) (*mdsParams, int, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, 0, fmt.Errorf("core: empty graph")
+	}
+	rpow, err := opts.Options.power()
+	if err != nil {
+		return nil, 0, err
 	}
 	idw := congest.IDBits(n)
 	sampleFactor := opts.SampleFactor
@@ -110,9 +133,10 @@ func deriveMDSParams(g *graph.Graph, opts *MDSOptions) (*mdsParams, int, error) 
 	if r < 4 {
 		r = 4
 	}
+	// The [CD18] phase budget is O(log n · log Δ(Gʳ)); Δ(Gʳ) ≤ Δᵣ = Δ^rpow.
 	delta := g.MaxDegree()
-	logDelta2 := congest.IDBits(delta*delta+2) + 1
-	phases := phaseFactor * (idw + 1) * logDelta2
+	logDeltaR := congest.IDBits(int(cappedPow(int64(delta), rpow))+2) + 1
+	phases := phaseFactor * (idw + 1) * logDeltaR
 
 	fracBits := 2*idw + 4
 	qWidth := estimate.IntBits + fracBits
@@ -129,19 +153,21 @@ func deriveMDSParams(g *graph.Graph, opts *MDSOptions) (*mdsParams, int, error) 
 		}
 	}
 	return &mdsParams{
-		n: n, r: r, phases: phases,
+		n: n, rpow: rpow, r: r, phases: phases,
 		idw: idw, fracBits: fracBits, qWidth: qWidth, rankW: rankW,
 		rankMax: int64(1) << uint(rankW),
 	}, bwf, nil
 }
 
-// Sub-stages of one mdsCongestProgram phase, entered in order.
+// Sub-stages of one mdsCongestProgram phase, entered in order. Every stage's
+// depth follows the target power rpow (rpow = 2 reproduces the paper's G²
+// schedule exactly).
 const (
-	mdsEstimate = iota // step 1: r chained coverage min-flood pairs
-	mdsHop             // step 2: 4-hop ρ̃ maximum
-	mdsRank            // step 3: two chained (rank, id) floods
+	mdsEstimate = iota // step 1: r chained rpow-deep coverage min-floods
+	mdsHop             // step 2: 2·rpow-hop ρ̃ maximum
+	mdsRank            // step 3: rpow chained (rank, id) floods
 	mdsVotes           // step 4: r chained per-candidate vote floods
-	mdsCover           // step 6: two-round coverage flood
+	mdsCover           // step 6: rpow-round coverage flood
 )
 
 // mdsCongestProgram is Theorem 28 in step form: each phase chains the
@@ -220,10 +246,11 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 			if !p.flood.Step(nd) {
 				return false, nil
 			}
-			if p.floodStage == 0 {
-				// Second hop of the two-round min-flood.
+			if p.floodStage < p.rpow-1 {
+				// Next hop of the rpow-round min-flood (one chained
+				// single-hop flood per hop of Gʳ).
 				p.flood = primitives.NewStepMinFlood(p.flood.Min(), p.qWidth)
-				p.floodStage = 1
+				p.floodStage++
 				continue
 			}
 			if m2 := p.flood.Min(); m2 < 0 {
@@ -246,7 +273,7 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 				}
 				p.rho = estimate.RoundUpPow2(p.dTilde)
 			}
-			p.hop = primitives.NewStepHopMax(p.rho, p.idw+2, 4)
+			p.hop = primitives.NewStepHopMax(p.rho, p.idw+2, 2*p.rpow)
 			p.sub = mdsHop
 		case mdsHop:
 			if !p.hop.Step(nd) {
@@ -265,24 +292,26 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 				return false, nil
 			}
 			if p.rankStage == 0 {
-				r1, id1 := p.rank.Best()
 				// Direct senders in the first flood are the neighboring
 				// candidates (used to route step 4's forwarded minima).
 				p.candNbrs = p.rank.Senders()
+			}
+			if p.rankStage < p.rpow-1 {
+				r1, id1 := p.rank.Best()
 				p.rank = primitives.NewStepRankFlood(r1, id1, p.rankW, p.idw)
-				p.rankStage = 1
+				p.rankStage++
 				continue
 			}
-			_, id2 := p.rank.Best()
+			_, idR := p.rank.Best()
 			p.voteFor = -1
-			if !p.covered && id2 >= 0 {
-				p.voteFor = int(id2)
+			if !p.covered && idR >= 0 {
+				p.voteFor = int(idR)
 			}
 			p.voteMinima = p.voteMinima[:0]
 			p.gotVotes = true
 			p.j = 0
-			p.votes = primitives.NewStepCandidateMinFlood(
-				p.voteFor, p.voteSample(nd), p.candNbrs, p.candidate, p.idw, p.qWidth)
+			p.votes = primitives.NewStepCandidateMinFloodR(
+				p.voteFor, p.voteSample(nd), p.candNbrs, p.candidate, p.idw, p.qWidth, p.rpow)
 			p.sub = mdsVotes
 		case mdsVotes:
 			if !p.votes.Step(nd) {
@@ -295,8 +324,8 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 			}
 			p.j++
 			if p.j < p.r {
-				p.votes = primitives.NewStepCandidateMinFlood(
-					p.voteFor, p.voteSample(nd), p.candNbrs, p.candidate, p.idw, p.qWidth)
+				p.votes = primitives.NewStepCandidateMinFloodR(
+					p.voteFor, p.voteSample(nd), p.candNbrs, p.candidate, p.idw, p.qWidth, p.rpow)
 				continue
 			}
 			// Step 5: join on votes ≥ C̃_v/8.
@@ -312,7 +341,7 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 					p.covered = true
 				}
 			}
-			// Step 6: two-round coverage flood from new members.
+			// Step 6: rpow-round coverage flood from new members.
 			if p.joined {
 				nd.BroadcastNeighbors(congest.Flag{})
 			}
@@ -320,7 +349,7 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 			p.sub = mdsCover
 			return false, nil
 		default: // mdsCover
-			if p.covRound == 0 {
+			if p.covRound < p.rpow-1 {
 				relay := p.joined || len(nd.Recv()) > 0
 				if len(nd.Recv()) > 0 {
 					p.covered = true
@@ -328,7 +357,7 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 				if relay {
 					nd.BroadcastNeighbors(congest.Flag{})
 				}
-				p.covRound = 1
+				p.covRound++
 				return false, nil
 			}
 			if len(nd.Recv()) > 0 {

@@ -23,6 +23,10 @@ func ApproxMVCCliqueDeterministic(g *graph.Graph, eps float64, opts *Options) (*
 	if err != nil {
 		return nil, err
 	}
+	r, err := opts.power()
+	if err != nil {
+		return nil, err
+	}
 	if eps > 1 {
 		return &Result{Solution: bitset.Full(g.N()), PhaseISize: g.N()}, nil
 	}
@@ -32,6 +36,10 @@ func ApproxMVCCliqueDeterministic(g *graph.Graph, eps float64, opts *Options) (*
 	n := g.N()
 	solver := opts.localSolver()
 	iterations := n/(l+1) + 1
+	if r == 1 {
+		// Committed neighborhoods are Gʳ-cliques only for r ≥ 2.
+		iterations = 0
+	}
 
 	cfg := congest.Config{
 		Graph:           g,
@@ -44,7 +52,7 @@ func ApproxMVCCliqueDeterministic(g *graph.Graph, eps float64, opts *Options) (*
 	}
 	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
 		return &mvcCliqueDetProgram{
-			n: n, l: l, iterations: iterations, solver: solver,
+			n: n, l: l, power: r, iterations: iterations, solver: solver,
 			inR: true, inC: true,
 		}
 	})
@@ -68,8 +76,8 @@ const (
 // instances stop in O(1) iterations; Phase II is the step-form Lemma 9
 // gather (cliqueStepPhaseII).
 type mvcCliqueDetProgram struct {
-	n, l, iterations int
-	solver           LocalSolver
+	n, l, power, iterations int
+	solver                  LocalSolver
 
 	sub, it       int
 	inR, inC, inS bool
@@ -149,7 +157,7 @@ func (p *mvcCliqueDetProgram) Step(nd *congest.Node) (bool, error) {
 // send, the leader-election broadcast, is queued by the caller's next
 // phase2.Step call in the same slice).
 func (p *mvcCliqueDetProgram) enterPhaseII(nd *congest.Node) {
-	p.phase2 = newCliqueStepPhaseII(nd, p.inR, p.l, p.n, p.solver)
+	p.phase2 = newCliqueStepPhaseII(nd, p.inR, p.l, p.n, p.solver, p.power)
 }
 
 func (p *mvcCliqueDetProgram) Output() nodeOut {
@@ -158,27 +166,45 @@ func (p *mvcCliqueDetProgram) Output() nodeOut {
 
 // cliqueStepPhaseII is the step form of the shared CONGESTED CLIQUE Phase II
 // (Lemma 9): a one-round leader election, a final U-status exchange over
-// G-edges, maxItems parallel rounds of direct F-edge shipping to the leader,
-// a local solve, and a one-round answer. maxItems must upper-bound every
-// node's F-edge count.
+// G-edges, maxItems parallel rounds of direct item shipping to the leader, a
+// local solve, and a one-round answer. At r = 2 the shipped items are the
+// F-edges of Lemma 2 and maxItems must upper-bound every node's F-edge
+// count; at other powers the near-U gather of power_phase2.go runs instead
+// (grown over G-edges), every near node ships all of its incident edges, and
+// the common-knowledge item bound is n (a node never holds more than its
+// degree plus one membership pair).
 type cliqueStepPhaseII struct {
-	n, maxItems int
-	inR         bool
-	solver      LocalSolver
+	n, power, maxItems int
+	inR                bool
+	solver             LocalSolver
 
 	sub      int
 	leader   *primitives.StepCliqueLeader
 	status   *primitives.StepStatusExchange
+	near     *powerGather
 	gather   *primitives.StepDirectGather
 	leaderID int
 	inCover  bool
 }
 
-func newCliqueStepPhaseII(nd *congest.Node, inR bool, maxItems, n int, solver LocalSolver) *cliqueStepPhaseII {
+func newCliqueStepPhaseII(nd *congest.Node, inR bool, maxItems, n int, solver LocalSolver, power int) *cliqueStepPhaseII {
+	if power != 2 {
+		maxItems = n
+	}
 	return &cliqueStepPhaseII{
-		n: n, maxItems: maxItems, inR: inR, solver: solver,
+		n: n, power: power, maxItems: maxItems, inR: inR, solver: solver,
 		leader: primitives.NewStepCliqueLeader(nd),
 	}
+}
+
+// startGather ships this node's items toward the elected leader.
+func (p *cliqueStepPhaseII) startGather(items []congest.Message) {
+	if len(items) > p.maxItems {
+		// Protocol invariant broken: Phase I should have bounded U-degrees
+		// (r = 2), or the degree+1 bound failed (other powers).
+		panic("core: clique Phase II item bound violated")
+	}
+	p.gather = primitives.NewStepDirectGather(p.leaderID, items, p.maxItems)
 }
 
 func (p *cliqueStepPhaseII) Step(nd *congest.Node) bool {
@@ -195,22 +221,32 @@ func (p *cliqueStepPhaseII) Step(nd *congest.Node) bool {
 			if !p.status.Step(nd) {
 				return false
 			}
-			items := uEdgeItems(p.n, nd.ID(), p.status.On())
-			if len(items) > p.maxItems {
-				// Protocol invariant broken: Phase I should have bounded
-				// U-degrees.
-				panic("core: clique Phase II item bound violated")
+			if p.power == 2 {
+				p.startGather(uEdgeItems(p.n, nd.ID(), p.status.On()))
+				p.sub = 3
+				continue
 			}
-			p.gather = primitives.NewStepDirectGather(p.leaderID, items, p.maxItems)
+			p.near = newPowerGather(p.power, p.inR, p.status.On())
 			p.sub = 2
 		case 2:
+			if !p.near.Step(nd) {
+				return false
+			}
+			p.startGather(powerEdgeItems(nd, p.near.Near(), p.inR))
+			p.sub = 3
+		case 3:
 			if !p.gather.Step(nd) {
 				return false
 			}
 			// Leader solves locally and answers every cover member in one
 			// round.
 			if nd.ID() == p.leaderID {
-				cover := leaderSolveRemainder(p.n, p.gather.Collected(), p.solver)
+				var cover *bitset.Set
+				if p.power == 2 {
+					cover = leaderSolveRemainder(p.n, p.gather.Collected(), p.solver)
+				} else {
+					cover = leaderSolvePowerRemainder(p.n, p.power, p.gather.Collected(), p.solver)
+				}
 				p.inCover = cover.Contains(nd.ID())
 				cover.ForEach(func(v int) bool {
 					if v != nd.ID() {
@@ -219,7 +255,7 @@ func (p *cliqueStepPhaseII) Step(nd *congest.Node) bool {
 					return true
 				})
 			}
-			p.sub = 3
+			p.sub = 4
 			return false
 		default:
 			if len(nd.Recv()) > 0 {

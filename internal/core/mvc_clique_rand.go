@@ -31,6 +31,10 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 	if _, err := epsilonToL(eps); err != nil {
 		return nil, err
 	}
+	r, err := opts.power()
+	if err != nil {
+		return nil, err
+	}
 	if eps > 1 {
 		return &Result{Solution: bitset.Full(g.N()), PhaseISize: g.N()}, nil
 	}
@@ -42,6 +46,12 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 	// Threshold: a vertex is a candidate while dR(c) > 8/ε + 2 (it "leaves
 	// C" as soon as its live degree drops to the threshold or below).
 	tau := int(math.Ceil(8/eps)) + 2
+	if r == 1 {
+		// No live degree can exceed n, so candidacy never fires and the
+		// clique's global OR ends Phase I after one iteration: at r = 1 the
+		// committed neighborhoods would not be Gʳ-cliques.
+		tau = n
+	}
 
 	cfg := congest.Config{
 		Graph:           g,
@@ -54,7 +64,7 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 	}
 	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
 		return &mvcCliqueRandProgram{
-			n: n, tau: tau, solver: solver,
+			n: n, tau: tau, power: r, solver: solver,
 			voting: primitives.NewStepVotingPhase(primitives.VotingConfig{
 				Tau:         tau,
 				RandomIters: 8*congest.IDBits(n) + 16,
@@ -74,8 +84,8 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 // phase (terminated by the per-iteration global OR), then the step-form
 // Lemma 9 Phase II.
 type mvcCliqueRandProgram struct {
-	n, tau int
-	solver LocalSolver
+	n, tau, power int
+	solver        LocalSolver
 
 	voting *primitives.StepVotingPhase
 	phase2 *cliqueStepPhaseII
@@ -92,7 +102,7 @@ func (p *mvcCliqueRandProgram) Step(nd *congest.Node) (bool, error) {
 		if !p.voting.Step(nd) {
 			return false, nil
 		}
-		p.phase2 = newCliqueStepPhaseII(nd, p.voting.InR(), p.tau, p.n, p.solver)
+		p.phase2 = newCliqueStepPhaseII(nd, p.voting.InR(), p.tau, p.n, p.solver, p.power)
 	}
 }
 

@@ -8,16 +8,19 @@ import (
 )
 
 // ApproxMVCCongest runs Algorithm 1 (Theorem 1): a deterministic
-// (1+ε)-approximation for minimum vertex cover on G², communicating only
-// over G in the CONGEST model, in O(n/ε) rounds.
+// (1+ε)-approximation for minimum vertex cover on the power graph Gʳ
+// (Options.Power, default the paper's r = 2), communicating only over G in
+// the CONGEST model — in O(n/ε) rounds at r = 2.
 //
 // Phase I repeatedly selects centers c whose live neighborhood N(c) ∩ R
-// exceeds 1/ε and moves that whole neighborhood (a clique of G²) into the
-// cover; simultaneous selections are made conflict-free by the paper's
-// 2-hop maximum-ID rule. Phase II elects a leader, gathers the O(n/ε)-size
-// edge set F of Lemma 2 with pipelining over a BFS tree, reconstructs
-// H = G²[U] locally (Lemma 3), solves it with the configured LocalSolver
-// (exact by default), and floods the solution back.
+// exceeds 1/ε and moves that whole neighborhood (a clique of every Gʳ,
+// r ≥ 2) into the cover; simultaneous selections are made conflict-free by
+// the paper's 2-hop maximum-ID rule. Phase II elects a leader, gathers an
+// edge set sufficient to reconstruct H = Gʳ[U] (the O(n/ε)-size F of
+// Lemma 2 at r = 2; the near-U gather of power_phase2.go otherwise), solves
+// H with the configured LocalSolver (exact by default), and floods the
+// solution back. At r = 1 Phase I is disabled — 1-hop neighborhoods are not
+// G¹-cliques — and the run degenerates to Phase II solving G itself.
 //
 // The algorithm is implemented as a congest.StepProgram — each node's
 // per-round logic is a plain function call — so the batch engine drives it
@@ -32,6 +35,10 @@ func ApproxMVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	r, err := opts.power()
+	if err != nil {
+		return nil, err
+	}
 	if eps > 1 {
 		return &Result{Solution: bitset.Full(g.N()), PhaseISize: g.N()}, nil
 	}
@@ -43,8 +50,13 @@ func ApproxMVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, erro
 
 	// Each productive Phase-I iteration removes at least l+1 vertices from
 	// R, so ⌊n/(l+1)⌋+1 lockstep iterations guarantee global quiescence
-	// without a termination-detection protocol.
+	// without a termination-detection protocol. At r = 1 Phase I must not
+	// run at all (its committed neighborhoods are only Gʳ-cliques for
+	// r ≥ 2).
 	iterations := n/(l+1) + 1
+	if r == 1 {
+		iterations = 0
+	}
 
 	cfg := congest.Config{
 		Graph:           g,
@@ -57,7 +69,7 @@ func ApproxMVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, erro
 	}
 	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
 		return &mvcCongestProgram{
-			n: n, l: l, iterations: iterations, idw: congest.IDBits(n),
+			n: n, l: l, power: r, iterations: iterations, idw: congest.IDBits(n),
 			solver: solver,
 			inR:    true, inC: true,
 		}
@@ -75,8 +87,8 @@ func ApproxMVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, erro
 // (Lemma 3), pipelined flood of the solution — with each stage starting in
 // the slice its predecessor finishes, exactly like the blocking composition.
 type mvcCongestProgram struct {
-	n, l, iterations, idw int
-	solver                LocalSolver
+	n, l, power, iterations, idw int
+	solver                       LocalSolver
 
 	// Phase I state. sr counts Phase-I round-slices: slice 0 sends the
 	// first R-status broadcast, then each iteration occupies 4 slices, and
@@ -88,6 +100,7 @@ type mvcCongestProgram struct {
 	uNbrs               []int
 
 	stage   int
+	gather  *powerGather
 	pipe    *primitives.StepLeaderPipeline
 	inRStar bool
 }
@@ -99,11 +112,26 @@ func (p *mvcCongestProgram) Step(nd *congest.Node) (bool, error) {
 			if !p.stepPhaseI(nd) {
 				return false, nil
 			}
-			items := uEdgeItems(p.n, nd.ID(), p.uNbrs)
-			p.pipe = primitives.NewStepLeaderPipeline(nd, items, func(gathered []congest.Message) []congest.Message {
-				return coverIDItems(leaderSolveRemainder(p.n, gathered, p.solver), p.idw)
-			})
+			if p.power == 2 {
+				// The paper's exact F-edge wire format (Lemma 2/3).
+				items := uEdgeItems(p.n, nd.ID(), p.uNbrs)
+				p.pipe = primitives.NewStepLeaderPipeline(nd, items, func(gathered []congest.Message) []congest.Message {
+					return coverIDItems(leaderSolveRemainder(p.n, gathered, p.solver), p.idw)
+				})
+				p.stage = 2
+				continue
+			}
+			p.gather = newPowerGather(p.power, p.inR, p.uNbrs)
 			p.stage = 1
+		case 1:
+			if !p.gather.Step(nd) {
+				return false, nil
+			}
+			items := powerEdgeItems(nd, p.gather.Near(), p.inR)
+			p.pipe = primitives.NewStepLeaderPipeline(nd, items, func(gathered []congest.Message) []congest.Message {
+				return coverIDItems(leaderSolvePowerRemainder(p.n, p.power, gathered, p.solver), p.idw)
+			})
+			p.stage = 2
 		default:
 			if !p.pipe.Step(nd) {
 				return false, nil

@@ -10,7 +10,10 @@ import (
 )
 
 // ApproxMVCCongestRandomized runs Algorithm 1 with the randomized voting
-// Phase I of Section 3.3 in the plain CONGEST model. As the paper notes,
+// Phase I of Section 3.3 in the plain CONGEST model, targeting the power
+// graph Gʳ selected by Options.Power (default r = 2; Phase II's
+// reconstruction is r-aware, Phase I is power-independent for r ≥ 2 and
+// skipped at r = 1). As the paper notes,
 // "while this faster implementation itself works in the CONGEST model it
 // still does not improve the overall running time" — Phase II's O(n/ε)
 // leader gather dominates — but Phase I drains heavy neighborhoods in
@@ -31,6 +34,10 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 	if _, err := epsilonToL(eps); err != nil {
 		return nil, err
 	}
+	r, err := opts.power()
+	if err != nil {
+		return nil, err
+	}
 	if eps > 1 {
 		return &Result{Solution: bitset.Full(g.N()), PhaseISize: g.N()}, nil
 	}
@@ -42,6 +49,13 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 	tau := int(math.Ceil(8/eps)) + 2
 	randomIters := 8*congest.IDBits(n) + 16
 	fallbackIters := n/(tau+1) + 1
+	maxIters := randomIters + fallbackIters
+	if r == 1 {
+		// Phase I's committed neighborhoods are Gʳ-cliques only for r ≥ 2;
+		// at r = 1 the voting phase is skipped entirely and Phase II solves
+		// G itself.
+		randomIters, maxIters = 0, 0
+	}
 
 	cfg := congest.Config{
 		Graph:           g,
@@ -54,11 +68,11 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 	}
 	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
 		return &mvcRandCongestProgram{
-			n: n, idw: congest.IDBits(n), solver: solver,
+			n: n, power: r, idw: congest.IDBits(n), solver: solver,
 			voting: primitives.NewStepVotingPhase(primitives.VotingConfig{
 				Tau:         tau,
 				RandomIters: randomIters,
-				MaxIters:    randomIters + fallbackIters,
+				MaxIters:    maxIters,
 				RankWidth:   4 * congest.IDBits(n),
 				IDWidth:     congest.IDBits(n),
 			}),
@@ -73,11 +87,12 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 // mvcRandCongestProgram is Section 3.3 in step form: the randomized voting
 // phase, the final U-status exchange, then the standard leader pipeline.
 type mvcRandCongestProgram struct {
-	n, idw int
-	solver LocalSolver
+	n, power, idw int
+	solver        LocalSolver
 
 	voting  *primitives.StepVotingPhase
 	status  *primitives.StepStatusExchange
+	gather  *powerGather
 	pipe    *primitives.StepLeaderPipeline
 	stage   int
 	inRStar bool
@@ -96,11 +111,25 @@ func (p *mvcRandCongestProgram) Step(nd *congest.Node) (bool, error) {
 			if !p.status.Step(nd) {
 				return false, nil
 			}
-			items := uEdgeItems(p.n, nd.ID(), p.status.On())
-			p.pipe = primitives.NewStepLeaderPipeline(nd, items, func(gathered []congest.Message) []congest.Message {
-				return coverIDItems(leaderSolveRemainder(p.n, gathered, p.solver), p.idw)
-			})
+			if p.power == 2 {
+				items := uEdgeItems(p.n, nd.ID(), p.status.On())
+				p.pipe = primitives.NewStepLeaderPipeline(nd, items, func(gathered []congest.Message) []congest.Message {
+					return coverIDItems(leaderSolveRemainder(p.n, gathered, p.solver), p.idw)
+				})
+				p.stage = 3
+				continue
+			}
+			p.gather = newPowerGather(p.power, p.voting.InR(), p.status.On())
 			p.stage = 2
+		case 2:
+			if !p.gather.Step(nd) {
+				return false, nil
+			}
+			items := powerEdgeItems(nd, p.gather.Near(), p.voting.InR())
+			p.pipe = primitives.NewStepLeaderPipeline(nd, items, func(gathered []congest.Message) []congest.Message {
+				return coverIDItems(leaderSolvePowerRemainder(p.n, p.power, gathered, p.solver), p.idw)
+			})
+			p.stage = 3
 		default:
 			if !p.pipe.Step(nd) {
 				return false, nil

@@ -23,7 +23,10 @@ func (m edgeOrWeight) Bits() int { return 1 + m.WA + m.WB }
 
 // ApproxMWVCCongest runs the weighted variant of Algorithm 1 (Theorem 7): a
 // deterministic (1+ε)-approximation for minimum weighted vertex cover on
-// G² in O(n·log n/ε) CONGEST rounds.
+// the power graph Gʳ (Options.Power, default r = 2) — in O(n·log n/ε)
+// CONGEST rounds at r = 2. The payment loop is power-independent for r ≥ 2
+// (ripe classes are cliques of every such Gʳ) and skipped at r = 1; Phase
+// II's reconstruction is r-aware (see power_phase2.go).
 //
 // Phase I picks centers by weight classes: N(c) is partitioned into the
 // classes N_i(c) of geometrically increasing weight, and a class is "ripe"
@@ -46,6 +49,10 @@ func (m edgeOrWeight) Bits() int { return 1 + m.WA + m.WB }
 func ApproxMWVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, error) {
 	if eps <= 0 {
 		return nil, fmt.Errorf("core: epsilon must be positive, got %v", eps)
+	}
+	r, err := opts.power()
+	if err != nil {
+		return nil, err
 	}
 	if err := requireConnected(g); err != nil {
 		return nil, err
@@ -76,6 +83,12 @@ func ApproxMWVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, err
 		minRemoval = 1
 	}
 	iterations := n/minRemoval + 1
+	if r == 1 {
+		// The payment loop's ripe classes are Gʳ-cliques only for r ≥ 2; at
+		// r = 1 only the zero-weight pre-covering runs and Phase II solves
+		// the weighted G exactly.
+		iterations = 0
+	}
 
 	cfg := congest.Config{
 		Graph:           g,
@@ -88,7 +101,7 @@ func ApproxMWVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, err
 	}
 	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
 		return &mwvcCongestProgram{
-			n: n, idw: idw, maxWBits: maxWBits, solver: solver,
+			n: n, power: r, idw: idw, maxWBits: maxWBits, solver: solver,
 			phase1: primitives.NewStepWeightedLocalRatio(nd, iterations, maxWBits, ripeSelector(ratio)),
 		}
 	})
@@ -161,13 +174,28 @@ func ripeSelector(ratio float64) primitives.PayeeSelector {
 // Phase I, then the standard leader pipeline gathering F plus the weights of
 // U-vertices and flooding the leader's cover of H = G²[U] back.
 type mwvcCongestProgram struct {
-	n, idw, maxWBits int
-	solver           LocalSolver
+	n, power, idw, maxWBits int
+	solver                  LocalSolver
 
 	phase1  *primitives.StepWeightedLocalRatio
+	gather  *powerGather
 	pipe    *primitives.StepLeaderPipeline
 	stage   int
 	inRStar bool
+}
+
+// weightedItems builds this node's Phase-II contribution: edge reports for
+// the given neighbors plus, when the node is still live, its weight report
+// (which also marks U-membership at the leader).
+func (p *mwvcCongestProgram) weightedItems(nd *congest.Node, edgeNbrs []int) []congest.Message {
+	items := make([]congest.Message, 0, len(edgeNbrs)+1)
+	for _, u := range edgeNbrs {
+		items = append(items, edgeOrWeight{A: int64(nd.ID()), B: int64(u), WA: p.idw, WB: p.idw})
+	}
+	if p.phase1.InR() {
+		items = append(items, edgeOrWeight{IsWeight: true, A: int64(nd.ID()), B: nd.Weight(), WA: p.idw, WB: p.maxWBits})
+	}
+	return items
 }
 
 func (p *mwvcCongestProgram) Step(nd *congest.Node) (bool, error) {
@@ -177,18 +205,32 @@ func (p *mwvcCongestProgram) Step(nd *congest.Node) (bool, error) {
 			if !p.phase1.Step(nd) {
 				return false, nil
 			}
-			uNbrs := p.phase1.UNbrs()
-			items := make([]congest.Message, 0, len(uNbrs)+1)
-			for _, u := range uNbrs {
-				items = append(items, edgeOrWeight{A: int64(nd.ID()), B: int64(u), WA: p.idw, WB: p.idw})
+			if p.power == 2 {
+				// Lemma 8's F-edges: only edges into the live set U.
+				items := p.weightedItems(nd, p.phase1.UNbrs())
+				p.pipe = primitives.NewStepLeaderPipeline(nd, items, func(gathered []congest.Message) []congest.Message {
+					return coverIDItems(leaderSolveWeightedRemainder(p.n, gathered, p.solver), p.idw)
+				})
+				p.stage = 2
+				continue
 			}
-			if p.phase1.InR() {
-				items = append(items, edgeOrWeight{IsWeight: true, A: int64(nd.ID()), B: nd.Weight(), WA: p.idw, WB: p.maxWBits})
-			}
-			p.pipe = primitives.NewStepLeaderPipeline(nd, items, func(gathered []congest.Message) []congest.Message {
-				return coverIDItems(leaderSolveWeightedRemainder(p.n, gathered, p.solver), p.idw)
-			})
+			p.gather = newPowerGather(p.power, p.phase1.InR(), p.phase1.UNbrs())
 			p.stage = 1
+		case 1:
+			if !p.gather.Step(nd) {
+				return false, nil
+			}
+			// Near nodes report every incident edge (relay paths of Gʳ[U]
+			// may route outside U); membership travels on weight reports.
+			var edgeNbrs []int
+			if p.gather.Near() {
+				edgeNbrs = nd.Neighbors()
+			}
+			items := p.weightedItems(nd, edgeNbrs)
+			p.pipe = primitives.NewStepLeaderPipeline(nd, items, func(gathered []congest.Message) []congest.Message {
+				return coverIDItems(leaderSolveWeightedPowerRemainder(p.n, p.power, gathered, p.solver), p.idw)
+			})
+			p.stage = 2
 		default:
 			if !p.pipe.Step(nd) {
 				return false, nil

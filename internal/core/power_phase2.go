@@ -1,0 +1,141 @@
+package core
+
+import (
+	"powergraph/internal/bitset"
+	"powergraph/internal/congest"
+	"powergraph/internal/congest/primitives"
+	"powergraph/internal/graph"
+)
+
+// Gʳ Phase II: the parametric generalization of Lemma 2/3's gather.
+//
+// For r = 2 the algorithms keep the paper's exact wire format: every node
+// reports its live neighbors as F-edges and the leader squares the union
+// (Lemma 3). That reconstruction is a G²-specific trick — a G-path of
+// length ≤ 2 between U-vertices has both edges incident to U, so F suffices.
+// For general r a shortest ≤ r path between U-vertices may route through
+// vertices far from U, but every edge of such a path has an endpoint within
+// d = ⌊(r-1)/2⌋ hops of U. The generalized gather therefore
+//
+//  1. grows U by d hops with a one-bit StepNearFlood (distance ≤ 1 is
+//     already known locally from the final U-status exchange, so only
+//     max(0, d-1) extra slices are spent),
+//  2. has every near node report all of its incident G-edges, and every
+//     U-member a self-pair marking membership, and
+//  3. lets the leader rebuild the subgraph, take its r-th power, and induce
+//     on U — which equals Gʳ[U] exactly, because the reported edges contain
+//     every ≤ r U-to-U path and nothing that is not a real G-edge.
+//
+// The |F| = O(n/ε) bound of Lemma 2 is G²-specific; the generalized gather
+// ships O(m) items in the worst case, so the O(n/ε) round bound holds only
+// at r = 2 (the paper's regime). Correctness and the (1+ε) charging argument
+// are power-independent: Phase I only ever commits 1-hop neighborhoods,
+// which are cliques of every Gʳ with r ≥ 2.
+
+// nearRadius returns d = ⌊(r-1)/2⌋, the distance from U within which a node
+// must report its edges for the leader to reconstruct Gʳ[U].
+func nearRadius(r int) int { return (r - 1) / 2 }
+
+// powerGather is the near-U growth stage of the generalized Phase II. After
+// the final U-status exchange every node knows whether it is in U and which
+// neighbors are, so distance ≤ 1 is free; the flood spends d-1 slices
+// growing the rest.
+type powerGather struct {
+	flood *primitives.StepNearFlood
+}
+
+// newPowerGather starts the near-U growth at this node; inU and uNbrs come
+// from Phase I's final status exchange.
+func newPowerGather(r int, inU bool, uNbrs []int) *powerGather {
+	d := nearRadius(r)
+	start := inU
+	hops := 0
+	if d >= 1 {
+		start = inU || len(uNbrs) > 0
+		hops = d - 1
+	}
+	return &powerGather{flood: primitives.NewStepNearFlood(start, hops)}
+}
+
+// Step advances one round-slice; done when the near set is grown.
+func (pg *powerGather) Step(nd *congest.Node) bool { return pg.flood.Step(nd) }
+
+// Near reports whether this node must contribute its edges; valid once done.
+func (pg *powerGather) Near() bool { return pg.flood.Near() }
+
+// powerEdgeItems encodes a node's generalized Phase-II contribution: near
+// nodes report every incident G-edge as an (id, u) pair, and U-members add
+// an (id, id) self-pair marking membership (edges alone must not imply
+// membership — a relay's edges name vertices outside U). Duplicate edge
+// reports from two near endpoints are deduped at the leader.
+func powerEdgeItems(nd *congest.Node, near, inU bool) []congest.Message {
+	if !near {
+		return nil
+	}
+	nbrs := nd.Neighbors()
+	items := make([]congest.Message, 0, len(nbrs)+1)
+	for _, u := range nbrs {
+		items = append(items, congest.NewPair(nd.N(), int64(nd.ID()), int64(u)))
+	}
+	if inU {
+		items = append(items, congest.NewPair(nd.N(), int64(nd.ID()), int64(nd.ID())))
+	}
+	return items
+}
+
+// leaderSolvePowerRemainder rebuilds Gʳ[U] from the generalized gather —
+// self-pairs mark U-membership, other pairs are G-edges — and returns the
+// configured solver's cover of it, in original ids.
+func leaderSolvePowerRemainder(n, r int, gathered []congest.Message, solver LocalSolver) *bitset.Set {
+	u := bitset.New(n)
+	b := graph.NewBuilder(n)
+	for _, m := range gathered {
+		p := m.(congest.Pair)
+		if p.A == p.B {
+			u.Add(int(p.A))
+			continue
+		}
+		if _, err := b.AddEdgeIfAbsent(int(p.A), int(p.B)); err != nil {
+			panic(err) // malformed item: an engine/protocol bug, not user input
+		}
+	}
+	return solvePowerInduced(n, r, b, u, solver)
+}
+
+// solvePowerInduced is the shared tail of the generalized leader solves:
+// power the reported subgraph, induce on U, solve, and translate the cover
+// back to original ids.
+func solvePowerInduced(n, r int, b *graph.Builder, u *bitset.Set, solver LocalSolver) *bitset.Set {
+	h, orig := b.Build().Power(r).InducedSubgraph(u)
+	local := solver(h)
+	out := bitset.New(n)
+	local.ForEach(func(i int) bool {
+		out.Add(orig[i])
+		return true
+	})
+	return out
+}
+
+// leaderSolveWeightedPowerRemainder is the weighted form: weight reports
+// mark U-membership (every live vertex sends one), edge reports carry no
+// membership information.
+func leaderSolveWeightedPowerRemainder(n, r int, gathered []congest.Message, solver LocalSolver) *bitset.Set {
+	u := bitset.New(n)
+	weights := make(map[int]int64)
+	b := graph.NewBuilder(n)
+	for _, m := range gathered {
+		p := m.(edgeOrWeight)
+		if p.IsWeight {
+			u.Add(int(p.A))
+			weights[int(p.A)] = p.B
+			continue
+		}
+		if _, err := b.AddEdgeIfAbsent(int(p.A), int(p.B)); err != nil {
+			panic(err)
+		}
+	}
+	for v, w := range weights {
+		b.SetWeight(v, w)
+	}
+	return solvePowerInduced(n, r, b, u, solver)
+}

@@ -38,9 +38,15 @@ type Algorithm struct {
 	// multiplies jobs for these.
 	NeedsEps bool
 	// AnyPower marks algorithms that accept any r ≥ 1 (the centralized
-	// baselines, which run on the materialized Gʳ).  The distributed
-	// algorithms communicate over G and target exactly G².
+	// baselines, which run on the materialized Gʳ).
 	AnyPower bool
+	// MinPower/MaxPower bound the supported power range for entries that
+	// are not AnyPower. Both zero means the legacy "exactly r = 2" gate
+	// (kept for entries whose guarantee is square-specific, e.g. the
+	// centralized 5/3-approximation). The distributed algorithms serve
+	// r ∈ [1, 4]: they communicate over G and build their solution on Gʳ
+	// via the parametric collectives of congest/primitives.
+	MinPower, MaxPower int
 	// Exact marks entries whose own output is the optimum; the harness
 	// oracle reuses their cost instead of solving the instance twice.
 	Exact bool
@@ -58,7 +64,38 @@ type Algorithm struct {
 }
 
 // SupportsPower reports whether the algorithm can serve power r.
-func (a *Algorithm) SupportsPower(r int) bool { return a.AnyPower || r == 2 }
+func (a *Algorithm) SupportsPower(r int) bool {
+	if a.AnyPower {
+		return r >= 1
+	}
+	if a.MinPower == 0 && a.MaxPower == 0 {
+		return r == 2
+	}
+	return r >= a.MinPower && r <= a.MaxPower
+}
+
+// PowersLabel renders the supported power range for listings and skip
+// diagnostics ("any", "1-4", or "2").
+func (a *Algorithm) PowersLabel() string {
+	switch {
+	case a.AnyPower:
+		return "any"
+	case a.MinPower == 0 && a.MaxPower == 0:
+		return "2"
+	case a.MinPower == a.MaxPower:
+		return fmt.Sprintf("%d", a.MinPower)
+	default:
+		return fmt.Sprintf("%d-%d", a.MinPower, a.MaxPower)
+	}
+}
+
+// distPowers is the power range every distributed registry entry serves,
+// exercised end to end by the cross-power differential suite
+// (power_differential_test.go) and the power-smoke CI sweep.
+const (
+	distMinPower = 1
+	distMaxPower = 4
+)
 
 func distOpts(job Job) (*core.Options, error) {
 	engine, err := congest.ParseEngineMode(job.Engine)
@@ -74,6 +111,7 @@ func distOpts(job Job) (*core.Options, error) {
 		Engine:          engine,
 		BandwidthFactor: job.BandwidthFactor,
 		MaxRounds:       job.MaxRounds,
+		Power:           job.Power,
 		LocalSolver:     solver,
 	}, nil
 }
@@ -102,7 +140,8 @@ func centralizedResult(sol *bitset.Set) *core.Result {
 var algorithms = map[string]*Algorithm{
 	"mvc-congest": {
 		Name: "mvc-congest", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
-		Description: "Algorithm 1 (Thm 1): deterministic (1+eps)-approx G²-MVC in O(n/eps) CONGEST rounds",
+		MinPower: distMinPower, MaxPower: distMaxPower,
+		Description: "Algorithm 1 (Thm 1): deterministic (1+eps)-approx Gʳ-MVC (O(n/eps) CONGEST rounds at r=2)",
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
 			opts, err := distOpts(job)
 			if err != nil {
@@ -113,7 +152,8 @@ var algorithms = map[string]*Algorithm{
 	},
 	"mvc-congest-rand": {
 		Name: "mvc-congest-rand", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
-		Description: "Section 3.3: randomized voting Phase I in plain CONGEST (O(log n) heavy-neighborhood drain)",
+		MinPower: distMinPower, MaxPower: distMaxPower,
+		Description: "Section 3.3: randomized voting Phase I in plain CONGEST (O(log n) heavy-neighborhood drain), Gʳ Phase II",
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
 			opts, err := distOpts(job)
 			if err != nil {
@@ -124,7 +164,8 @@ var algorithms = map[string]*Algorithm{
 	},
 	"mwvc-congest": {
 		Name: "mwvc-congest", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
-		Description: "Theorem 7: deterministic (1+eps)-approx weighted G²-MVC via ripe weight classes",
+		MinPower: distMinPower, MaxPower: distMaxPower,
+		Description: "Theorem 7: deterministic (1+eps)-approx weighted Gʳ-MVC via ripe weight classes",
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
 			opts, err := distOpts(job)
 			if err != nil {
@@ -135,7 +176,8 @@ var algorithms = map[string]*Algorithm{
 	},
 	"mvc-congest-53": {
 		Name: "mvc-congest-53", Model: ModelCongest, Problem: ProblemMVC, NativeStep: true,
-		Description: "Corollary 17: 5/3-approx G²-MVC with polynomial local work (Algorithm 1 + 5/3 solver)",
+		MinPower: distMinPower, MaxPower: distMaxPower,
+		Description: "Corollary 17: 5/3-approx G²-MVC with polynomial local work (heuristic local solver at other r)",
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
 			o, err := distOpts(job)
 			if err != nil {
@@ -149,7 +191,8 @@ var algorithms = map[string]*Algorithm{
 	},
 	"mvc-clique-det": {
 		Name: "mvc-clique-det", Model: ModelClique, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
-		Description: "Corollary 10: deterministic (1+eps)-approx G²-MVC in O(eps·n + 1/eps) CONGESTED CLIQUE rounds",
+		MinPower: distMinPower, MaxPower: distMaxPower,
+		Description: "Corollary 10: deterministic (1+eps)-approx Gʳ-MVC (O(eps·n + 1/eps) CONGESTED CLIQUE rounds at r=2)",
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
 			opts, err := distOpts(job)
 			if err != nil {
@@ -160,7 +203,8 @@ var algorithms = map[string]*Algorithm{
 	},
 	"mvc-clique-rand": {
 		Name: "mvc-clique-rand", Model: ModelClique, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
-		Description: "Theorem 11: randomized (1+eps)-approx G²-MVC in O(log n + 1/eps) CONGESTED CLIQUE rounds",
+		MinPower: distMinPower, MaxPower: distMaxPower,
+		Description: "Theorem 11: randomized (1+eps)-approx Gʳ-MVC (O(log n + 1/eps) CONGESTED CLIQUE rounds at r=2)",
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
 			opts, err := distOpts(job)
 			if err != nil {
@@ -171,7 +215,8 @@ var algorithms = map[string]*Algorithm{
 	},
 	"mds-congest": {
 		Name: "mds-congest", Model: ModelCongest, Problem: ProblemMDS, NativeStep: true,
-		Description: "Theorem 28: randomized O(log Δ)-approx G²-MDS in polylog(n) CONGEST rounds (sketch estimator)",
+		MinPower: distMinPower, MaxPower: distMaxPower,
+		Description: "Theorem 28: randomized O(log Δʳ)-approx Gʳ-MDS in polylog(n) CONGEST rounds (sketch estimator)",
 		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
 			opts, err := distOpts(job)
 			if err != nil {
@@ -230,6 +275,15 @@ type Info struct {
 	Name, Model, Problem, Description string
 	NeedsEps, AnyPower, Exact         bool
 	NativeStep                        bool
+	// Powers is the supported power range as a label ("any", "1-4", "2");
+	// SupportsPower answers the per-r question from the copied bounds.
+	Powers             string
+	MinPower, MaxPower int
+}
+
+// SupportsPower reports whether the listed algorithm can serve power r.
+func (i Info) SupportsPower(r int) bool {
+	return (&Algorithm{AnyPower: i.AnyPower, MinPower: i.MinPower, MaxPower: i.MaxPower}).SupportsPower(r)
 }
 
 // AlgorithmInfos lists every registered algorithm's metadata, sorted by
@@ -241,6 +295,7 @@ func AlgorithmInfos() []Info {
 		out = append(out, Info{
 			Name: a.Name, Model: a.Model, Problem: a.Problem, Description: a.Description,
 			NeedsEps: a.NeedsEps, AnyPower: a.AnyPower, Exact: a.Exact, NativeStep: a.NativeStep,
+			Powers: a.PowersLabel(), MinPower: a.MinPower, MaxPower: a.MaxPower,
 		})
 	}
 	return out

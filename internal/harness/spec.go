@@ -230,8 +230,8 @@ func (s *Spec) Expand() ([]Job, ExpandReport, error) {
 					alg, _ := lookupAlgorithm(name)
 					if !alg.SupportsPower(r) {
 						rep.Skipped = append(rep.Skipped, fmt.Sprintf(
-							"%s × n=%d × r=%d: algorithm %s only supports r=2",
-							gen.Key(), n, r, name))
+							"%s × n=%d × r=%d: algorithm %s only supports r=%s",
+							gen.Key(), n, r, name, alg.PowersLabel()))
 						continue
 					}
 					epsGrid := []float64{0}

@@ -45,23 +45,44 @@ func TestExpandCountAndOrder(t *testing.T) {
 
 func TestExpandSkipsIncompatiblePowers(t *testing.T) {
 	s := testSpec()
-	s.Powers = []int{2, 3}
+	s.Powers = []int{2, 3, 5}
+	s.Algorithms = []string{"mvc-congest", "five-thirds", "gavril"}
 	jobs, rep, err := s.Expand()
 	if err != nil {
 		t.Fatal(err)
 	}
-	// mvc-congest only supports r=2; gavril supports both.
-	congest3 := 0
+	// The distributed algorithms serve r ∈ [1, 4] via the parametric Gʳ
+	// pipeline, so mvc-congest expands at r = 3 but not r = 5; the
+	// centralized 5/3-approximation keeps its square-only guarantee and
+	// only expands at r = 2; gavril is any-power.
+	count := map[string]map[int]int{}
 	for _, j := range jobs {
-		if j.Algorithm == "mvc-congest" && j.Power == 3 {
-			congest3++
+		if count[j.Algorithm] == nil {
+			count[j.Algorithm] = map[int]int{}
+		}
+		count[j.Algorithm][j.Power]++
+	}
+	perCell := 3 * 2 * 2 // generators × sizes × trials
+	for alg, want := range map[string]map[int]int{
+		"mvc-congest": {2: perCell, 3: perCell, 5: 0},
+		"five-thirds": {2: perCell, 3: 0, 5: 0},
+		"gavril":      {2: perCell, 3: perCell, 5: perCell},
+	} {
+		for r, n := range want {
+			if got := count[alg][r]; got != n {
+				t.Errorf("%s at r=%d: expanded %d jobs, want %d", alg, r, got, n)
+			}
 		}
 	}
-	if congest3 != 0 {
-		t.Fatalf("expanded %d mvc-congest jobs at r=3", congest3)
-	}
-	if want := 3 * 2; len(rep.Skipped) != want { // one skip per generator×size
+	// One skip line per generator×size per dropped (algorithm, power) pair:
+	// mvc-congest at r=5 and five-thirds at r ∈ {3, 5}.
+	if want := 3 * 3 * 2; len(rep.Skipped) != want {
 		t.Fatalf("got %d skips, want %d: %v", len(rep.Skipped), want, rep.Skipped)
+	}
+	for _, line := range rep.Skipped {
+		if !strings.Contains(line, "only supports r=") {
+			t.Fatalf("skip line missing the supported-power label: %q", line)
+		}
 	}
 }
 

@@ -84,6 +84,19 @@ func IsSquareDominatingSet(g *graph.Graph, s *bitset.Set) (ok bool, witness int)
 	return true, -1
 }
 
+// IsPowerDominatingSet reports whether s dominates gʳ: every vertex is in s
+// or within distance r (in g) of a member of s.
+func IsPowerDominatingSet(g *graph.Graph, r int, s *bitset.Set) (ok bool, witness int) {
+	switch r {
+	case 1:
+		return IsDominatingSet(g, s)
+	case 2:
+		return IsSquareDominatingSet(g, s)
+	default:
+		return IsDominatingSet(g.Power(r), s)
+	}
+}
+
 // Cost returns the total weight of the solution set under g's vertex
 // weights (its cardinality for unweighted graphs).
 func Cost(g *graph.Graph, s *bitset.Set) int64 {

@@ -190,3 +190,23 @@ func TestMatchingLowerBound(t *testing.T) {
 		t.Fatalf("lb = %d", lb)
 	}
 }
+
+func TestIsPowerDominatingSet(t *testing.T) {
+	g := graph.Path(7)
+	for r := 1; r <= 4; r++ {
+		gr := g.Power(r)
+		for mask := 0; mask < 1<<7; mask++ {
+			s := bitset.New(7)
+			for v := 0; v < 7; v++ {
+				if mask&(1<<v) != 0 {
+					s.Add(v)
+				}
+			}
+			got, _ := IsPowerDominatingSet(g, r, s)
+			want, _ := IsDominatingSet(gr, s)
+			if got != want {
+				t.Fatalf("r=%d mask=%07b: IsPowerDominatingSet=%v, materialized check=%v", r, mask, got, want)
+			}
+		}
+	}
+}

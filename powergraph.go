@@ -291,6 +291,18 @@ func IsSquareDominatingSet(g *Graph, s *VertexSet) (bool, int) {
 	return verify.IsSquareDominatingSet(g, s)
 }
 
+// IsPowerVertexCover reports whether s covers every edge of gʳ — the MVC
+// checker for runs with Options.Power ≠ 2.
+func IsPowerVertexCover(g *Graph, r int, s *VertexSet) (bool, [2]int) {
+	return verify.IsPowerVertexCover(g, r, s)
+}
+
+// IsPowerDominatingSet reports whether s dominates gʳ — the MDS checker
+// for runs with Options.Power ≠ 2.
+func IsPowerDominatingSet(g *Graph, r int, s *VertexSet) (bool, int) {
+	return verify.IsPowerDominatingSet(g, r, s)
+}
+
 // IsVertexCover reports whether s covers every edge of g itself.
 func IsVertexCover(g *Graph, s *VertexSet) (bool, [2]int) {
 	return verify.IsVertexCover(g, s)
