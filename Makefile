@@ -3,7 +3,7 @@
 GO ?= go
 OUT ?= bench-out
 
-.PHONY: build vet test race race-diff bench bench-engine bench-step sweep sweep-scale sweep-power-smoke docs-check clean
+.PHONY: build vet test race race-diff bench bench-engine bench-step bench-kernel fuzz-kernel sweep sweep-scale sweep-power-smoke sweep-kernel docs-check clean
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,17 @@ bench-engine:
 bench-step:
 	$(GO) test -bench=BenchmarkStepVsCoroutine -benchmem -run='^$$' ./internal/core/
 
+# Kernelize-then-solve vs legacy raw exact on leader-shaped instances
+# (squares of sparse graphs): solve time, kernel size after reductions, and
+# whether the raw solver exhausts the stress budget.
+bench-kernel:
+	$(GO) test -bench='BenchmarkKernel' -benchmem -run='^$$' ./internal/kernel/
+
+# Short fuzz pass over the kernel lift invariants (feasibility + LP lower
+# bound on arbitrary graph encodings) — the CI smoke configuration.
+fuzz-kernel:
+	$(GO) test -run='^$$' -fuzz=FuzzKernelLiftFeasible -fuzztime=20s ./internal/kernel/
+
 # Full scenario sweep through the experiment harness; override SPEC to point
 # at another matrix, e.g. `make sweep SPEC=specs/power-sweep.json`.
 SPEC ?= specs/podc20-sweep.json
@@ -56,6 +67,12 @@ sweep-scale:
 # solution that is not a feasible cover/dominating set of its Gʳ.
 sweep-power-smoke:
 	$(GO) run ./cmd/powerbench -spec specs/power-smoke.json -strict -quiet -out $(OUT)
+
+# The kernelize-then-solve sweep (and its CI gate): randomized + weighted
+# variants at n = 500…2000 with the kernel-exact leader solver and true
+# optimum-checked ratios at every size (regenerates BENCH_kernel.json).
+sweep-kernel:
+	$(GO) run ./cmd/powerbench -spec specs/kernel-sweep.json -strict -quiet -out $(OUT)
 
 # Documentation gate: every package under internal/ must carry a package
 # comment (a "// Package <name> ..." line somewhere in the package).

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"powergraph/internal/harness"
+	"powergraph/internal/kernel"
 )
 
 func main() {
@@ -54,14 +55,18 @@ func run() error {
 		engines  = flag.String("engines", "",
 			"comma-separated simulator engines (goroutine, batch); empty = engine default. "+
 				"Listing both runs every distributed cell under each engine on identical seeds")
-		trials   = flag.Int("trials", 1, "seeded repetitions per scenario cell")
-		rootSeed = flag.Int64("root-seed", 1, "root seed deriving every per-job seed")
-		oracleN  = flag.Int("oracle-n", 48, "solve exactly and report ratios when n ≤ this (0 disables)")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		outDir   = flag.String("out", "bench-out", "output directory")
-		quiet    = flag.Bool("quiet", false, "suppress per-job progress on stderr")
-		strict   = flag.Bool("strict", false,
-			"exit non-zero if any job fails or any solution fails its Gʳ feasibility check (CI smoke gates)")
+		trials      = flag.Int("trials", 1, "seeded repetitions per scenario cell")
+		rootSeed    = flag.Int64("root-seed", 1, "root seed deriving every per-job seed")
+		oracleN     = flag.Int("oracle-n", 48, "solve exactly and report ratios when n ≤ this (0 disables)")
+		localSolver = flag.String("local-solver", "",
+			"Phase-II leader solver ("+strings.Join(harness.LocalSolverNames(), ", ")+
+				"); empty = the kernel-exact default")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		outDir  = flag.String("out", "bench-out", "output directory")
+		quiet   = flag.Bool("quiet", false, "suppress per-job progress on stderr")
+		strict  = flag.Bool("strict", false,
+			"exit non-zero if any job fails, any solution fails its Gʳ feasibility check, or any "+
+				"leader solve degrades to the kernel-fallback path (CI smoke gates)")
 	)
 	flag.Parse()
 
@@ -71,7 +76,7 @@ func run() error {
 	}
 
 	spec, err := buildSpec(*specPath, *name, *generators, *sizes, *algorithms,
-		*epsilons, *powers, *engines, *trials, *rootSeed, *oracleN)
+		*epsilons, *powers, *engines, *localSolver, *trials, *rootSeed, *oracleN)
 	if err != nil {
 		return err
 	}
@@ -139,14 +144,21 @@ func run() error {
 		return fmt.Errorf("interrupted after %d jobs (partial results flushed)", len(report.Results))
 	}
 	if *strict {
-		unverified := 0
+		unverified, degraded := 0, 0
 		for _, r := range report.Results {
 			if r.Error == "" && !r.Verified {
 				unverified++
 			}
+			// A budget-tripped leader solve means the sweep's quality claim
+			// (exact unless reported otherwise) silently degraded to the
+			// 2-approximation — exactly what a smoke gate must catch.
+			if r.LeaderPath == kernel.PathKernelFallback {
+				degraded++
+			}
 		}
-		if report.Failed > 0 || unverified > 0 {
-			return fmt.Errorf("strict: %d jobs failed, %d solutions infeasible", report.Failed, unverified)
+		if report.Failed > 0 || unverified > 0 || degraded > 0 {
+			return fmt.Errorf("strict: %d jobs failed, %d solutions infeasible, %d leader solves fell back",
+				report.Failed, unverified, degraded)
 		}
 	}
 	return nil
@@ -180,9 +192,13 @@ func printRegistry(w io.Writer) {
 	fmt.Fprintf(w, "  %-11s %s\n", "batch", "single-scheduler round sweeps; native stepping for all registry algorithms (fast at large n)")
 	fmt.Fprintln(w, "\nListing several engine modes in a spec runs every distributed cell under each engine")
 	fmt.Fprintln(w, "on identical seeds, which makes the sweep a live engine-differential test.")
+	fmt.Fprintln(w, "\nlocal solvers (Phase-II leader, spec localSolver / -local-solver):")
+	for _, s := range harness.LocalSolverInfos() {
+		fmt.Fprintf(w, "  %-13s %s\n", s.Name, s.Description)
+	}
 }
 
-func buildSpec(specPath, name, generators, sizes, algorithms, epsilons, powers, engines string,
+func buildSpec(specPath, name, generators, sizes, algorithms, epsilons, powers, engines, localSolver string,
 	trials int, rootSeed int64, oracleN int) (*harness.Spec, error) {
 	if specPath != "" {
 		return harness.LoadSpec(specPath)
@@ -214,6 +230,7 @@ func buildSpec(specPath, name, generators, sizes, algorithms, epsilons, powers, 
 		Epsilons:    eps,
 		EngineModes: splitCSV(engines),
 		OracleN:     oracleN,
+		LocalSolver: localSolver,
 	}
 	return spec, spec.Validate()
 }

@@ -43,13 +43,18 @@ import (
 
 	"powergraph/internal/bitset"
 	"powergraph/internal/congest"
-	"powergraph/internal/exact"
 	"powergraph/internal/graph"
+	"powergraph/internal/kernel"
 )
 
 // LocalSolver computes a vertex cover of a (small, reconstructed) graph at
-// the leader during Phase II. Algorithm 1 uses an exact solver; Corollary 17
-// swaps in the centralized 5/3-approximation for polynomial local work.
+// the leader during Phase II. Algorithm 1 uses an exact-quality solver;
+// Corollary 17 swaps in the centralized 5/3-approximation for polynomial
+// local work. The default is the kernelize-then-solve ladder of
+// internal/kernel — reduction rules, then bounded branch and bound, then a
+// polynomial local-ratio fallback — which matches the legacy raw exact
+// solver bit for bit on small instances (its direct path) and cracks the
+// large sparse leader instances the raw solver could not.
 type LocalSolver func(*graph.Graph) *bitset.Set
 
 // Options tune a distributed run. The zero value is ready to use.
@@ -83,10 +88,25 @@ type Options struct {
 }
 
 func (o *Options) localSolver() LocalSolver {
+	s, _ := o.leaderSolver()
+	return s
+}
+
+// leaderSolver resolves the Phase-II solver. For the default
+// kernelize-then-solve path it also returns a report slot that the solver
+// fills when the leader invokes it (nil for custom LocalSolvers, whose
+// internals the core cannot see).
+func (o *Options) leaderSolver() (LocalSolver, *kernel.Report) {
 	if o != nil && o.LocalSolver != nil {
-		return o.LocalSolver
+		return o.LocalSolver, nil
 	}
-	return exact.VertexCover
+	ks := kernel.NewSolver(kernel.Config{})
+	rep := new(kernel.Report)
+	return func(h *graph.Graph) *bitset.Set {
+		cover, r := ks.VertexCover(h)
+		*rep = r
+		return cover
+	}, rep
 }
 
 func (o *Options) seed() int64 {
@@ -146,6 +166,12 @@ type Result struct {
 	// the unconditional-feasibility fallback after the w.h.p. phase budget
 	// (0 w.h.p.; only set by ApproxMDSCongest).
 	FallbackJoins int
+	// LeaderSolve reports how the Phase-II leader solved its reconstructed
+	// Gʳ[U] instance when the default kernelize-then-solve solver ran: the
+	// path taken (direct / kernel-exact / kernel-fallback), kernel size,
+	// and bounds. Nil for custom LocalSolvers and for runs without a leader
+	// solve (MDS, the ε > 1 shortcut).
+	LeaderSolve *kernel.Report
 	// Stats is the simulator's cost accounting for the whole run.
 	Stats congest.Stats
 }
@@ -168,6 +194,17 @@ func assemble(outs []nodeOut, stats congest.Stats) *Result {
 		}
 	}
 	return &Result{Solution: sol, PhaseISize: phase1, Stats: stats}
+}
+
+// assembleWithSolve is assemble plus the leader-solve report (attached only
+// when the default solver actually ran — custom solvers pass nil, and a
+// zero Path means the leader never invoked it).
+func assembleWithSolve(outs []nodeOut, stats congest.Stats, solveRep *kernel.Report) *Result {
+	res := assemble(outs, stats)
+	if solveRep != nil && solveRep.Path != "" {
+		res.LeaderSolve = solveRep
+	}
+	return res
 }
 
 // coverIDItems encodes a cover as the width-idw vertex-id messages Phase II

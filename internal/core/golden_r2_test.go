@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"powergraph/internal/congest"
+	"powergraph/internal/exact"
 	"powergraph/internal/graph"
 )
 
@@ -21,11 +22,24 @@ import (
 // is the refactoring guard the equivalence tests cannot provide (they compare
 // step form against blocking form, not new code against old).
 //
+// Since the kernelize-then-solve subsystem became the default leader solver,
+// the matrix runs under that default (i.e. it covers the "kernel-exact"
+// localSolver), and every record is additionally replayed with the legacy
+// raw exact solver pinned via Options.LocalSolver: the two must agree byte
+// for byte. That agreement is by construction — below kernel.DefaultDirectN
+// the ladder's direct path calls the legacy solver verbatim, and every
+// golden instance is smaller than that — so the fixtures survive the solver
+// swap untouched.
+//
 // Regenerate with:
 //
 //	go test ./internal/core/ -run TestGoldenR2Regression -update-golden
 //
-// but only ever from a commit whose r = 2 outputs are known-good.
+// but only ever from a commit whose r = 2 outputs are known-good, and only
+// when behavior legitimately changes. If a future kernel change makes the
+// ladder return a *different optimal* cover on these instances (tie-breaks
+// among equal-cost optima), the right fix is to regenerate with the flag and
+// say so in the commit — cost drift, by contrast, is always a bug.
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_r2.json from the current implementation")
 
@@ -122,6 +136,17 @@ func TestGoldenR2Regression(t *testing.T) {
 			}
 			if !reflect.DeepEqual(records[0], records[1]) {
 				t.Fatalf("%s: engines diverge:\ngoroutine: %+v\nbatch:     %+v", key, records[0], records[1])
+			}
+			// The default (kernel-exact) and the pinned legacy raw exact
+			// solver must be byte-identical on the golden matrix: the
+			// ladder's direct path guarantees it below DefaultDirectN.
+			legacy, err := run(g, &Options{Seed: 7, Engine: congest.EngineBatch, LocalSolver: exact.VertexCover})
+			if err != nil {
+				t.Fatalf("%s (legacy solver): %v", key, err)
+			}
+			if lr := goldenRecordOf(legacy); !reflect.DeepEqual(records[0], lr) {
+				t.Fatalf("%s: kernel-exact default diverges from the legacy exact solver:\nkernel: %+v\nlegacy: %+v",
+					key, records[0], lr)
 			}
 			got[key] = records[0]
 		}

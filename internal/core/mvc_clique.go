@@ -34,7 +34,7 @@ func ApproxMVCCliqueDeterministic(g *graph.Graph, eps float64, opts *Options) (*
 		return nil, err
 	}
 	n := g.N()
-	solver := opts.localSolver()
+	solver, solveRep := opts.leaderSolver()
 	iterations := n/(l+1) + 1
 	if r == 1 {
 		// Committed neighborhoods are Gʳ-cliques only for r ≥ 2.
@@ -59,7 +59,7 @@ func ApproxMVCCliqueDeterministic(g *graph.Graph, eps float64, opts *Options) (*
 	if err != nil {
 		return nil, err
 	}
-	return assemble(res.Outputs, res.Stats), nil
+	return assembleWithSolve(res.Outputs, res.Stats, solveRep), nil
 }
 
 // Phase-I states of mvcCliqueDetProgram.

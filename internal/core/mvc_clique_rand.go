@@ -42,7 +42,7 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 		return nil, err
 	}
 	n := g.N()
-	solver := opts.localSolver()
+	solver, solveRep := opts.leaderSolver()
 	// Threshold: a vertex is a candidate while dR(c) > 8/ε + 2 (it "leaves
 	// C" as soon as its live degree drops to the threshold or below).
 	tau := int(math.Ceil(8/eps)) + 2
@@ -77,7 +77,7 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 	if err != nil {
 		return nil, err
 	}
-	return assemble(res.Outputs, res.Stats), nil
+	return assembleWithSolve(res.Outputs, res.Stats, solveRep), nil
 }
 
 // mvcCliqueRandProgram is Theorem 11 in step form: the clique-mode voting

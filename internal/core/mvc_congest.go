@@ -46,7 +46,7 @@ func ApproxMVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, erro
 		return nil, err
 	}
 	n := g.N()
-	solver := opts.localSolver()
+	solver, solveRep := opts.leaderSolver()
 
 	// Each productive Phase-I iteration removes at least l+1 vertices from
 	// R, so ⌊n/(l+1)⌋+1 lockstep iterations guarantee global quiescence
@@ -77,7 +77,7 @@ func ApproxMVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	return assemble(res.Outputs, res.Stats), nil
+	return assembleWithSolve(res.Outputs, res.Stats, solveRep), nil
 }
 
 // mvcCongestProgram is Algorithm 1 in step form. Phase I runs a fixed

@@ -45,7 +45,7 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 		return nil, err
 	}
 	n := g.N()
-	solver := opts.localSolver()
+	solver, solveRep := opts.leaderSolver()
 	tau := int(math.Ceil(8/eps)) + 2
 	randomIters := 8*congest.IDBits(n) + 16
 	fallbackIters := n/(tau+1) + 1
@@ -81,7 +81,7 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 	if err != nil {
 		return nil, err
 	}
-	return assemble(res.Outputs, res.Stats), nil
+	return assembleWithSolve(res.Outputs, res.Stats, solveRep), nil
 }
 
 // mvcRandCongestProgram is Section 3.3 in step form: the randomized voting

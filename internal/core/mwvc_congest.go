@@ -72,7 +72,7 @@ func ApproxMWVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, err
 			return nil, fmt.Errorf("core: weight %d at vertex %d exceeds the O(log n)-bit budget (%d bits)", w, v, maxWBits)
 		}
 	}
-	solver := opts.localSolver()
+	solver, solveRep := opts.leaderSolver()
 	ratio := eps / (1 + eps)
 
 	// Every ripe class has at least (1+ε)/ε = 1 + 1/ε members, so a
@@ -108,7 +108,7 @@ func ApproxMWVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	return assemble(res.Outputs, res.Stats), nil
+	return assembleWithSolve(res.Outputs, res.Stats, solveRep), nil
 }
 
 // ripeSelector builds the PayeeSelector implementing condition (7) of

@@ -85,7 +85,10 @@ func powerEdgeItems(nd *congest.Node, near, inU bool) []congest.Message {
 
 // leaderSolvePowerRemainder rebuilds Gʳ[U] from the generalized gather —
 // self-pairs mark U-membership, other pairs are G-edges — and returns the
-// configured solver's cover of it, in original ids.
+// configured solver's cover of it, in original ids. With the default
+// kernelize-then-solve solver (internal/kernel) the reconstructed instance
+// is reduced to its hard core before any branching, which is what lets the
+// leader absorb essentially-all-of-Gʳ gathers on sparse thousand-node runs.
 func leaderSolvePowerRemainder(n, r int, gathered []congest.Message, solver LocalSolver) *bitset.Set {
 	u := bitset.New(n)
 	b := graph.NewBuilder(n)

@@ -38,17 +38,54 @@ func VertexCover(g *graph.Graph) *bitset.Set {
 // maxNodes == 0 means unlimited. On budget exhaustion it returns
 // ErrBudgetExceeded and no solution.
 func VertexCoverBounded(g *graph.Graph, maxNodes int64) (*bitset.Set, error) {
+	return VertexCoverBoundedFrom(g, maxNodes, nil)
+}
+
+// VertexCoverBoundedFrom is VertexCoverBounded seeded with a feasible
+// incumbent cover (nil selects the trivial all-non-isolated-vertices
+// incumbent). A near-optimal seed — the kernelize-then-solve pipeline passes
+// its polynomial 2-approximation — lets the lower bounds prune from the
+// first node, which is often the difference between cracking a hard kernel
+// and exhausting the budget. The search still returns an exact optimum; the
+// seed itself is returned only when nothing strictly better exists.
+func VertexCoverBoundedFrom(g *graph.Graph, maxNodes int64, incumbent *bitset.Set) (*bitset.Set, error) {
+	return vertexCoverSearch(g, maxNodes, incumbent, false)
+}
+
+// VertexCoverBoundedSplit is VertexCoverBoundedFrom with in-search connected
+// component decomposition: whenever branching (plus reductions) disconnects
+// the active subproblem, each component is solved independently and the
+// optima are summed. On the band-and-junction structures that survive
+// kernelization of sparse power graphs, one junction branch splits the
+// instance into many short chains, turning an exponential search into a
+// near-linear one. Decomposition changes only tie-breaking among equal-cost
+// covers, so it lives behind its own entry point and the legacy
+// VertexCover/VertexCoverBounded outputs stay bit-identical.
+//
+// Unlike the legacy entry points, on budget exhaustion it returns the best
+// feasible cover found so far (never worse than the seed incumbent)
+// alongside ErrBudgetExceeded, so an interrupted search still pays out the
+// improvements it made.
+func VertexCoverBoundedSplit(g *graph.Graph, maxNodes int64, incumbent *bitset.Set) (*bitset.Set, error) {
+	return vertexCoverSearch(g, maxNodes, incumbent, true)
+}
+
+func vertexCoverSearch(g *graph.Graph, maxNodes int64, incumbent *bitset.Set, split bool) (*bitset.Set, error) {
 	s := &vcSolver{
 		g:        g,
 		n:        g.N(),
-		maxNodes: maxNodes,
+		budget:   &vcBudget{max: maxNodes},
+		split:    split,
 		bestCost: math.MaxInt64,
 	}
-	// Initial incumbent: all non-isolated vertices (always feasible).
-	init := bitset.New(g.N())
-	for v := 0; v < g.N(); v++ {
-		if g.Degree(v) > 0 {
-			init.Add(v)
+	init := incumbent
+	if init == nil {
+		// Trivial incumbent: all non-isolated vertices (always feasible).
+		init = bitset.New(g.N())
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) > 0 {
+				init.Add(v)
+			}
 		}
 	}
 	s.bestSet = init
@@ -57,9 +94,28 @@ func VertexCoverBounded(g *graph.Graph, maxNodes int64) (*bitset.Set, error) {
 	active := bitset.Full(g.N())
 	cover := bitset.New(g.N())
 	if err := s.solve(active, cover, 0); err != nil {
+		if split {
+			// Best-so-far: feasible, and no worse than the seed incumbent.
+			return s.bestSet, err
+		}
 		return nil, err
 	}
 	return s.bestSet, nil
+}
+
+// vcBudget is the search-node budget, shared across the sub-solvers the
+// splitting search spawns so the cap stays global.
+type vcBudget struct {
+	nodes int64
+	max   int64
+}
+
+func (b *vcBudget) spend() error {
+	b.nodes++
+	if b.max > 0 && b.nodes > b.max {
+		return ErrBudgetExceeded
+	}
+	return nil
 }
 
 type vcSolver struct {
@@ -67,8 +123,8 @@ type vcSolver struct {
 	n        int
 	bestSet  *bitset.Set
 	bestCost int64
-	nodes    int64
-	maxNodes int64
+	budget   *vcBudget
+	split    bool
 }
 
 // activeDegree is |N(v) ∩ active|.
@@ -100,13 +156,62 @@ func (s *vcSolver) matchingLB(active *bitset.Set) int64 {
 	return lb
 }
 
+// cliqueCoverLB greedily partitions the active vertices into cliques; a
+// clique must put all members but one into any cover, so each contributes
+// its total weight minus its heaviest member, and disjointness makes the sum
+// admissible. On triangle-rich instances — power graphs above all, where
+// every 1-hop neighborhood is a clique of Gʳ — this is nearly twice the
+// matching bound (k−1 versus ⌊k/2⌋ per clique of size k), which is what lets
+// the branch and bound crack the kernels of thousand-node leader instances.
+//
+// Both bounds are admissible, so taking their maximum never prunes a
+// strictly-improving leaf: the returned cover is bit-identical with or
+// without this bound — only the visited node count changes. It still runs
+// only on the splitting search (the kernelize-then-solve path), so the
+// legacy entry points keep their pre-kernel node counts exactly: the
+// leader-ceiling stress test relies on VertexCoverBounded exhausting the
+// same budgets it always exhausted.
+func (s *vcSolver) cliqueCoverLB(active *bitset.Set) int64 {
+	avail := active.Clone()
+	var lb int64
+	for u := avail.First(); u != -1; u = avail.NextAfter(u) {
+		// Grow a clique around u: candidates stay adjacent to every member.
+		common := s.g.AdjRow(u).Intersect(avail)
+		sum, max := s.g.Weight(u), s.g.Weight(u)
+		avail.Remove(u)
+		for v := common.First(); v != -1; v = common.NextAfter(v) {
+			w := s.g.Weight(v)
+			sum += w
+			if w > max {
+				max = w
+			}
+			avail.Remove(v)
+			common.And(s.g.AdjRow(v))
+		}
+		lb += sum - max
+	}
+	return lb
+}
+
+// lowerBound is the matching bound, strengthened by the clique-cover bound
+// on the splitting search.
+func (s *vcSolver) lowerBound(active *bitset.Set) int64 {
+	lb := s.matchingLB(active)
+	if !s.split {
+		return lb
+	}
+	if c := s.cliqueCoverLB(active); c > lb {
+		lb = c
+	}
+	return lb
+}
+
 // solve explores the subproblem where `active` vertices remain and `cover`
 // (cost `cost`) has been committed. It mutates its arguments; callers pass
 // clones when branching.
 func (s *vcSolver) solve(active, cover *bitset.Set, cost int64) error {
-	s.nodes++
-	if s.maxNodes > 0 && s.nodes > s.maxNodes {
-		return ErrBudgetExceeded
+	if err := s.budget.spend(); err != nil {
+		return err
 	}
 	if cost >= s.bestCost {
 		return nil
@@ -179,8 +284,14 @@ func (s *vcSolver) solve(active, cover *bitset.Set, cost int64) error {
 		return nil
 	}
 
-	if cost+s.matchingLB(active) >= s.bestCost {
+	if cost+s.lowerBound(active) >= s.bestCost {
 		return nil
+	}
+
+	if s.split {
+		if done, err := s.solveSplit(active, cover, cost); done || err != nil {
+			return err
+		}
 	}
 
 	// Branch A: take `branch` into the cover.
@@ -211,4 +322,68 @@ func (s *vcSolver) solve(active, cover *bitset.Set, cost int64) error {
 		}
 	}
 	return nil
+}
+
+// solveSplit decomposes a disconnected active set into components, solves
+// each with an independent sub-search (shared node budget), and combines the
+// optima. Reports done = true when it handled the subproblem (i.e., there
+// was more than one component); the caller then skips branching entirely.
+func (s *vcSolver) solveSplit(active, cover *bitset.Set, cost int64) (done bool, err error) {
+	comps := s.components(active)
+	if len(comps) < 2 {
+		return false, nil
+	}
+	total := cost
+	union := cover.Clone()
+	for _, comp := range comps {
+		if total >= s.bestCost {
+			return true, nil // partial sums already beat by the incumbent
+		}
+		sub := &vcSolver{
+			g: s.g, n: s.n, budget: s.budget, split: true,
+			// Trivial per-component incumbent: the whole component.
+			bestSet:  comp.Clone(),
+			bestCost: s.g.SetWeightOf(comp),
+		}
+		if err := sub.solve(comp.Clone(), bitset.New(s.n), 0); err != nil {
+			return true, err
+		}
+		total += sub.bestCost
+		union.Or(sub.bestSet)
+	}
+	if total < s.bestCost {
+		s.bestCost = total
+		s.bestSet = union
+	}
+	return true, nil
+}
+
+// components returns the connected components of the active set, in
+// first-vertex order (deterministic).
+func (s *vcSolver) components(active *bitset.Set) []*bitset.Set {
+	seen := bitset.New(s.n)
+	var comps []*bitset.Set
+	for v := active.First(); v != -1; v = active.NextAfter(v) {
+		if seen.Contains(v) {
+			continue
+		}
+		comp := bitset.New(s.n)
+		frontier := []int{v}
+		comp.Add(v)
+		seen.Add(v)
+		for len(frontier) > 0 {
+			u := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			nbrs := s.g.AdjRow(u).Intersect(active)
+			for w := nbrs.First(); w != -1; w = nbrs.NextAfter(w) {
+				if !seen.Contains(w) {
+					seen.Add(w)
+					comp.Add(w)
+					frontier = append(frontier, w)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
 }

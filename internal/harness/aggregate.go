@@ -39,6 +39,11 @@ type CellSummary struct {
 	// OracleTrials counts trials with an exact optimum available; Ratio is
 	// aggregated over exactly those.
 	OracleTrials int `json:"oracleTrials"`
+	// LeaderPaths counts trials per Phase-II leader-solve path ("direct",
+	// "kernel-exact", "kernel-fallback"); empty for cells whose algorithm
+	// has no leader solve or runs a custom solver. A "kernel-fallback"
+	// entry flags cells whose reported quality is no longer exact.
+	LeaderPaths map[string]int `json:"leaderPaths,omitempty"`
 
 	Cost     Dist `json:"cost"`
 	Ratio    Dist `json:"ratio"`
@@ -87,6 +92,12 @@ func Aggregate(results []JobResult) []CellSummary {
 		}
 		if r.Verified {
 			a.summary.Verified++
+		}
+		if r.LeaderPath != "" {
+			if a.summary.LeaderPaths == nil {
+				a.summary.LeaderPaths = make(map[string]int)
+			}
+			a.summary.LeaderPaths[r.LeaderPath]++
 		}
 		a.cost = append(a.cost, float64(r.Cost))
 		a.rounds = append(a.rounds, float64(r.Rounds))

@@ -116,18 +116,51 @@ func distOpts(job Job) (*core.Options, error) {
 	}, nil
 }
 
+// LocalSolverInfo describes one value of the spec/job localSolver knob for
+// listings (powerbench -list) and flag help.
+type LocalSolverInfo struct {
+	Name, Description string
+}
+
+// LocalSolverInfos lists the localSolver knob values with their one-line
+// summaries, in display order. parseLocalSolver and this list must stay in
+// step (TestLocalSolverRegistryInSync enforces it).
+func LocalSolverInfos() []LocalSolverInfo {
+	return []LocalSolverInfo{
+		{"kernel-exact", "kernelize-then-solve ladder (default): reduction rules + bounded branch and bound + local-ratio fallback"},
+		{"exact", "legacy raw branch and bound (exponential worst case; the pre-kernel default)"},
+		{"five-thirds", "Corollary 17's polynomial 5/3-approximation (r = 2 guarantee)"},
+	}
+}
+
+// LocalSolverNames lists the spec/job localSolver knob values.
+func LocalSolverNames() []string {
+	infos := LocalSolverInfos()
+	names := make([]string, len(infos))
+	for i, in := range infos {
+		names[i] = in.Name
+	}
+	return names
+}
+
 // parseLocalSolver maps a job/spec solver name to a core.LocalSolver; nil
-// means "the algorithm's default" (exact).
+// means "the algorithm's default", which since the kernelize-then-solve
+// subsystem landed is exactly "kernel-exact" (reduction rules + bounded
+// branch and bound + polynomial fallback). "exact" pins the legacy raw
+// branch and bound — the pre-kernel default, kept for regression baselines
+// and the leader-ceiling stress test.
 func parseLocalSolver(name string) (core.LocalSolver, error) {
 	switch name {
-	case "", "exact":
+	case "", "kernel-exact":
 		return nil, nil
+	case "exact":
+		return exact.VertexCover, nil
 	case "five-thirds":
 		return func(h *graph.Graph) *bitset.Set {
 			return centralized.FiveThirdsOnGraph(h).Cover
 		}, nil
 	default:
-		return nil, fmt.Errorf("harness: unknown local solver %q (want exact or five-thirds)", name)
+		return nil, fmt.Errorf("harness: unknown local solver %q (want one of %v)", name, LocalSolverNames())
 	}
 }
 

@@ -19,6 +19,11 @@ type GeneratorSpec struct {
 	// P is the edge probability for gnp/connected-gnp/bipartite
 	// (0 → 8/n, sparse with constant average degree 8).
 	P float64 `json:"p,omitempty"`
+	// AvgDeg, when positive, selects p = AvgDeg/n for the gnp generators —
+	// the natural way to hold sparsity constant across a size axis (the
+	// kernel-sweep uses it to pin the leader-ceiling regime). Mutually
+	// exclusive with P.
+	AvgDeg float64 `json:"avgDeg,omitempty"`
 	// Radius is the unit-disk connection radius
 	// (0 → sqrt(3·ln n / n), above the connectivity threshold).
 	Radius float64 `json:"radius,omitempty"`
@@ -36,6 +41,9 @@ func (g GeneratorSpec) Key() string {
 	k := g.Name
 	if g.P != 0 {
 		k += fmt.Sprintf(",p=%g", g.P)
+	}
+	if g.AvgDeg != 0 {
+		k += fmt.Sprintf(",d=%g", g.AvgDeg)
 	}
 	if g.Radius != 0 {
 		k += fmt.Sprintf(",rad=%g", g.Radius)
@@ -97,6 +105,9 @@ func (g GeneratorSpec) gnpP(n int) float64 {
 	if g.P > 0 {
 		return g.P
 	}
+	if g.AvgDeg > 0 {
+		return math.Min(1, g.AvgDeg/float64(n))
+	}
 	return math.Min(1, 8/float64(n))
 }
 
@@ -117,6 +128,12 @@ func (g GeneratorSpec) validate() error {
 	}
 	if g.P < 0 || g.P > 1 {
 		return fmt.Errorf("harness: generator %s: p must be in [0,1], got %v", g.Name, g.P)
+	}
+	if g.AvgDeg < 0 {
+		return fmt.Errorf("harness: generator %s: negative avgDeg %v", g.Name, g.AvgDeg)
+	}
+	if g.AvgDeg > 0 && g.P > 0 {
+		return fmt.Errorf("harness: generator %s: p and avgDeg are mutually exclusive", g.Name)
 	}
 	if g.Radius < 0 {
 		return fmt.Errorf("harness: generator %s: negative radius %v", g.Name, g.Radius)

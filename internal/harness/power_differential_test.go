@@ -26,9 +26,18 @@ import (
 // powerJob builds one job for the given algorithm, engine, and power with
 // seeds derived the way Expand would derive them.
 func powerJob(alg, engine string, gen GeneratorSpec, n, r int, eps float64) Job {
+	return powerJobSolver(alg, engine, "", gen, n, r, eps)
+}
+
+// powerJobSolver is powerJob with an explicit localSolver knob. The solver
+// deliberately stays out of seed derivation (like the engine), so jobs that
+// differ only in the solver replay the identical run — which is what lets
+// the suite assert solver-differential equalities below.
+func powerJobSolver(alg, engine, solver string, gen GeneratorSpec, n, r int, eps float64) Job {
 	j := Job{
 		Generator: gen, N: n, Power: r, Algorithm: alg,
 		Epsilon: eps, Engine: engine, Trial: 0, OracleN: n,
+		LocalSolver: solver,
 	}
 	j.Seed = deriveSeed(23, j.cellKey(), 0)
 	j.InstanceSeed = deriveSeed(23, j.instanceKey(), 0)
@@ -107,6 +116,25 @@ func TestCrossPowerDifferentialSuite(t *testing.T) {
 					gor.Elapsed, bat.Elapsed = 0, 0
 					if *gor != *bat {
 						t.Fatalf("%s: engines diverge:\ngoroutine: %+v\nbatch:     %+v", cell, *gor, *bat)
+					}
+					// Solver differential: the explicit "kernel-exact" knob
+					// must replay the default ("") run identically, and the
+					// pinned legacy "exact" solver must agree on everything
+					// except the leader-solve report (custom solvers have
+					// none) — at this size the ladder's direct path IS the
+					// legacy solver.
+					ker := executeJob(powerJobSolver(info.Name, "batch", "kernel-exact", gen, n, r, jobEps), nil)
+					ker.Engine, ker.Elapsed = "", 0
+					if *ker != *bat {
+						t.Fatalf("%s: kernel-exact knob diverges from the default:\ndefault:      %+v\nkernel-exact: %+v",
+							cell, *bat, *ker)
+					}
+					leg := executeJob(powerJobSolver(info.Name, "batch", "exact", gen, n, r, jobEps), nil)
+					leg.Engine, leg.Elapsed = "", 0
+					ker.LeaderPath, ker.LeaderKernelN = "", 0
+					if *leg != *ker {
+						t.Fatalf("%s: legacy exact solver diverges from kernel-exact:\nkernel-exact: %+v\nlegacy:       %+v",
+							cell, *ker, *leg)
 					}
 					// Feasibility on the materialized Gʳ.
 					if !gor.Verified {

@@ -10,7 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"powergraph/internal/exact"
+	"powergraph/internal/kernel"
 	"powergraph/internal/verify"
 )
 
@@ -54,6 +54,13 @@ type JobResult struct {
 	PhaseISize int `json:"phaseISize"`
 	// FallbackJoins is Theorem 28's feasibility-fallback count.
 	FallbackJoins int `json:"fallbackJoins"`
+	// LeaderPath is the Phase-II leader-solve path taken by the default
+	// kernelize-then-solve solver ("direct", "kernel-exact",
+	// "kernel-fallback"; empty for custom solvers and non-leader runs), and
+	// LeaderKernelN the kernel size it branched on. Deterministic per job,
+	// so the fields survive the byte-identical JSONL contract.
+	LeaderPath    string `json:"leaderPath,omitempty"`
+	LeaderKernelN int    `json:"leaderKernelN,omitempty"`
 
 	// Error is set when the job failed (including recovered panics); all
 	// measurement fields are zero in that case.
@@ -410,6 +417,10 @@ func executeJob(job Job, oracle *oracleCache) (out *JobResult) {
 	out.Bandwidth = res.Stats.Bandwidth
 	out.PhaseISize = res.PhaseISize
 	out.FallbackJoins = res.FallbackJoins
+	if res.LeaderSolve != nil {
+		out.LeaderPath = res.LeaderSolve.Path
+		out.LeaderKernelN = res.LeaderSolve.KernelN
+	}
 
 	if job.OracleN > 0 && job.N <= job.OracleN {
 		key := oracleKey{
@@ -425,11 +436,11 @@ func executeJob(job Job, oracle *oracleCache) (out *JobResult) {
 			opt = oracle.optimum(key, func() int64 { return out.Cost })
 		case alg.Problem == ProblemMDS:
 			opt = oracle.optimum(key, func() int64 {
-				return verify.Cost(power, exact.DominatingSet(power))
+				return verify.Cost(power, kernel.DominatingSet(power))
 			})
 		default:
 			opt = oracle.optimum(key, func() int64 {
-				return verify.Cost(power, exact.VertexCover(power))
+				return verify.Cost(power, kernel.VertexCover(power))
 			})
 		}
 		out.Optimum = opt

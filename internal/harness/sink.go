@@ -40,7 +40,7 @@ var csvHeader = []string{
 	"epsilon", "engine", "trial", "seed", "instanceSeed", "cost",
 	"solutionSize", "verified", "optimum", "ratio", "rounds", "messages",
 	"totalBits", "maxRoundBits", "bandwidth", "phaseISize", "fallbackJoins",
-	"error",
+	"leaderPath", "leaderKernelN", "error",
 }
 
 // CSVSink streams results as CSV with a fixed header row.
@@ -88,6 +88,8 @@ func (s *CSVSink) Write(r *JobResult) error {
 		strconv.Itoa(r.Bandwidth),
 		strconv.Itoa(r.PhaseISize),
 		strconv.Itoa(r.FallbackJoins),
+		r.LeaderPath,
+		strconv.Itoa(r.LeaderKernelN),
 		r.Error,
 	}
 	if err := s.w.Write(rec); err != nil {

@@ -86,11 +86,14 @@ type Spec struct {
 	// MaxRounds aborts runaway distributed executions (0 = engine default).
 	MaxRounds int `json:"maxRounds,omitempty"`
 	// LocalSolver picks the Phase-II leader solver of the MVC algorithms:
-	// "" or "exact" (the default, exponential worst case) or "five-thirds"
-	// (Corollary 17's polynomial 5/3-approximation). Thousand-node sweeps
-	// need "five-thirds" whenever an algorithm can hand the leader a large
-	// remainder (the randomized variants on sparse graphs do); MDS and the
-	// centralized baselines ignore it.
+	// "" or "kernel-exact" (the default kernelize-then-solve ladder of
+	// internal/kernel: reduction rules, bounded branch and bound, local-
+	// ratio fallback), "exact" (the legacy raw branch and bound, exponential
+	// worst case — the pre-kernel default), or "five-thirds" (Corollary 17's
+	// polynomial 5/3-approximation). Sparse thousand-node sweeps that hand
+	// the leader essentially all of Gʳ — the randomized variants' usual
+	// fate — are exactly what "kernel-exact" exists for; MDS and the
+	// centralized baselines ignore the knob.
 	LocalSolver string `json:"localSolver,omitempty"`
 }
 

@@ -1,0 +1,73 @@
+package kernel
+
+import (
+	"testing"
+
+	"powergraph/internal/exact"
+	"powergraph/internal/graph"
+	"powergraph/internal/verify"
+)
+
+// FuzzKernelLiftFeasible drives the whole kernelize-then-solve ladder over
+// arbitrary graph encodings and asserts the two invariants every path must
+// keep regardless of which rules fired or whether the budget tripped:
+//
+//   - the lifted solution is a feasible vertex cover of the input, and
+//   - its cost is never below the reported LP-based lower bound (and the
+//     report's own cost bookkeeping matches).
+//
+// Small instances additionally get a brute-force optimality check whenever
+// the ladder claims the solve was exact. Run the short CI pass with
+// `make fuzz-kernel`.
+func FuzzKernelLiftFeasible(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{12, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 0, 9, 9, 9})
+	f.Add([]byte{20, 250, 3, 77, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := decodeFuzzGraph(data)
+		// A tight budget keeps the fuzz fast and exercises the fallback arm
+		// as often as the exact one.
+		cover, rep := NewSolver(Config{DirectN: -1, MaxNodes: 400}).VertexCover(g)
+		if ok, witness := verify.IsVertexCover(g, cover); !ok {
+			t.Fatalf("lifted cover infeasible (edge %v uncovered) on n=%d m=%d", witness, g.N(), g.M())
+		}
+		cost := g.SetWeightOf(cover)
+		if cost != rep.Cost {
+			t.Fatalf("report cost %d != actual cost %d", rep.Cost, cost)
+		}
+		if cost < rep.LowerBound {
+			t.Fatalf("cost %d below the LP lower bound %d (path %s)", cost, rep.LowerBound, rep.Path)
+		}
+		if rep.Optimal && g.N() <= 14 {
+			if want := g.SetWeightOf(exact.BruteVertexCover(g)); cost != want {
+				t.Fatalf("claimed-exact cost %d, brute optimum %d", cost, want)
+			}
+		}
+	})
+}
+
+// decodeFuzzGraph maps an arbitrary byte string to a graph: byte 0 sets n
+// (2..33), then alternating bytes add edges (u, v mod n) and every fifth
+// byte contributes a vertex weight in [0, 7] — zero weights included, so the
+// free-vertex rule stays under fuzz too.
+func decodeFuzzGraph(data []byte) *graph.Graph {
+	n := 2
+	if len(data) > 0 {
+		n = 2 + int(data[0])%32
+	}
+	b := graph.NewBuilder(n)
+	for i := 1; i+1 < len(data); i += 2 {
+		u := int(data[i]) % n
+		v := int(data[i+1]) % n
+		if u != v {
+			if _, err := b.AddEdgeIfAbsent(u, v); err != nil {
+				panic(err) // unreachable: endpoints are in range and u != v
+			}
+		}
+		if i%5 == 0 {
+			b.SetWeight(u, int64(data[i+1]%8))
+		}
+	}
+	return b.Build()
+}

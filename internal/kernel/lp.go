@@ -1,0 +1,277 @@
+package kernel
+
+import (
+	"math"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/graph"
+)
+
+// The vertex-cover LP relaxation always has an optimal half-integral
+// solution, computable exactly in polynomial time from a minimum s–t cut on
+// the bipartite double cover (Nemhauser–Trotter): vertices split into a left
+// and a right copy, each edge {u,v} becomes Lu–Rv and Lv–Ru, copies connect
+// to source/sink with capacity w(v), and x_v = (½)·([Lv ∈ C] + [Rv ∈ C])
+// for the canonical min-cut vertex cover C of the bipartite graph. The LP
+// value is half the cut. This file implements that construction plus the
+// Dinic max-flow it runs on.
+
+// infCap is the capacity of the Lu→Rv edge arcs: effectively infinite, but
+// far enough from overflow that summing many of them stays safe.
+const infCap = int64(1) << 60
+
+// flowEdge is one directed arc with its residual twin at index ^1.
+type flowEdge struct {
+	to  int
+	cap int64
+}
+
+// dinic is a deterministic Dinic max-flow solver over an explicit arc list.
+type dinic struct {
+	n     int
+	edges []flowEdge
+	head  [][]int32 // head[v] lists arc indices out of v
+	level []int32
+	iter  []int32
+}
+
+func newDinic(n int) *dinic {
+	return &dinic{n: n, head: make([][]int32, n), level: make([]int32, n), iter: make([]int32, n)}
+}
+
+// addEdge inserts the arc u→v with the given capacity (plus its zero-cap
+// residual twin).
+func (d *dinic) addEdge(u, v int, cap int64) {
+	d.head[u] = append(d.head[u], int32(len(d.edges)))
+	d.edges = append(d.edges, flowEdge{to: v, cap: cap})
+	d.head[v] = append(d.head[v], int32(len(d.edges)))
+	d.edges = append(d.edges, flowEdge{to: u, cap: 0})
+}
+
+// bfs builds the level graph; reports whether t is reachable.
+func (d *dinic) bfs(s, t int) bool {
+	for i := range d.level {
+		d.level[i] = -1
+	}
+	queue := make([]int, 0, d.n)
+	queue = append(queue, s)
+	d.level[s] = 0
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		for _, ei := range d.head[v] {
+			e := d.edges[ei]
+			if e.cap > 0 && d.level[e.to] < 0 {
+				d.level[e.to] = d.level[v] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return d.level[t] >= 0
+}
+
+// dfs sends blocking flow along the level graph.
+func (d *dinic) dfs(v, t int, f int64) int64 {
+	if v == t {
+		return f
+	}
+	for ; d.iter[v] < int32(len(d.head[v])); d.iter[v]++ {
+		ei := d.head[v][d.iter[v]]
+		e := &d.edges[ei]
+		if e.cap <= 0 || d.level[e.to] != d.level[v]+1 {
+			continue
+		}
+		send := f
+		if e.cap < send {
+			send = e.cap
+		}
+		if got := d.dfs(e.to, t, send); got > 0 {
+			e.cap -= got
+			d.edges[ei^1].cap += got
+			return got
+		}
+	}
+	return 0
+}
+
+// maxflow computes the s–t max flow (= min cut).
+func (d *dinic) maxflow(s, t int) int64 {
+	var flow int64
+	for d.bfs(s, t) {
+		for i := range d.iter {
+			d.iter[i] = 0
+		}
+		for {
+			f := d.dfs(s, t, infCap)
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}
+
+// reachable marks the source side of the final residual graph.
+func (d *dinic) reachable(s int) []bool {
+	seen := make([]bool, d.n)
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range d.head[v] {
+			e := d.edges[ei]
+			if e.cap > 0 && !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return seen
+}
+
+// halfLP solves the VC LP on the instance described by (vertices, weight,
+// forEachEdge) and returns the integral sides of the canonical optimal
+// half-integral solution plus the min-cut value (twice the LP optimum).
+// one holds the x = 1 vertices, zero the x = 0 vertices; everything else is
+// x = ½.
+func halfLP(capacity int, vertices []int, weight func(int) int64,
+	forEachEdge func(yield func(u, v int))) (one, zero *bitset.Set, cut int64) {
+	idx := make(map[int]int, len(vertices))
+	for i, v := range vertices {
+		idx[v] = i
+	}
+	// Node layout: 0 = source, 1 = sink, 2+2i = L_i, 3+2i = R_i.
+	d := newDinic(2 + 2*len(vertices))
+	left := func(i int) int { return 2 + 2*i }
+	right := func(i int) int { return 3 + 2*i }
+	for i, v := range vertices {
+		d.addEdge(0, left(i), weight(v))
+		d.addEdge(right(i), 1, weight(v))
+	}
+	forEachEdge(func(u, v int) {
+		ui, vi := idx[u], idx[v]
+		d.addEdge(left(ui), right(vi), infCap)
+		d.addEdge(left(vi), right(ui), infCap)
+	})
+	cut = d.maxflow(0, 1)
+	reach := d.reachable(0)
+
+	// König: the canonical minimum-weight bipartite cover takes unreachable
+	// left copies and reachable right copies; its weight equals the cut.
+	one, zero = bitset.New(capacity), bitset.New(capacity)
+	for i, v := range vertices {
+		inL := !reach[left(i)]
+		inR := reach[right(i)]
+		switch {
+		case inL && inR:
+			one.Add(v)
+		case !inL && !inR:
+			zero.Add(v)
+		}
+	}
+	return one, zero, cut
+}
+
+// ntDecompose runs the LP on the live working instance and returns the
+// x = 1 and x = 0 vertex sets (input-graph ids) plus the min-cut value
+// (twice the LP optimum of the current instance).
+func ntDecompose(k *vcKernel) (one, zero *bitset.Set, cut int64) {
+	vertices := k.alive.Elements()
+	return halfLP(k.n, vertices, func(v int) int64 { return k.weight[v] },
+		func(yield func(u, v int)) {
+			for _, v := range vertices {
+				k.adj[v].ForEach(func(u int) bool {
+					if u > v {
+						yield(v, u)
+					}
+					return true
+				})
+			}
+		})
+}
+
+// lpLowerBound returns ⌈LP⌉ for the surviving kernel — a proven lower bound
+// on any (weighted) vertex cover of it, read off the final NT pass's cut.
+func (k *vcKernel) lpLowerBound() int64 { return (k.lpCut + 1) / 2 }
+
+// localRatioVC is the Bar-Yehuda–Even local-ratio 2-approximation for
+// weighted vertex cover: sweep the edges once, pay min(residual(u),
+// residual(v)) on each, and take every vertex whose residual hits zero.
+// Polynomial, deterministic, and the fallback when even the kernel exceeds
+// the branch-and-bound budget.
+func localRatioVC(g *graph.Graph) *bitset.Set {
+	n := g.N()
+	res := make([]int64, n)
+	for v := 0; v < n; v++ {
+		res[v] = g.Weight(v)
+	}
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		if res[u] > 0 && res[v] > 0 {
+			d := res[u]
+			if res[v] < d {
+				d = res[v]
+			}
+			res[u] -= d
+			res[v] -= d
+		}
+	}
+	cover := bitset.New(n)
+	for v := 0; v < n; v++ {
+		if res[v] == 0 && g.Degree(v) > 0 {
+			cover.Add(v)
+		}
+	}
+	return cover
+}
+
+// greedyVC is the classical max-degree-per-weight greedy cover. No worst-case
+// guarantee (unlike localRatioVC's factor 2), but usually much closer to the
+// optimum in practice, which makes it the better branch-and-bound incumbent.
+func greedyVC(g *graph.Graph) *bitset.Set {
+	n := g.N()
+	deg := make([]int, n)
+	uncovered := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		uncovered += deg[v]
+	}
+	uncovered /= 2
+	inCover := bitset.New(n)
+	for uncovered > 0 {
+		best, bestScore := -1, -1.0
+		for v := 0; v < n; v++ {
+			if deg[v] == 0 || inCover.Contains(v) {
+				continue
+			}
+			score := math.Inf(1)
+			if w := g.Weight(v); w > 0 {
+				score = float64(deg[v]) / float64(w)
+			}
+			if score > bestScore {
+				best, bestScore = v, score
+			}
+		}
+		inCover.Add(best)
+		uncovered -= deg[best]
+		for _, u := range g.Adj(best) {
+			if !inCover.Contains(u) {
+				deg[u]--
+			}
+		}
+		deg[best] = 0
+	}
+	return inCover
+}
+
+// bestIncumbent returns the cheaper of the greedy and local-ratio covers —
+// the seed handed to the post-kernel branch and bound.
+func bestIncumbent(g *graph.Graph) *bitset.Set {
+	gr := greedyVC(g)
+	lr := localRatioVC(g)
+	if g.SetWeightOf(lr) < g.SetWeightOf(gr) {
+		return lr
+	}
+	return gr
+}

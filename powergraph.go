@@ -73,6 +73,7 @@ import (
 	"powergraph/internal/exact"
 	"powergraph/internal/graph"
 	"powergraph/internal/harness"
+	"powergraph/internal/kernel"
 	"powergraph/internal/lowerbound"
 	"powergraph/internal/twoparty"
 	"powergraph/internal/verify"
@@ -107,6 +108,15 @@ type (
 	FiveThirdsResult = centralized.FiveThirdsResult
 	// Ratio reports solution cost against a reference optimum.
 	Ratio = verify.Ratio
+	// KernelConfig tunes the kernelize-then-solve ladder (direct-solve
+	// threshold, branch-and-bound budget).
+	KernelConfig = kernel.Config
+	// KernelReport describes one kernelize-then-solve run: path taken,
+	// kernel size, committed cost, lower bound, rule tallies. Distributed
+	// Results carry one as LeaderSolve when the default solver ran.
+	KernelReport = kernel.Report
+	// KernelSolver is the configured kernelize-then-solve solver.
+	KernelSolver = kernel.Solver
 )
 
 // Simulator execution engines: both produce identical results for identical
@@ -278,6 +288,24 @@ func ExactDS(g *Graph) *VertexSet { return exact.DominatingSet(g) }
 func ExactDSBounded(g *Graph, maxNodes int64) (*VertexSet, error) {
 	return exact.DominatingSetBounded(g, maxNodes)
 }
+
+// Kernelize-then-solve (the default Phase-II leader solver; see
+// ARCHITECTURE.md, "Leader-solve pipeline").
+
+// KernelVC solves minimum (weighted) vertex cover through the
+// kernelize-then-solve ladder with an unlimited search budget: reduction
+// rules shrink the instance to its hard core before the exact search, which
+// cracks sparse power-graph instances the raw branch and bound cannot.
+func KernelVC(g *Graph) *VertexSet { return kernel.VertexCover(g) }
+
+// KernelMDS is KernelVC for minimum (weighted) dominating set.
+func KernelMDS(g *Graph) *VertexSet { return kernel.DominatingSet(g) }
+
+// NewKernelSolver returns a configured kernelize-then-solve solver; its
+// VertexCover/DominatingSet methods also return the KernelReport describing
+// which ladder rung ran (direct, kernel-exact, kernel-fallback), the kernel
+// size, and the proven lower bound.
+func NewKernelSolver(cfg KernelConfig) *KernelSolver { return kernel.NewSolver(cfg) }
 
 // Verification.
 
