@@ -3,7 +3,7 @@
 GO ?= go
 OUT ?= bench-out
 
-.PHONY: build vet test race race-diff bench bench-engine bench-step bench-kernel fuzz-kernel sweep sweep-scale sweep-power-smoke sweep-kernel docs-check clean
+.PHONY: build vet test race race-diff bench bench-engine bench-obs bench-step bench-kernel fuzz-kernel sweep sweep-scale sweep-power-smoke sweep-kernel trace-smoke docs-check clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,14 @@ bench:
 # simulator's hot loop (see internal/congest/bench_test.go).
 bench-engine:
 	$(GO) test -bench=BenchmarkEngineModes -benchmem -run='^$$' ./internal/congest/
+
+# Observability overhead on the engine hot loop: nil tracer ("off") vs
+# span-only vs full per-round accounting (see
+# internal/congest/bench_obs_test.go). The "off" rows are directly comparable
+# to bench-engine's handler rows — the disabled-tracer contract is <2% and
+# zero added allocations.
+bench-obs:
+	$(GO) test -bench=BenchmarkObs -benchmem -run='^$$' ./internal/congest/
 
 # Per-algorithm comparison of the batch engine's two execution paths:
 # coroutine-adapted blocking reference vs native step program
@@ -73,6 +81,14 @@ sweep-power-smoke:
 # optimum-checked ratios at every size (regenerates BENCH_kernel.json).
 sweep-kernel:
 	$(GO) run ./cmd/powerbench -spec specs/kernel-sweep.json -strict -quiet -out $(OUT)
+
+# Tracing gate: the power-smoke matrix with per-job trace files on, then
+# powertrace validating every file end to end (typed records, sealed files,
+# monotone-complete rounds, closed spans, totals matching run-end).
+trace-smoke:
+	$(GO) run ./cmd/powerbench -spec specs/power-smoke.json -strict -quiet \
+		-out $(OUT) -trace $(OUT)/traces
+	$(GO) run ./cmd/powertrace -check $(OUT)/traces
 
 # Documentation gate: every package under internal/ must carry a package
 # comment (a "// Package <name> ..." line somewhere in the package).

@@ -14,6 +14,12 @@
 // CSV regardless of -workers; only BENCH_<name>.json carries wall-clock
 // timing.  Interrupting a run (SIGINT) flushes the completed prefix and
 // exits cleanly.
+//
+// Observability: -trace <dir> writes one JSONL trace file per job (round
+// events, phase spans, kernel solves — analyze with powertrace), and
+// -cpuprofile / -memprofile / -pprof expose the standard Go profiling
+// surfaces. None of these perturb results: the byte-identical contract
+// holds with tracing on or off.
 package main
 
 import (
@@ -23,9 +29,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -61,8 +71,14 @@ func run() error {
 		localSolver = flag.String("local-solver", "",
 			"Phase-II leader solver ("+strings.Join(harness.LocalSolverNames(), ", ")+
 				"); empty = the kernel-exact default")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		outDir  = flag.String("out", "bench-out", "output directory")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		outDir   = flag.String("out", "bench-out", "output directory")
+		traceDir = flag.String("trace", "",
+			"write one JSONL trace file per job (job-<index>.jsonl) into this directory; "+
+				"analyze with powertrace")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the run's duration")
 		quiet   = flag.Bool("quiet", false, "suppress per-job progress on stderr")
 		strict  = flag.Bool("strict", false,
 			"exit non-zero if any job fails, any solution fails its Gʳ feasibility check, or any "+
@@ -81,6 +97,27 @@ func run() error {
 		return err
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			// The sweep is the process's whole life; a pprof server failure
+			// (port in use) should not kill the science.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "powerbench: pprof:", err)
+			}
+		}()
+	}
+
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
@@ -96,7 +133,7 @@ func run() error {
 	defer csvFile.Close()
 
 	sinks := harness.MultiSink{harness.NewJSONLSink(jsonlFile), harness.NewCSVSink(csvFile)}
-	opts := harness.RunOptions{Workers: *workers, Sinks: []harness.Sink{sinks}}
+	opts := harness.RunOptions{Workers: *workers, Sinks: []harness.Sink{sinks}, TraceDir: *traceDir}
 	if !*quiet {
 		opts.OnProgress = func(p harness.Progress) {
 			r := p.Result
@@ -140,6 +177,17 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "; %d matrix combinations skipped", len(report.Skipped))
 	}
 	fmt.Fprintf(os.Stderr, " -> %s\n", benchPath)
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
 	if errors.Is(runErr, context.Canceled) {
 		return fmt.Errorf("interrupted after %d jobs (partial results flushed)", len(report.Results))
 	}
@@ -182,6 +230,9 @@ func printRegistry(w io.Writer) {
 		}
 		fmt.Fprintf(w, "  %-17s %-12s %-4s [%s]\n", a.Name, a.Model, a.Problem, strings.Join(tags, ","))
 		fmt.Fprintf(w, "  %-17s %s\n", "", a.Description)
+		if len(a.Spans) > 0 {
+			fmt.Fprintf(w, "  %-17s spans: %s\n", "", strings.Join(a.Spans, ", "))
+		}
 	}
 	fmt.Fprintln(w, "\ngenerators:")
 	for _, g := range harness.GeneratorNames() {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"iter"
 	"sync/atomic"
+
+	"powergraph/internal/obs"
 )
 
 // adapterRuns counts batch-engine runs that fell back to the coroutine
@@ -57,15 +59,17 @@ type stepper interface {
 // round limit, then unwinds whatever is still parked so no goroutine
 // outlives the run.
 func (e *engine) runBatchToCompletion(steppers []stepper) error {
+	e.traceRunStart()
 	runErr := e.runBatch(steppers)
 	close(e.abort)
 	for _, s := range steppers {
 		s.unwind()
 	}
-	if runErr != nil {
-		return runErr
+	if runErr == nil {
+		runErr = e.getErr()
 	}
-	return e.getErr()
+	e.traceRunEnd(runErr)
+	return runErr
 }
 
 // runBatch is the batch engine's round loop. Its control flow mirrors
@@ -102,6 +106,7 @@ func (e *engine) runBatch(steppers []stepper) error {
 		}
 		e.stats.Rounds++
 		e.deliverBatch()
+		e.traceRound(round, live)
 	}
 }
 
@@ -116,7 +121,7 @@ func (e *engine) deliverBatch() {
 		e.nodes[id].inbox = e.nodes[id].inbox[:0]
 	}
 	e.receivers = e.receivers[:0]
-	var roundBits, roundMsgs int64
+	var roundBits, roundMsgs, maxLink int64
 	for _, sid := range e.senders {
 		nd := e.nodes[sid]
 		for k, to := range nd.outDst {
@@ -125,6 +130,11 @@ func (e *engine) deliverBatch() {
 			e.stats.TotalBits += b
 			roundBits += b
 			roundMsgs++
+			// One message per directed link per round, so the largest
+			// message is the max single-link bit volume this round.
+			if e.wantRounds && b > maxLink {
+				maxLink = b
+			}
 			if e.cutA != nil && e.cutA.Contains(nd.id) != e.cutA.Contains(to) {
 				e.stats.CutBits += b
 				e.stats.CutMessages++
@@ -139,6 +149,7 @@ func (e *engine) deliverBatch() {
 		nd.outMsgs = nd.outMsgs[:0]
 	}
 	e.senders = e.senders[:0]
+	e.lastBits, e.lastMsgs, e.lastMaxLink = roundBits, roundMsgs, maxLink
 	e.stats.Messages += roundMsgs
 	if roundBits > e.stats.MaxRoundBits {
 		e.stats.MaxRoundBits = roundBits
@@ -187,7 +198,7 @@ func (s *coroStepper[T]) body() iter.Seq[struct{}] {
 						s.eng.setErr(np.err)
 					}
 				} else {
-					s.eng.setErr(fmt.Errorf("congest: node %d panicked: %v", s.nd.id, r))
+					s.eng.setErr(fmt.Errorf("congest: node %d panicked: %v [%s]", s.nd.id, r, obs.StackSummary(2, 6)))
 				}
 			}
 		}()
@@ -224,7 +235,7 @@ func (s *progStepper[T]) step() (res stepResult) {
 			if np, ok := r.(nodePanic); ok {
 				s.eng.setErr(np.err)
 			} else {
-				s.eng.setErr(fmt.Errorf("congest: node %d panicked: %v", s.nd.id, r))
+				s.eng.setErr(fmt.Errorf("congest: node %d panicked: %v [%s]", s.nd.id, r, obs.StackSummary(2, 6)))
 			}
 			res = stepDone
 		}

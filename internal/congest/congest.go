@@ -43,6 +43,7 @@ import (
 
 	"powergraph/internal/bitset"
 	"powergraph/internal/graph"
+	"powergraph/internal/obs"
 )
 
 // Model selects the communication rule.
@@ -141,6 +142,11 @@ type Config struct {
 	// counts the bits of messages crossing between A and V∖A (the cut
 	// traffic of Section 5.1's two-party reductions).
 	CutA *bitset.Set
+	// Tracer, when non-nil, receives run/round/span events (see
+	// internal/obs). nil disables tracing; the hot path then pays one
+	// branch per event site and allocates nothing. Per-round events are
+	// only emitted when Tracer.WantRounds() reports true at run start.
+	Tracer obs.Tracer
 }
 
 // Stats aggregates the observable cost of a run.
@@ -395,6 +401,31 @@ func (nd *Node) fastBroadcast(m Message, adj []int) {
 		nd.outMsgs = append(nd.outMsgs, m)
 	}
 	nd.bcastNbrs = nd.eng.stamp
+}
+
+// SpanBegin marks the start of a named phase span at the current round.
+// Spans are network-wide: when every node of a lockstep program calls
+// SpanBegin with the same (name, index) at the same round, the tracer sees
+// a single begin event (the engine reference-counts per-node marks).
+// Repeated spans of the same name (Phase-I iterations, MDS phases) are
+// distinguished by index. A nil tracer makes this a single-branch no-op.
+func (nd *Node) SpanBegin(name string, index int) {
+	if nd.eng.tracer == nil {
+		return
+	}
+	nd.eng.spanBegin(name, index, nd.round)
+}
+
+// SpanEnd marks the close of a phase span. Spans are half-open round
+// intervals [begin, end): ending at the begin round means the span consumed
+// no communication rounds. Unmatched ends (no open span with that name and
+// index) are silently ignored, so termination paths may call SpanEnd
+// unconditionally.
+func (nd *Node) SpanEnd(name string, index int) {
+	if nd.eng.tracer == nil {
+		return
+	}
+	nd.eng.spanEnd(name, index, nd.round)
 }
 
 // Recv returns the messages delivered at the start of the current round

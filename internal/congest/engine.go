@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"powergraph/internal/bitset"
+	"powergraph/internal/obs"
 )
 
 type arrival struct {
@@ -49,6 +50,116 @@ type engine struct {
 	stamp     int
 	senders   []int
 	receivers []int
+
+	// Tracing (see internal/obs). tracer is nil when disabled; wantRounds
+	// caches tracer.WantRounds() so delivery only pays the per-round
+	// accounting when a tracer actually wants round events. seed is kept
+	// for the run-start record.
+	tracer     obs.Tracer
+	wantRounds bool
+	seed       int64
+
+	// Per-round trace accounting, filled by deliver/deliverBatch: bits and
+	// messages delivered in the last completed round, and (only when
+	// wantRounds) the largest single message — which, at one message per
+	// directed link per round, is exactly the max single-link bit volume.
+	lastBits    int64
+	lastMsgs    int64
+	lastMaxLink int64
+
+	// Span reference counts: per-node begin/end marks collapse into one
+	// network-wide span event on the 0→1 and →0 transitions. spanMu also
+	// serializes tracer span calls from concurrent handler goroutines.
+	spanMu sync.Mutex
+	spans  map[spanKey]int
+}
+
+// spanKey identifies one open span instance.
+type spanKey struct {
+	name  string
+	index int
+}
+
+// spanBegin records one node's span-begin mark, emitting the tracer event
+// on the first mark for this (name, index).
+func (e *engine) spanBegin(name string, index, round int) {
+	e.spanMu.Lock()
+	defer e.spanMu.Unlock()
+	if e.spans == nil {
+		e.spans = make(map[spanKey]int)
+	}
+	k := spanKey{name, index}
+	refs := e.spans[k]
+	e.spans[k] = refs + 1
+	if refs == 0 {
+		e.tracer.SpanBegin(obs.Span{Name: name, Index: index, Round: round})
+	}
+}
+
+// spanEnd records one node's span-end mark, emitting the tracer event when
+// the last mark is withdrawn. Ends without a matching open span are ignored
+// so termination paths can close spans unconditionally.
+func (e *engine) spanEnd(name string, index, round int) {
+	e.spanMu.Lock()
+	defer e.spanMu.Unlock()
+	k := spanKey{name, index}
+	refs := e.spans[k]
+	if refs == 0 {
+		return
+	}
+	if refs == 1 {
+		delete(e.spans, k)
+		e.tracer.SpanEnd(obs.Span{Name: name, Index: index, Round: round})
+		return
+	}
+	e.spans[k] = refs - 1
+}
+
+// traceRunStart emits the run-start event, if a tracer is attached.
+func (e *engine) traceRunStart() {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.RunStart(obs.RunInfo{
+		N:         e.g.N(),
+		Model:     e.model.String(),
+		Engine:    e.mode.String(),
+		Bandwidth: e.bandwidth,
+		MaxRounds: e.maxRounds,
+		Seed:      e.seed,
+	})
+}
+
+// traceRound emits the per-round cost event for the round just delivered.
+func (e *engine) traceRound(round, active int) {
+	if !e.wantRounds {
+		return
+	}
+	e.tracer.Round(obs.RoundEvent{
+		Round:    round,
+		Active:   active,
+		Messages: e.lastMsgs,
+		Bits:     e.lastBits,
+		MaxLink:  e.lastMaxLink,
+	})
+}
+
+// traceRunEnd emits the run-end event with the final aggregates.
+func (e *engine) traceRunEnd(err error) {
+	if e.tracer == nil {
+		return
+	}
+	ev := obs.RunEnd{
+		Rounds:           e.stats.Rounds,
+		Messages:         e.stats.Messages,
+		TotalBits:        e.stats.TotalBits,
+		MaxRoundBits:     e.stats.MaxRoundBits,
+		MaxRoundMessages: e.stats.MaxRoundMessages,
+	}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	e.tracer.RunEnd(ev)
 }
 
 // graphLike is the slice of the graph API the engine needs; it exists so
@@ -105,6 +216,11 @@ func newEngine(cfg Config) (*engine, error) {
 		maxRounds: maxRounds,
 		cutA:      cfg.CutA,
 		abort:     make(chan struct{}),
+		tracer:    cfg.Tracer,
+		seed:      cfg.Seed,
+	}
+	if cfg.Tracer != nil {
+		eng.wantRounds = cfg.Tracer.WantRounds()
 	}
 	eng.stats.Bandwidth = eng.bandwidth
 	eng.nodes = make([]*Node, n)
@@ -162,6 +278,7 @@ func Run[T any](cfg Config, handler Handler[T]) (*Result[T], error) {
 		return &Result[T]{Outputs: outputs, Stats: eng.stats}, nil
 	}
 
+	eng.traceRunStart()
 	for i := 0; i < n; i++ {
 		go func(nd *Node) {
 			defer func() {
@@ -171,7 +288,7 @@ func Run[T any](cfg Config, handler Handler[T]) (*Result[T], error) {
 							eng.setErr(np.err)
 						}
 					} else {
-						eng.setErr(fmt.Errorf("congest: node %d panicked: %v", nd.id, r))
+						eng.setErr(fmt.Errorf("congest: node %d panicked: %v [%s]", nd.id, r, obs.StackSummary(2, 6)))
 					}
 				}
 				eng.arrive <- arrival{id: nd.id, done: true}
@@ -194,11 +311,12 @@ func Run[T any](cfg Config, handler Handler[T]) (*Result[T], error) {
 			eng.doneCount++
 		}
 	}
+	if runErr == nil {
+		runErr = eng.getErr()
+	}
+	eng.traceRunEnd(runErr)
 	if runErr != nil {
 		return nil, runErr
-	}
-	if err := eng.getErr(); err != nil {
-		return nil, err
 	}
 	return &Result[T]{Outputs: outputs, Stats: eng.stats}, nil
 }
@@ -272,6 +390,7 @@ func (e *engine) loop() error {
 		}
 		e.stats.Rounds++
 		e.deliver()
+		e.traceRound(round, active)
 		sort.Ints(waiting)
 		for _, id := range waiting {
 			e.resume[id] <- struct{}{}
@@ -285,7 +404,7 @@ func (e *engine) deliver() {
 	for _, nd := range e.nodes {
 		nd.inbox = nd.inbox[:0]
 	}
-	var roundBits, roundMsgs int64
+	var roundBits, roundMsgs, maxLink int64
 	for _, nd := range e.nodes {
 		if len(nd.outbox) == 0 {
 			continue
@@ -302,6 +421,12 @@ func (e *engine) deliver() {
 			e.stats.TotalBits += b
 			roundBits += b
 			roundMsgs++
+			// At one message per directed link per round, the largest
+			// message is the max single-link bit volume; only paid for when
+			// a tracer asked for round events.
+			if e.wantRounds && b > maxLink {
+				maxLink = b
+			}
 			if e.cutA != nil && e.cutA.Contains(nd.id) != e.cutA.Contains(to) {
 				e.stats.CutBits += b
 				e.stats.CutMessages++
@@ -310,6 +435,7 @@ func (e *engine) deliver() {
 		}
 		nd.outbox = make(map[int]Message, len(nd.outbox))
 	}
+	e.lastBits, e.lastMsgs, e.lastMaxLink = roundBits, roundMsgs, maxLink
 	if roundBits > e.stats.MaxRoundBits {
 		e.stats.MaxRoundBits = roundBits
 	}

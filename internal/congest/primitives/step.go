@@ -781,8 +781,13 @@ func (s *StepVotingPhase) Step(nd *congest.Node) bool {
 			s.inS, s.inR = true, false
 		}
 		if !s.cfg.Clique && s.it == s.cfg.MaxIters {
+			nd.SpanEnd("phase1", 0) // no-op when MaxIters == 0
 			return true
 		}
+		if s.it == 0 {
+			nd.SpanBegin("phase1", 0)
+		}
+		nd.SpanBegin("phase1-iter", s.it)
 		nd.BroadcastNeighbors(congest.NewIntWidth(bit(s.inR), 1))
 		s.sub = 1
 	case 1: // count live neighbors; clique: start the global OR
@@ -808,6 +813,8 @@ func (s *StepVotingPhase) Step(nd *congest.Node) bool {
 			}
 		}
 		if !any {
+			nd.SpanEnd("phase1-iter", s.it)
+			nd.SpanEnd("phase1", 0)
 			return true
 		}
 		s.sendRank(nd)
@@ -844,6 +851,7 @@ func (s *StepVotingPhase) Step(nd *congest.Node) bool {
 			nd.BroadcastNeighbors(congest.Flag{})
 			s.succeeded = true
 		}
+		nd.SpanEnd("phase1-iter", s.it)
 		s.it++
 		s.sub = 0
 	}
@@ -924,6 +932,7 @@ func NewStepWeightedLocalRatio(nd *congest.Node, iterations, wBits int, selector
 func (s *StepWeightedLocalRatio) Step(nd *congest.Node) bool {
 	switch s.sub {
 	case wlrWeights:
+		nd.SpanBegin("phase1", 0)
 		nd.BroadcastNeighbors(congest.NewIntWidth(nd.Weight(), s.wBits))
 		// The weight read happens at the top of the next slice, which also
 		// broadcasts iteration 0's status — model it as iteration -1's join
@@ -943,11 +952,15 @@ func (s *StepWeightedLocalRatio) Step(nd *congest.Node) bool {
 		} else if len(nd.Recv()) > 0 {
 			s.inS, s.inR = true, false
 		}
+		if s.it >= 0 {
+			nd.SpanEnd("phase1-iter", s.it)
+		}
 		s.it++
 		nd.BroadcastNeighbors(congest.NewIntWidth(bit(s.inR), 1))
 		if s.it == s.iterations {
 			s.sub = wlrFinal
 		} else {
+			nd.SpanBegin("phase1-iter", s.it)
 			s.sub = wlrStatus
 		}
 	case wlrStatus:
@@ -978,6 +991,7 @@ func (s *StepWeightedLocalRatio) Step(nd *congest.Node) bool {
 				s.uNbrs = append(s.uNbrs, in.From)
 			}
 		}
+		nd.SpanEnd("phase1", 0)
 		return true
 	}
 	return false
@@ -1008,6 +1022,7 @@ type StepLeaderPipeline struct {
 	solve func(gathered []congest.Message) []congest.Message
 
 	sub      int
+	started  bool
 	leader   *StepMinIDLeader
 	bfs      *StepBFSTree
 	tree     Tree
@@ -1028,31 +1043,47 @@ func (s *StepLeaderPipeline) Step(nd *congest.Node) bool {
 	for {
 		switch s.sub {
 		case 0:
+			if !s.started {
+				s.started = true
+				nd.SpanBegin("leader-elect", 0)
+			}
 			if !s.leader.Step(nd) {
 				return false
 			}
+			nd.SpanEnd("leader-elect", 0)
 			s.leaderID = s.leader.Leader()
 			s.bfs = NewStepBFSTree(nd, s.leaderID)
+			nd.SpanBegin("bfs-tree", 0)
 			s.sub = 1
 		case 1:
 			if !s.bfs.Step(nd) {
 				return false
 			}
+			nd.SpanEnd("bfs-tree", 0)
 			s.tree = s.bfs.Tree()
 			s.gather = NewStepGatherAtRoot(nd, &s.tree, s.items)
+			nd.SpanBegin("phase2-gather", 0)
 			s.sub = 2
 		case 2:
 			if !s.gather.Step(nd) {
 				return false
 			}
+			nd.SpanEnd("phase2-gather", 0)
 			var down []congest.Message
 			if nd.ID() == s.leaderID {
+				nd.SpanBegin("leader-solve", 0)
 				down = s.solve(s.gather.Collected())
+				nd.SpanEnd("leader-solve", 0)
 			}
 			s.flood = NewStepFloodItemsFromRoot(nd, &s.tree, down)
+			nd.SpanBegin("phase2-flood", 0)
 			s.sub = 3
 		default:
-			return s.flood.Step(nd)
+			done := s.flood.Step(nd)
+			if done {
+				nd.SpanEnd("phase2-flood", 0)
+			}
+			return done
 		}
 	}
 }

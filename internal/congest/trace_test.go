@@ -1,0 +1,180 @@
+package congest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"powergraph/internal/graph"
+	"powergraph/internal/obs"
+)
+
+// traceExchange is the spanned version of the bench handler: rounds of full
+// neighbor exchange wrapped in an outer "work" span, each round in its own
+// "work-iter" span, with node 0 additionally emitting a zero-length
+// "solo" span and an unmatched end that the engine must filter.
+func traceExchange(rounds, width int) Handler[int] {
+	return func(nd *Node) (int, error) {
+		nd.SpanBegin("work", 0)
+		nd.SpanEnd("never-begun", 0) // unmatched: must not reach the tracer
+		sum := 0
+		for r := 0; r < rounds; r++ {
+			nd.SpanBegin("work-iter", r)
+			nd.Broadcast(NewIntWidth(int64(nd.ID()), width))
+			nd.NextRound()
+			sum += len(nd.Recv())
+			nd.SpanEnd("work-iter", r)
+		}
+		if nd.ID() == 0 {
+			nd.SpanBegin("solo", 0)
+			nd.SpanEnd("solo", 0)
+		}
+		nd.SpanEnd("work", 0)
+		return sum, nil
+	}
+}
+
+// TestTraceRoundConformance is the engine-level trace contract: with a
+// rounds-subscribed tracer attached, both engines emit one RoundEvent per
+// counted round (monotone, complete), the events' sums reproduce the
+// end-of-run Stats exactly, and the span marks respect the refcount
+// semantics. The two engines' event streams must also agree with each other.
+func TestTraceRoundConformance(t *testing.T) {
+	const rounds = 17
+	g := graph.ConnectedGNP(40, 0.2, newRand(3))
+	w := IDBits(g.N())
+
+	type stream struct {
+		events []obs.RoundEvent
+		res    *Result[int]
+		col    *obs.Collector
+	}
+	streams := map[EngineMode]*stream{}
+	for _, mode := range []EngineMode{EngineGoroutine, EngineBatch} {
+		col := &obs.Collector{CollectRounds: true}
+		res, err := Run(Config{Graph: g, Engine: mode, Seed: 11, Tracer: col}, traceExchange(rounds, w))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		streams[mode] = &stream{events: col.RoundEvents(), res: res, col: col}
+	}
+
+	for mode, s := range streams {
+		evs, stats := s.events, s.res.Stats
+		if len(evs) != stats.Rounds {
+			t.Fatalf("%v: %d round events for %d counted rounds", mode, len(evs), stats.Rounds)
+		}
+		var bits, msgs int64
+		var maxBits, maxMsgs int64
+		for i, ev := range evs {
+			if ev.Round != i {
+				t.Fatalf("%v: event %d carries round %d (not monotone-complete)", mode, i, ev.Round)
+			}
+			if ev.Active <= 0 || ev.Active > g.N() {
+				t.Fatalf("%v: round %d has %d active nodes", mode, i, ev.Active)
+			}
+			if ev.MaxLink > ev.Bits || (ev.Messages > 0 && ev.MaxLink <= 0) {
+				t.Fatalf("%v: round %d maxLink %d inconsistent with bits %d", mode, i, ev.MaxLink, ev.Bits)
+			}
+			bits += ev.Bits
+			msgs += ev.Messages
+			if ev.Bits > maxBits {
+				maxBits = ev.Bits
+			}
+			if ev.Messages > maxMsgs {
+				maxMsgs = ev.Messages
+			}
+		}
+		if bits != stats.TotalBits || msgs != stats.Messages {
+			t.Fatalf("%v: event sums bits=%d msgs=%d vs stats bits=%d msgs=%d",
+				mode, bits, msgs, stats.TotalBits, stats.Messages)
+		}
+		if maxBits != stats.MaxRoundBits || maxMsgs != stats.MaxRoundMessages {
+			t.Fatalf("%v: event maxima bits=%d msgs=%d vs stats bits=%d msgs=%d",
+				mode, maxBits, maxMsgs, stats.MaxRoundBits, stats.MaxRoundMessages)
+		}
+
+		info, end, ok := s.col.Run()
+		if !ok {
+			t.Fatalf("%v: missing run-start/run-end", mode)
+		}
+		if info.N != g.N() || info.Engine == "" || info.Model != CONGEST.String() {
+			t.Fatalf("%v: run info %+v", mode, info)
+		}
+		if end.Rounds != stats.Rounds || end.TotalBits != stats.TotalBits || end.Error != "" {
+			t.Fatalf("%v: run end %+v vs stats %+v", mode, end, stats)
+		}
+
+		if open := s.col.OpenSpans(); len(open) != 0 {
+			t.Fatalf("%v: unclosed spans %v", mode, open)
+		}
+		begins, ends := s.col.SpanMarks()
+		if len(begins) != len(ends) {
+			t.Fatalf("%v: %d begins vs %d ends", mode, len(begins), len(ends))
+		}
+		for _, mk := range begins {
+			if mk.Name == "never-begun" {
+				t.Fatalf("%v: unmatched end leaked through as a begin", mode)
+			}
+		}
+		// work: one refcounted completion across all nodes; work-iter: one
+		// completion per iteration; solo: node 0's zero-length span.
+		sum := s.col.SpanSummary()
+		want := fmt.Sprintf("work*1:%d;work-iter*%d:%d", stats.Rounds, rounds, rounds)
+		if sum != want+";solo*1:0" && sum != want {
+			t.Fatalf("%v: span summary %q, want %q(;solo*1:0)", mode, sum, want)
+		}
+	}
+
+	// Engine differential on the trace itself.
+	gor, bat := streams[EngineGoroutine], streams[EngineBatch]
+	if len(gor.events) != len(bat.events) {
+		t.Fatalf("engines emit different round counts: %d vs %d", len(gor.events), len(bat.events))
+	}
+	for i := range gor.events {
+		if gor.events[i] != bat.events[i] {
+			t.Fatalf("round %d diverges: goroutine %+v vs batch %+v", i, gor.events[i], bat.events[i])
+		}
+	}
+	if gs, bs := gor.col.SpanSummary(), bat.col.SpanSummary(); gs != bs {
+		t.Fatalf("span summaries diverge: goroutine %q vs batch %q", gs, bs)
+	}
+}
+
+// TestTraceDoesNotPerturbRun pins the observation contract: the same seeded
+// config produces identical Stats and outputs with a full tracer attached,
+// with a span-only tracer attached, and with none.
+func TestTraceDoesNotPerturbRun(t *testing.T) {
+	g := graph.ConnectedGNP(30, 0.25, newRand(5))
+	w := IDBits(g.N())
+	for _, mode := range []EngineMode{EngineGoroutine, EngineBatch} {
+		run := func(tr obs.Tracer) *Result[int] {
+			res, err := Run(Config{Graph: g, Engine: mode, Seed: 9, Tracer: tr}, traceExchange(12, w))
+			if err != nil {
+				t.Fatalf("%v: %v", mode, err)
+			}
+			return res
+		}
+		bare := run(nil)
+		spanOnly := run(&obs.Collector{})
+		var buf bytes.Buffer
+		jw := obs.NewJSONLWriter(&buf)
+		full := run(obs.Multi{jw, &obs.Collector{CollectRounds: true}})
+		if err := jw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for name, traced := range map[string]*Result[int]{"span-only": spanOnly, "full": full} {
+			if traced.Stats != bare.Stats {
+				t.Fatalf("%v: %s tracer perturbed stats: %+v vs %+v", mode, name, traced.Stats, bare.Stats)
+			}
+			for i := range bare.Outputs {
+				if traced.Outputs[i] != bare.Outputs[i] {
+					t.Fatalf("%v: %s tracer perturbed node %d output", mode, name, i)
+				}
+			}
+		}
+		if buf.Len() == 0 {
+			t.Fatal("JSONL tracer wrote nothing")
+		}
+	}
+}

@@ -40,11 +40,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"powergraph/internal/bitset"
 	"powergraph/internal/congest"
 	"powergraph/internal/graph"
 	"powergraph/internal/kernel"
+	"powergraph/internal/obs"
 )
 
 // LocalSolver computes a vertex cover of a (small, reconstructed) graph at
@@ -85,6 +87,10 @@ type Options struct {
 	// CutA, when non-nil, makes the run report bits crossing the given
 	// vertex cut (Section 5.1 instrumentation).
 	CutA *bitset.Set
+	// Tracer, when non-nil, receives engine round/span events plus the
+	// leader's kernel-solve event (see internal/obs). nil disables tracing
+	// at zero cost; an attached tracer never perturbs the seeded run.
+	Tracer obs.Tracer
 }
 
 func (o *Options) localSolver() LocalSolver {
@@ -100,11 +106,31 @@ func (o *Options) leaderSolver() (LocalSolver, *kernel.Report) {
 	if o != nil && o.LocalSolver != nil {
 		return o.LocalSolver, nil
 	}
+	tr := o.tracer()
 	ks := kernel.NewSolver(kernel.Config{})
 	rep := new(kernel.Report)
 	return func(h *graph.Graph) *bitset.Set {
+		start := time.Now()
 		cover, r := ks.VertexCover(h)
 		*rep = r
+		if tr != nil {
+			tr.KernelSolve(obs.KernelSolveEvent{
+				Path:        r.Path,
+				InputN:      r.InputN,
+				InputM:      r.InputM,
+				KernelN:     r.KernelN,
+				KernelM:     r.KernelM,
+				SearchNodes: r.SearchNodes,
+				ForcedCost:  r.ForcedCost,
+				LowerBound:  r.LowerBound,
+				Cost:        r.Cost,
+				Optimal:     r.Optimal,
+				Rules:       r.Rules.Map(),
+				DurationNS:  time.Since(start).Nanoseconds(),
+				ReduceNS:    r.ReduceNS,
+				SolveNS:     r.SolveNS,
+			})
+		}
 		return cover
 	}, rep
 }
@@ -153,6 +179,13 @@ func (o *Options) cutA() *bitset.Set {
 		return nil
 	}
 	return o.CutA
+}
+
+func (o *Options) tracer() obs.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
 }
 
 // Result is the outcome of a distributed cover/dominating-set computation.

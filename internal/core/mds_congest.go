@@ -72,6 +72,7 @@ func ApproxMDSCongest(g *graph.Graph, opts *MDSOptions) (*Result, error) {
 		MaxRounds:       opts.Options.MaxRounds,
 		Seed:            opts.Options.Seed,
 		CutA:            opts.Options.CutA,
+		Tracer:          opts.Options.Tracer,
 	}
 	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
 		prog := &mdsCongestProgram{mdsParams: *p}
@@ -213,6 +214,8 @@ type mdsCongestProgram struct {
 // startPhase resets the per-phase estimator state and stages the first
 // coverage min-flood (its send is queued by the next Step call).
 func (p *mdsCongestProgram) startPhase(nd *congest.Node) {
+	nd.SpanBegin("mds-phase", p.phase)
+	nd.SpanBegin("mds-estimate", p.phase)
 	p.minima = p.minima[:0]
 	p.sawAny = true
 	p.j = 0
@@ -273,6 +276,7 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 				}
 				p.rho = estimate.RoundUpPow2(p.dTilde)
 			}
+			nd.SpanEnd("mds-estimate", p.phase)
 			p.hop = primitives.NewStepHopMax(p.rho, p.idw+2, 2*p.rpow)
 			p.sub = mdsHop
 		case mdsHop:
@@ -312,6 +316,7 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 			p.j = 0
 			p.votes = primitives.NewStepCandidateMinFloodR(
 				p.voteFor, p.voteSample(nd), p.candNbrs, p.candidate, p.idw, p.qWidth, p.rpow)
+			nd.SpanBegin("mds-votes", p.phase)
 			p.sub = mdsVotes
 		case mdsVotes:
 			if !p.votes.Step(nd) {
@@ -345,6 +350,7 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 			if p.joined {
 				nd.BroadcastNeighbors(congest.Flag{})
 			}
+			nd.SpanEnd("mds-votes", p.phase)
 			p.covRound = 0
 			p.sub = mdsCover
 			return false, nil
@@ -363,6 +369,7 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 			if len(nd.Recv()) > 0 {
 				p.covered = true
 			}
+			nd.SpanEnd("mds-phase", p.phase)
 			p.phase++
 			if p.phase < p.phases {
 				p.startPhase(nd)

@@ -49,6 +49,7 @@ func ApproxMVCCliqueDeterministic(g *graph.Graph, eps float64, opts *Options) (*
 		MaxRounds:       opts.maxRounds(),
 		Seed:            opts.seed(),
 		CutA:            opts.cutA(),
+		Tracer:          opts.tracer(),
 	}
 	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
 		return &mvcCliqueDetProgram{
@@ -101,9 +102,14 @@ func (p *mvcCliqueDetProgram) Step(nd *congest.Node) (bool, error) {
 				p.inR = false
 			}
 			if p.it == p.iterations {
+				nd.SpanEnd("phase1", 0) // no-op when Phase I never began
 				p.enterPhaseII(nd)
 				continue
 			}
+			if p.it == 0 {
+				nd.SpanBegin("phase1", 0)
+			}
+			nd.SpanBegin("phase1-iter", p.it)
 			nd.BroadcastNeighbors(congest.NewIntWidth(boolBit(p.inR), 1))
 			p.sub = cliqueDetDR
 			return false, nil
@@ -127,6 +133,8 @@ func (p *mvcCliqueDetProgram) Step(nd *congest.Node) (bool, error) {
 				}
 			}
 			if !any {
+				nd.SpanEnd("phase1-iter", p.it)
+				nd.SpanEnd("phase1", 0)
 				p.enterPhaseII(nd)
 				continue
 			}
@@ -146,6 +154,7 @@ func (p *mvcCliqueDetProgram) Step(nd *congest.Node) (bool, error) {
 				nd.BroadcastNeighbors(congest.Flag{})
 				p.inC = false
 			}
+			nd.SpanEnd("phase1-iter", p.it)
 			p.it++
 			p.sub = cliqueDetStatus
 			return false, nil
@@ -179,6 +188,7 @@ type cliqueStepPhaseII struct {
 	solver             LocalSolver
 
 	sub      int
+	started  bool
 	leader   *primitives.StepCliqueLeader
 	status   *primitives.StepStatusExchange
 	near     *powerGather
@@ -211,9 +221,14 @@ func (p *cliqueStepPhaseII) Step(nd *congest.Node) bool {
 	for {
 		switch p.sub {
 		case 0:
+			if !p.started {
+				p.started = true
+				nd.SpanBegin("leader-elect", 0)
+			}
 			if !p.leader.Step(nd) {
 				return false
 			}
+			nd.SpanEnd("leader-elect", 0)
 			p.leaderID = p.leader.Leader()
 			p.status = primitives.NewStepStatusExchange(p.inR)
 			p.sub = 1
@@ -223,6 +238,7 @@ func (p *cliqueStepPhaseII) Step(nd *congest.Node) bool {
 			}
 			if p.power == 2 {
 				p.startGather(uEdgeItems(p.n, nd.ID(), p.status.On()))
+				nd.SpanBegin("phase2-gather", 0)
 				p.sub = 3
 				continue
 			}
@@ -233,14 +249,17 @@ func (p *cliqueStepPhaseII) Step(nd *congest.Node) bool {
 				return false
 			}
 			p.startGather(powerEdgeItems(nd, p.near.Near(), p.inR))
+			nd.SpanBegin("phase2-gather", 0)
 			p.sub = 3
 		case 3:
 			if !p.gather.Step(nd) {
 				return false
 			}
+			nd.SpanEnd("phase2-gather", 0)
 			// Leader solves locally and answers every cover member in one
 			// round.
 			if nd.ID() == p.leaderID {
+				nd.SpanBegin("leader-solve", 0)
 				var cover *bitset.Set
 				if p.power == 2 {
 					cover = leaderSolveRemainder(p.n, p.gather.Collected(), p.solver)
@@ -254,13 +273,16 @@ func (p *cliqueStepPhaseII) Step(nd *congest.Node) bool {
 					}
 					return true
 				})
+				nd.SpanEnd("leader-solve", 0)
 			}
+			nd.SpanBegin("phase2-flood", 0)
 			p.sub = 4
 			return false
 		default:
 			if len(nd.Recv()) > 0 {
 				p.inCover = true
 			}
+			nd.SpanEnd("phase2-flood", 0)
 			return true
 		}
 	}

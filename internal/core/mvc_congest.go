@@ -66,6 +66,7 @@ func ApproxMVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, erro
 		MaxRounds:       opts.maxRounds(),
 		Seed:            opts.seed(),
 		CutA:            opts.cutA(),
+		Tracer:          opts.tracer(),
 	}
 	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
 		return &mvcCongestProgram{
@@ -162,13 +163,18 @@ func (p *mvcCongestProgram) stepPhaseI(nd *congest.Node) bool {
 				p.uNbrs = append(p.uNbrs, in.From)
 			}
 		}
+		nd.SpanEnd("phase1", 0) // no-op at r = 1, where Phase I never began
 		return true
 	case p.sr == 0:
 		// Round 1 of iteration 0: exchange R-status.
+		if p.iterations > 0 {
+			nd.SpanBegin("phase1", 0)
+		}
 		nd.Broadcast(congest.NewIntWidth(boolBit(p.inR), 1))
 	default:
 		switch (p.sr - 1) % 4 {
 		case 0:
+			nd.SpanBegin("phase1-iter", (p.sr-1)/4)
 			// Count live neighbors; candidates are potential centers with
 			// more than 1/ε = l live neighbors (the loop guard of
 			// Algorithm 1). First slice of the 2-hop max: flood own value.
@@ -214,6 +220,7 @@ func (p *mvcCongestProgram) stepPhaseI(nd *congest.Node) bool {
 				p.inR = false
 				break
 			}
+			nd.SpanEnd("phase1-iter", (p.sr-1)/4)
 			nd.Broadcast(congest.NewIntWidth(boolBit(p.inR), 1))
 		}
 	}

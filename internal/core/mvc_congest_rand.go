@@ -65,6 +65,7 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 		MaxRounds:       opts.maxRounds(),
 		Seed:            opts.seed(),
 		CutA:            opts.cutA(),
+		Tracer:          opts.tracer(),
 	}
 	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
 		return &mvcRandCongestProgram{

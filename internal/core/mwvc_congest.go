@@ -98,6 +98,7 @@ func ApproxMWVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, err
 		MaxRounds:       opts.maxRounds(),
 		Seed:            opts.seed(),
 		CutA:            opts.cutA(),
+		Tracer:          opts.tracer(),
 	}
 	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
 		return &mwvcCongestProgram{

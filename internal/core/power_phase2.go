@@ -41,7 +41,8 @@ func nearRadius(r int) int { return (r - 1) / 2 }
 // neighbors are, so distance ≤ 1 is free; the flood spends d-1 slices
 // growing the rest.
 type powerGather struct {
-	flood *primitives.StepNearFlood
+	flood   *primitives.StepNearFlood
+	started bool
 }
 
 // newPowerGather starts the near-U growth at this node; inU and uNbrs come
@@ -58,7 +59,23 @@ func newPowerGather(r int, inU bool, uNbrs []int) *powerGather {
 }
 
 // Step advances one round-slice; done when the near set is grown.
-func (pg *powerGather) Step(nd *congest.Node) bool { return pg.flood.Step(nd) }
+func (pg *powerGather) Step(nd *congest.Node) bool {
+	first := !pg.started
+	pg.started = true
+	done := pg.flood.Step(nd)
+	// The span is emitted only when the stage actually spends rounds. A
+	// zero-hop flood (r ≤ 2) would begin and end within one handler
+	// activation — on the goroutine engine concurrent nodes' marks for the
+	// same key would then interleave nondeterministically through the
+	// engine's refcount, so the degenerate case emits nothing at all.
+	if first && !done {
+		nd.SpanBegin("phase2-near", 0)
+	}
+	if !first && done {
+		nd.SpanEnd("phase2-near", 0)
+	}
+	return done
+}
 
 // Near reports whether this node must contribute its edges; valid once done.
 func (pg *powerGather) Near() bool { return pg.flood.Near() }

@@ -19,9 +19,26 @@ func DominatingSet(g *graph.Graph) *bitset.Set {
 	return s
 }
 
+// DominatingSetCounted is DominatingSet plus the number of branch-and-bound
+// nodes the search expanded — the observability counter behind
+// kernel.Report.SearchNodes. The returned set is bit-identical with
+// DominatingSet's.
+func DominatingSetCounted(g *graph.Graph) (*bitset.Set, int64) {
+	s, nodes, err := dominatingSetBounded(g, 0)
+	if err != nil {
+		panic("exact: unreachable: unbounded search returned error")
+	}
+	return s, nodes
+}
+
 // DominatingSetBounded is DominatingSet with a branch-and-bound node budget;
 // maxNodes == 0 means unlimited.
 func DominatingSetBounded(g *graph.Graph, maxNodes int64) (*bitset.Set, error) {
+	s, _, err := dominatingSetBounded(g, maxNodes)
+	return s, err
+}
+
+func dominatingSetBounded(g *graph.Graph, maxNodes int64) (*bitset.Set, int64, error) {
 	n := g.N()
 	s := &dsSolver{
 		g:        g,
@@ -65,9 +82,9 @@ func DominatingSetBounded(g *graph.Graph, maxNodes int64) (*bitset.Set, error) {
 		}
 	}
 	if err := s.solve(dominated, available, cur, 0); err != nil {
-		return nil, err
+		return nil, s.nodes, err
 	}
-	return s.bestSet, nil
+	return s.bestSet, s.nodes, nil
 }
 
 type dsSolver struct {

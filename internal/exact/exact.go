@@ -34,6 +34,18 @@ func VertexCover(g *graph.Graph) *bitset.Set {
 	return s
 }
 
+// VertexCoverCounted is VertexCover plus the number of branch-and-bound
+// nodes the search expanded — the observability counter behind
+// kernel.Report.SearchNodes. The returned cover is bit-identical with
+// VertexCover's.
+func VertexCoverCounted(g *graph.Graph) (*bitset.Set, int64) {
+	s, nodes, err := vertexCoverSearch(g, 0, nil, false)
+	if err != nil {
+		panic("exact: unreachable: unbounded search returned error")
+	}
+	return s, nodes
+}
+
 // VertexCoverBounded is VertexCover with a branch-and-bound node budget;
 // maxNodes == 0 means unlimited. On budget exhaustion it returns
 // ErrBudgetExceeded and no solution.
@@ -49,7 +61,8 @@ func VertexCoverBounded(g *graph.Graph, maxNodes int64) (*bitset.Set, error) {
 // and exhausting the budget. The search still returns an exact optimum; the
 // seed itself is returned only when nothing strictly better exists.
 func VertexCoverBoundedFrom(g *graph.Graph, maxNodes int64, incumbent *bitset.Set) (*bitset.Set, error) {
-	return vertexCoverSearch(g, maxNodes, incumbent, false)
+	s, _, err := vertexCoverSearch(g, maxNodes, incumbent, false)
+	return s, err
 }
 
 // VertexCoverBoundedSplit is VertexCoverBoundedFrom with in-search connected
@@ -67,10 +80,22 @@ func VertexCoverBoundedFrom(g *graph.Graph, maxNodes int64, incumbent *bitset.Se
 // alongside ErrBudgetExceeded, so an interrupted search still pays out the
 // improvements it made.
 func VertexCoverBoundedSplit(g *graph.Graph, maxNodes int64, incumbent *bitset.Set) (*bitset.Set, error) {
+	s, _, err := vertexCoverSearch(g, maxNodes, incumbent, true)
+	return s, err
+}
+
+// VertexCoverBoundedSplitCounted is VertexCoverBoundedSplit plus the global
+// branch-and-bound node count (shared across the splitting search's
+// sub-solvers). On budget exhaustion the best-so-far cover is still
+// returned alongside the error, exactly like VertexCoverBoundedSplit.
+func VertexCoverBoundedSplitCounted(g *graph.Graph, maxNodes int64, incumbent *bitset.Set) (*bitset.Set, int64, error) {
 	return vertexCoverSearch(g, maxNodes, incumbent, true)
 }
 
-func vertexCoverSearch(g *graph.Graph, maxNodes int64, incumbent *bitset.Set, split bool) (*bitset.Set, error) {
+// vertexCoverSearch runs the branch and bound and additionally reports how
+// many search nodes it expanded (the budget counter, global across split
+// sub-solvers).
+func vertexCoverSearch(g *graph.Graph, maxNodes int64, incumbent *bitset.Set, split bool) (*bitset.Set, int64, error) {
 	s := &vcSolver{
 		g:        g,
 		n:        g.N(),
@@ -96,11 +121,11 @@ func vertexCoverSearch(g *graph.Graph, maxNodes int64, incumbent *bitset.Set, sp
 	if err := s.solve(active, cover, 0); err != nil {
 		if split {
 			// Best-so-far: feasible, and no worse than the seed incumbent.
-			return s.bestSet, err
+			return s.bestSet, s.budget.nodes, err
 		}
-		return nil, err
+		return nil, s.budget.nodes, err
 	}
-	return s.bestSet, nil
+	return s.bestSet, s.budget.nodes, nil
 }
 
 // vcBudget is the search-node budget, shared across the sub-solvers the

@@ -39,6 +39,19 @@ func SetCover(in *SetCoverInstance) []int {
 // SetCoverBounded is SetCover with a branch-and-bound node budget
 // (0 = unlimited).
 func SetCoverBounded(in *SetCoverInstance, maxNodes int64) ([]int, error) {
+	chosen, _, err := setCoverBounded(in, maxNodes)
+	return chosen, err
+}
+
+// SetCoverBoundedCounted is SetCoverBounded plus the number of
+// branch-and-bound nodes the search expanded — the observability counter
+// behind kernel.Report.SearchNodes on the dominating-set path. The chosen
+// cover is bit-identical with SetCoverBounded's.
+func SetCoverBoundedCounted(in *SetCoverInstance, maxNodes int64) ([]int, int64, error) {
+	return setCoverBounded(in, maxNodes)
+}
+
+func setCoverBounded(in *SetCoverInstance, maxNodes int64) ([]int, int64, error) {
 	s := &scSolver{in: in, maxNodes: maxNodes, bestCost: math.MaxInt64}
 	s.coverers = make([][]int, in.UniverseSize)
 	for i, set := range in.Sets {
@@ -49,7 +62,7 @@ func SetCoverBounded(in *SetCoverInstance, maxNodes int64) ([]int, error) {
 	}
 	for e := 0; e < in.UniverseSize; e++ {
 		if len(s.coverers[e]) == 0 {
-			return nil, nil // infeasible: no set covers e
+			return nil, 0, nil // infeasible: no set covers e
 		}
 	}
 	// Greedy incumbent.
@@ -82,7 +95,7 @@ func SetCoverBounded(in *SetCoverInstance, maxNodes int64) ([]int, error) {
 		}
 	}
 	if err := s.solve(covered, avail, nil, 0); err != nil {
-		return nil, err
+		return nil, s.nodes, err
 	}
 	out := append([]int(nil), s.zero...)
 	out = append(out, s.best...)
@@ -94,7 +107,7 @@ func SetCoverBounded(in *SetCoverInstance, maxNodes int64) ([]int, error) {
 			dedup = append(dedup, v)
 		}
 	}
-	return dedup, nil
+	return dedup, s.nodes, nil
 }
 
 type scSolver struct {

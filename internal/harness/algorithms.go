@@ -11,6 +11,7 @@ import (
 	"powergraph/internal/core"
 	"powergraph/internal/exact"
 	"powergraph/internal/graph"
+	"powergraph/internal/obs"
 )
 
 // Model names the computation model an algorithm runs in.
@@ -55,12 +56,18 @@ type Algorithm struct {
 	// per-round function calls, no goroutine or coroutine adapter anywhere
 	// (TestRegistryRunsNativelyOnBatchEngine enforces the claim).
 	NativeStep bool
+	// Spans declares the phase-span names this algorithm may emit when
+	// traced — the superset over every supported power and engine; any one
+	// run closes a subset (r = 1 skips Phase I entirely, for instance). Nil
+	// for centralized baselines, which never touch the simulator.
+	// TestRegistryTraceConformance pins emitted ⊆ declared.
+	Spans []string
 	// Run executes the algorithm for the job's power/epsilon.  g is the
 	// communication graph; power is the pre-materialized Gʳ (centralized
 	// baselines run on it directly — the distributed algorithms ignore it
 	// and communicate over G only).  Centralized baselines report zero
-	// simulator stats.
-	Run func(g, power *graph.Graph, job Job) (*core.Result, error)
+	// simulator stats and ignore tr, the job's tracer (nil = untraced).
+	Run func(g, power *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error)
 }
 
 // SupportsPower reports whether the algorithm can serve power r.
@@ -97,7 +104,7 @@ const (
 	distMaxPower = 4
 )
 
-func distOpts(job Job) (*core.Options, error) {
+func distOpts(job Job, tr obs.Tracer) (*core.Options, error) {
 	engine, err := congest.ParseEngineMode(job.Engine)
 	if err != nil {
 		return nil, err
@@ -113,8 +120,26 @@ func distOpts(job Job) (*core.Options, error) {
 		MaxRounds:       job.MaxRounds,
 		Power:           job.Power,
 		LocalSolver:     solver,
+		Tracer:          tr,
 	}, nil
 }
+
+// Span taxonomies shared by the registry entries (see Algorithm.Spans and
+// the Observability section of ARCHITECTURE.md). The congest pipeline
+// algorithms run Phase II through StepLeaderPipeline (BFS tree + convergecast
+// over G); the clique algorithms gather at the leader in O(1) hops and have
+// no tree.
+var (
+	pipelineSpans = []string{
+		"phase1", "phase1-iter", "phase2-near",
+		"leader-elect", "bfs-tree", "phase2-gather", "leader-solve", "phase2-flood",
+	}
+	cliqueSpans = []string{
+		"phase1", "phase1-iter", "phase2-near",
+		"leader-elect", "phase2-gather", "leader-solve", "phase2-flood",
+	}
+	mdsSpans = []string{"mds-phase", "mds-estimate", "mds-votes"}
+)
 
 // LocalSolverInfo describes one value of the spec/job localSolver knob for
 // listings (powerbench -list) and flag help.
@@ -174,9 +199,10 @@ var algorithms = map[string]*Algorithm{
 	"mvc-congest": {
 		Name: "mvc-congest", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
 		MinPower: distMinPower, MaxPower: distMaxPower,
+		Spans:    pipelineSpans,
 		Description: "Algorithm 1 (Thm 1): deterministic (1+eps)-approx Gʳ-MVC (O(n/eps) CONGEST rounds at r=2)",
-		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
-			opts, err := distOpts(job)
+		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
+			opts, err := distOpts(job, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -186,9 +212,10 @@ var algorithms = map[string]*Algorithm{
 	"mvc-congest-rand": {
 		Name: "mvc-congest-rand", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
 		MinPower: distMinPower, MaxPower: distMaxPower,
+		Spans:    pipelineSpans,
 		Description: "Section 3.3: randomized voting Phase I in plain CONGEST (O(log n) heavy-neighborhood drain), Gʳ Phase II",
-		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
-			opts, err := distOpts(job)
+		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
+			opts, err := distOpts(job, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -198,9 +225,10 @@ var algorithms = map[string]*Algorithm{
 	"mwvc-congest": {
 		Name: "mwvc-congest", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
 		MinPower: distMinPower, MaxPower: distMaxPower,
+		Spans:    pipelineSpans,
 		Description: "Theorem 7: deterministic (1+eps)-approx weighted Gʳ-MVC via ripe weight classes",
-		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
-			opts, err := distOpts(job)
+		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
+			opts, err := distOpts(job, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -210,9 +238,10 @@ var algorithms = map[string]*Algorithm{
 	"mvc-congest-53": {
 		Name: "mvc-congest-53", Model: ModelCongest, Problem: ProblemMVC, NativeStep: true,
 		MinPower: distMinPower, MaxPower: distMaxPower,
+		Spans:    pipelineSpans,
 		Description: "Corollary 17: 5/3-approx G²-MVC with polynomial local work (heuristic local solver at other r)",
-		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
-			o, err := distOpts(job)
+		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
+			o, err := distOpts(job, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -225,9 +254,10 @@ var algorithms = map[string]*Algorithm{
 	"mvc-clique-det": {
 		Name: "mvc-clique-det", Model: ModelClique, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
 		MinPower: distMinPower, MaxPower: distMaxPower,
+		Spans:    cliqueSpans,
 		Description: "Corollary 10: deterministic (1+eps)-approx Gʳ-MVC (O(eps·n + 1/eps) CONGESTED CLIQUE rounds at r=2)",
-		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
-			opts, err := distOpts(job)
+		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
+			opts, err := distOpts(job, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -237,9 +267,10 @@ var algorithms = map[string]*Algorithm{
 	"mvc-clique-rand": {
 		Name: "mvc-clique-rand", Model: ModelClique, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
 		MinPower: distMinPower, MaxPower: distMaxPower,
+		Spans:    cliqueSpans,
 		Description: "Theorem 11: randomized (1+eps)-approx Gʳ-MVC (O(log n + 1/eps) CONGESTED CLIQUE rounds at r=2)",
-		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
-			opts, err := distOpts(job)
+		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
+			opts, err := distOpts(job, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -249,9 +280,10 @@ var algorithms = map[string]*Algorithm{
 	"mds-congest": {
 		Name: "mds-congest", Model: ModelCongest, Problem: ProblemMDS, NativeStep: true,
 		MinPower: distMinPower, MaxPower: distMaxPower,
+		Spans:    mdsSpans,
 		Description: "Theorem 28: randomized O(log Δʳ)-approx Gʳ-MDS in polylog(n) CONGEST rounds (sketch estimator)",
-		Run: func(g, _ *graph.Graph, job Job) (*core.Result, error) {
-			opts, err := distOpts(job)
+		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
+			opts, err := distOpts(job, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -261,42 +293,42 @@ var algorithms = map[string]*Algorithm{
 	"five-thirds": {
 		Name: "five-thirds", Model: ModelCentralized, Problem: ProblemMVC,
 		Description: "centralized 5/3-approximation for MVC on the materialized G²",
-		Run: func(_, power *graph.Graph, _ Job) (*core.Result, error) {
+		Run: func(_, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
 			return centralizedResult(centralized.FiveThirdsOnGraph(power).Cover), nil
 		},
 	},
 	"gavril": {
 		Name: "gavril", Model: ModelCentralized, Problem: ProblemMVC, AnyPower: true,
 		Description: "centralized Gavril 2-approximation (maximal matching) on the materialized Gʳ",
-		Run: func(_, power *graph.Graph, _ Job) (*core.Result, error) {
+		Run: func(_, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
 			return centralizedResult(centralized.Gavril2Approx(power)), nil
 		},
 	},
 	"all-vertices": {
 		Name: "all-vertices", Model: ModelCentralized, Problem: ProblemMVC, AnyPower: true,
 		Description: "trivial all-vertices cover (Lemma 6 upper bound)",
-		Run: func(g, _ *graph.Graph, _ Job) (*core.Result, error) {
+		Run: func(g, _ *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
 			return centralizedResult(centralized.AllVerticesPowerMVC(g)), nil
 		},
 	},
 	"greedy-mds": {
 		Name: "greedy-mds", Model: ModelCentralized, Problem: ProblemMDS, AnyPower: true,
 		Description: "centralized greedy set-cover ln(Δ)-approximation for MDS on Gʳ",
-		Run: func(_, power *graph.Graph, _ Job) (*core.Result, error) {
+		Run: func(_, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
 			return centralizedResult(exact.GreedyDominatingSet(power)), nil
 		},
 	},
 	"exact": {
 		Name: "exact", Model: ModelCentralized, Problem: ProblemMVC, AnyPower: true, Exact: true,
 		Description: "exact MVC on Gʳ (exponential branch-and-bound; the ratio oracle)",
-		Run: func(_, power *graph.Graph, _ Job) (*core.Result, error) {
+		Run: func(_, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
 			return centralizedResult(exact.VertexCover(power)), nil
 		},
 	},
 	"exact-mds": {
 		Name: "exact-mds", Model: ModelCentralized, Problem: ProblemMDS, AnyPower: true, Exact: true,
 		Description: "exact MDS on Gʳ (exponential set-cover solve; the ratio oracle)",
-		Run: func(_, power *graph.Graph, _ Job) (*core.Result, error) {
+		Run: func(_, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
 			return centralizedResult(exact.DominatingSet(power)), nil
 		},
 	},
@@ -312,6 +344,9 @@ type Info struct {
 	// SupportsPower answers the per-r question from the copied bounds.
 	Powers             string
 	MinPower, MaxPower int
+	// Spans is the declared phase-span taxonomy (nil for centralized
+	// entries); powerbench -list renders it as its own column.
+	Spans []string
 }
 
 // SupportsPower reports whether the listed algorithm can serve power r.
@@ -329,6 +364,7 @@ func AlgorithmInfos() []Info {
 			Name: a.Name, Model: a.Model, Problem: a.Problem, Description: a.Description,
 			NeedsEps: a.NeedsEps, AnyPower: a.AnyPower, Exact: a.Exact, NativeStep: a.NativeStep,
 			Powers: a.PowersLabel(), MinPower: a.MinPower, MaxPower: a.MaxPower,
+			Spans: append([]string(nil), a.Spans...),
 		})
 	}
 	return out

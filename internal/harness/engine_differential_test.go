@@ -41,6 +41,7 @@ func TestEngineDifferentialAllAlgorithms(t *testing.T) {
 				// require everything else to match exactly.
 				gor.Engine, bat.Engine = "", ""
 				gor.Elapsed, bat.Elapsed = 0, 0
+				gor.Metrics, bat.Metrics = nil, nil
 				if *gor != *bat {
 					t.Fatalf("n=%d: engines diverge:\ngoroutine: %+v\nbatch:     %+v", n, *gor, *bat)
 				}
@@ -101,6 +102,7 @@ func TestEngineAxisSweepIsDifferential(t *testing.T) {
 		}
 		prev.Engine, r.Engine = "", ""
 		prev.Elapsed, r.Elapsed = 0, 0
+		prev.Metrics, r.Metrics = nil, nil
 		prev.Index, r.Index = 0, 0
 		if prev != r {
 			t.Fatalf("engines diverge for %v:\n%+v\n%+v", k, prev, r)

@@ -114,6 +114,7 @@ func TestCrossPowerDifferentialSuite(t *testing.T) {
 					// Engine differential: identical measurements at every r.
 					gor.Engine, bat.Engine = "", ""
 					gor.Elapsed, bat.Elapsed = 0, 0
+					gor.Metrics, bat.Metrics = nil, nil
 					if *gor != *bat {
 						t.Fatalf("%s: engines diverge:\ngoroutine: %+v\nbatch:     %+v", cell, *gor, *bat)
 					}
@@ -124,13 +125,13 @@ func TestCrossPowerDifferentialSuite(t *testing.T) {
 					// none) — at this size the ladder's direct path IS the
 					// legacy solver.
 					ker := executeJob(powerJobSolver(info.Name, "batch", "kernel-exact", gen, n, r, jobEps), nil)
-					ker.Engine, ker.Elapsed = "", 0
+					ker.Engine, ker.Elapsed, ker.Metrics = "", 0, nil
 					if *ker != *bat {
 						t.Fatalf("%s: kernel-exact knob diverges from the default:\ndefault:      %+v\nkernel-exact: %+v",
 							cell, *bat, *ker)
 					}
 					leg := executeJob(powerJobSolver(info.Name, "batch", "exact", gen, n, r, jobEps), nil)
-					leg.Engine, leg.Elapsed = "", 0
+					leg.Engine, leg.Elapsed, leg.Metrics = "", 0, nil
 					ker.LeaderPath, ker.LeaderKernelN = "", 0
 					if *leg != *ker {
 						t.Fatalf("%s: legacy exact solver diverges from kernel-exact:\nkernel-exact: %+v\nlegacy:       %+v",

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"powergraph/internal/kernel"
+	"powergraph/internal/obs"
 	"powergraph/internal/verify"
 )
 
@@ -45,11 +48,12 @@ type JobResult struct {
 	Ratio float64 `json:"ratio,omitempty"`
 
 	// Simulator accounting (zero for centralized baselines).
-	Rounds       int   `json:"rounds"`
-	Messages     int64 `json:"messages"`
-	TotalBits    int64 `json:"totalBits"`
-	MaxRoundBits int64 `json:"maxRoundBits"`
-	Bandwidth    int   `json:"bandwidth"`
+	Rounds           int   `json:"rounds"`
+	Messages         int64 `json:"messages"`
+	TotalBits        int64 `json:"totalBits"`
+	MaxRoundBits     int64 `json:"maxRoundBits"`
+	MaxRoundMessages int64 `json:"maxRoundMessages"`
+	Bandwidth        int   `json:"bandwidth"`
 	// PhaseISize is Algorithm 1's committed set S (-1 when not applicable).
 	PhaseISize int `json:"phaseISize"`
 	// FallbackJoins is Theorem 28's feasibility-fallback count.
@@ -61,15 +65,26 @@ type JobResult struct {
 	// so the fields survive the byte-identical JSONL contract.
 	LeaderPath    string `json:"leaderPath,omitempty"`
 	LeaderKernelN int    `json:"leaderKernelN,omitempty"`
+	// Spans is the deterministic phase-span summary collected by the
+	// always-attached span-only tracer: "name*count:rounds" entries ordered
+	// by first-begin round (see obs.Collector.SpanSummary). Empty for
+	// centralized baselines.
+	Spans string `json:"spans,omitempty"`
 
-	// Error is set when the job failed (including recovered panics); all
-	// measurement fields are zero in that case.
+	// Error is set when the job failed (including recovered panics, which
+	// carry a deterministic stack summary); all measurement fields are zero
+	// in that case.
 	Error string `json:"error,omitempty"`
 
 	// Elapsed is the job's wall-clock duration.  It is intentionally not
 	// serialized: timing is machine-dependent and would break the
 	// byte-identical-output determinism contract.
 	Elapsed time.Duration `json:"-"`
+	// Metrics is the per-job runner metrics record (queue latency, wall
+	// time, runtime/metrics snapshot). Wall-clock and machine state, so like
+	// Elapsed it never enters serialized output, and differential tests
+	// neutralize it before comparing.
+	Metrics *obs.JobMetrics `json:"-"`
 }
 
 // cellKey groups results into scenario cells for aggregation. Unlike
@@ -97,6 +112,11 @@ type RunOptions struct {
 	Sinks []Sink
 	// OnProgress, when non-nil, is called after each result is emitted.
 	OnProgress func(Progress)
+	// TraceDir, when non-empty, writes one JSONL trace file per job
+	// (job-<index>.jsonl) into the directory, creating it if needed. Each
+	// file carries the job header, every engine/kernel trace event, and a
+	// job-end record with the runner metrics.
+	TraceDir string
 }
 
 func (o *RunOptions) workers() int {
@@ -119,6 +139,9 @@ type Report struct {
 	Failed    int `json:"failed"`
 	// Elapsed is the whole run's wall-clock time (not deterministic).
 	Elapsed time.Duration `json:"-"`
+	// Utilization is the worker pool's duty cycle: summed per-job wall time
+	// over workers × run wall time. Wall-clock, so never serialized.
+	Utilization float64 `json:"-"`
 }
 
 // Run expands the spec and executes every job across the worker pool.
@@ -128,6 +151,9 @@ func Run(ctx context.Context, spec *Spec, opts RunOptions) (*Report, error) {
 	jobs, expRep, err := spec.Expand()
 	if err != nil {
 		return nil, err
+	}
+	if opts.TraceDir == "" {
+		opts.TraceDir = spec.TraceDir
 	}
 	report, err := RunJobs(ctx, jobs, opts)
 	if report != nil {
@@ -184,6 +210,12 @@ func RunJobs(ctx context.Context, jobs []Job, opts RunOptions) (*Report, error) 
 	// the same instance — all algorithms of one scenario cell share
 	// (generator, n, power, seed) — reuses a single exponential solve.
 	oracle := newOracleCache()
+	exec := &jobExec{oracle: oracle, traceDir: opts.TraceDir, runStart: start}
+	if exec.traceDir != "" {
+		if err := os.MkdirAll(exec.traceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: trace dir: %w", err)
+		}
+	}
 
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -191,7 +223,7 @@ func RunJobs(ctx context.Context, jobs []Job, opts RunOptions) (*Report, error) 
 		go func() {
 			defer wg.Done()
 			for pos := range jobCh {
-				res := executeJob(jobs[pos], oracle)
+				res := exec.run(jobs[pos])
 				select {
 				case resCh <- ranked{rank[pos], res}:
 				case <-runCtx.Done():
@@ -280,12 +312,17 @@ func RunJobs(ctx context.Context, jobs []Job, opts RunOptions) (*Report, error) 
 		Cells:   Aggregate(emitted),
 		Elapsed: time.Since(start),
 	}
+	var busy time.Duration
 	for i := range emitted {
+		busy += emitted[i].Elapsed
 		if emitted[i].Error != "" {
 			report.Failed++
 		} else {
 			report.Completed++
 		}
+	}
+	if report.Elapsed > 0 && workers > 0 {
+		report.Utilization = float64(busy) / (float64(report.Elapsed) * float64(workers))
 	}
 	return report, ctx.Err()
 }
@@ -344,11 +381,30 @@ func (c *oracleCache) optimum(key oracleKey, solve func() int64) int64 {
 	return e.opt
 }
 
-// executeJob runs one job start to finish: build the instance from the
-// job's seed, run the algorithm, verify feasibility on Gʳ, and consult the
-// exact oracle when enabled.  Panics anywhere inside are isolated into the
-// result's Error field so one bad cell cannot take down a sweep.
-func executeJob(job Job, oracle *oracleCache) (out *JobResult) {
+// jobExec is the per-run execution context the workers share: the oracle
+// cache, the trace directory, and the run start time that per-job queue
+// latency is measured against.
+type jobExec struct {
+	oracle   *oracleCache
+	traceDir string
+	runStart time.Time
+}
+
+// executeJob runs one job with a fresh execution context (no tracing to
+// disk) — the entry point the differential and registry tests use; RunJobs
+// routes workers through one shared jobExec instead.
+func executeJob(job Job, oracle *oracleCache) *JobResult {
+	return (&jobExec{oracle: oracle, runStart: time.Now()}).run(job)
+}
+
+// run executes one job start to finish: build the instance from the job's
+// seed, run the algorithm, verify feasibility on Gʳ, and consult the exact
+// oracle when enabled.  Panics anywhere inside are isolated into the
+// result's Error field — with a deterministic stack summary — so one bad
+// cell cannot take down a sweep. A span-only obs.Collector is attached to
+// every job (JobResult.Spans); with a trace directory, a JSONLWriter
+// streams the full event feed to job-<index>.jsonl alongside it.
+func (x *jobExec) run(job Job) (out *JobResult) {
 	start := time.Now()
 	out = &JobResult{
 		Index:        job.Index,
@@ -363,8 +419,49 @@ func executeJob(job Job, oracle *oracleCache) (out *JobResult) {
 		InstanceSeed: job.InstanceSeed,
 		Optimum:      -1,
 	}
+
+	col := &obs.Collector{}
+	var tracer obs.Tracer = col
+	var tw *obs.JSONLWriter
+	var tf *os.File
+	if x.traceDir != "" {
+		f, err := os.Create(filepath.Join(x.traceDir, fmt.Sprintf("job-%06d.jsonl", job.Index)))
+		if err != nil {
+			out.Error = fmt.Sprintf("trace: %v", err)
+			return out
+		}
+		tf, tw = f, obs.NewJSONLWriter(f)
+		tracer = obs.Multi{tw, col}
+		tw.Emit("job", &job)
+	}
+
+	// Finish hook: registered before the panic recovery below, so it runs
+	// last and sees the recovered result. It stamps the wall-clock fields,
+	// the span summary, and the runtime snapshot, then seals the trace file
+	// with a job-end record.
 	defer func() {
 		out.Elapsed = time.Since(start)
+		out.Spans = col.SpanSummary()
+		snap := obs.ReadRuntime()
+		out.Metrics = &obs.JobMetrics{
+			QueueNS:    start.Sub(x.runStart).Nanoseconds(),
+			WallNS:     out.Elapsed.Nanoseconds(),
+			HeapBytes:  snap.HeapBytes,
+			AllocBytes: snap.AllocBytes,
+			GCCycles:   snap.GCCycles,
+			Goroutines: snap.Goroutines,
+		}
+		if tw != nil {
+			tw.Emit("job-end", struct {
+				Error   string          `json:"error,omitempty"`
+				Spans   string          `json:"spans,omitempty"`
+				Metrics *obs.JobMetrics `json:"metrics"`
+			}{out.Error, out.Spans, out.Metrics})
+			tw.Close()
+			tf.Close()
+		}
+	}()
+	defer func() {
 		if rec := recover(); rec != nil {
 			*out = JobResult{
 				Index: job.Index, Generator: job.Generator, N: job.N,
@@ -372,8 +469,7 @@ func executeJob(job Job, oracle *oracleCache) (out *JobResult) {
 				Epsilon: job.Epsilon, Engine: job.Engine,
 				Trial: job.Trial, Seed: job.Seed, InstanceSeed: job.InstanceSeed,
 				Optimum: -1,
-				Error:   fmt.Sprintf("panic: %v", rec),
-				Elapsed: time.Since(start),
+				Error:   fmt.Sprintf("panic: %v [%s]", rec, obs.StackSummary(1, 6)),
 			}
 		}
 	}()
@@ -396,7 +492,7 @@ func executeJob(job Job, oracle *oracleCache) (out *JobResult) {
 	// Materialize Gʳ once: the centralized baselines run on it, and the
 	// feasibility check and oracle below need it either way.
 	power := g.Power(job.Power)
-	res, err := alg.Run(g, power, job)
+	res, err := alg.Run(g, power, job, tracer)
 	if err != nil {
 		out.Error = err.Error()
 		return out
@@ -414,6 +510,7 @@ func executeJob(job Job, oracle *oracleCache) (out *JobResult) {
 	out.Messages = res.Stats.Messages
 	out.TotalBits = res.Stats.TotalBits
 	out.MaxRoundBits = res.Stats.MaxRoundBits
+	out.MaxRoundMessages = res.Stats.MaxRoundMessages
 	out.Bandwidth = res.Stats.Bandwidth
 	out.PhaseISize = res.PhaseISize
 	out.FallbackJoins = res.FallbackJoins
@@ -433,13 +530,13 @@ func executeJob(job Job, oracle *oracleCache) (out *JobResult) {
 			// The algorithm's own output is the optimum — don't pay the
 			// exponential solve a second time, and seed the cache for the
 			// other algorithms on this instance.
-			opt = oracle.optimum(key, func() int64 { return out.Cost })
+			opt = x.oracle.optimum(key, func() int64 { return out.Cost })
 		case alg.Problem == ProblemMDS:
-			opt = oracle.optimum(key, func() int64 {
+			opt = x.oracle.optimum(key, func() int64 {
 				return verify.Cost(power, kernel.DominatingSet(power))
 			})
 		default:
-			opt = oracle.optimum(key, func() int64 {
+			opt = x.oracle.optimum(key, func() int64 {
 				return verify.Cost(power, kernel.VertexCover(power))
 			})
 		}

@@ -11,6 +11,7 @@ import (
 
 	"powergraph/internal/core"
 	"powergraph/internal/graph"
+	"powergraph/internal/obs"
 )
 
 func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
@@ -136,7 +137,7 @@ func TestCancellationFlushesPartialResults(t *testing.T) {
 func TestPanicIsolation(t *testing.T) {
 	algorithms["test-panic"] = &Algorithm{
 		Name: "test-panic", Model: ModelCentralized, Problem: ProblemMVC,
-		Run: func(*graph.Graph, *graph.Graph, Job) (*core.Result, error) {
+		Run: func(*graph.Graph, *graph.Graph, Job, obs.Tracer) (*core.Result, error) {
 			panic("boom")
 		},
 	}

@@ -39,8 +39,9 @@ var csvHeader = []string{
 	"index", "generator", "n", "power", "algorithm", "model", "problem",
 	"epsilon", "engine", "trial", "seed", "instanceSeed", "cost",
 	"solutionSize", "verified", "optimum", "ratio", "rounds", "messages",
-	"totalBits", "maxRoundBits", "bandwidth", "phaseISize", "fallbackJoins",
-	"leaderPath", "leaderKernelN", "error",
+	"totalBits", "maxRoundBits", "maxRoundMessages", "bandwidth",
+	"phaseISize", "fallbackJoins", "leaderPath", "leaderKernelN", "spans",
+	"error",
 }
 
 // CSVSink streams results as CSV with a fixed header row.
@@ -85,11 +86,13 @@ func (s *CSVSink) Write(r *JobResult) error {
 		strconv.FormatInt(r.Messages, 10),
 		strconv.FormatInt(r.TotalBits, 10),
 		strconv.FormatInt(r.MaxRoundBits, 10),
+		strconv.FormatInt(r.MaxRoundMessages, 10),
 		strconv.Itoa(r.Bandwidth),
 		strconv.Itoa(r.PhaseISize),
 		strconv.Itoa(r.FallbackJoins),
 		r.LeaderPath,
 		strconv.Itoa(r.LeaderKernelN),
+		r.Spans,
 		r.Error,
 	}
 	if err := s.w.Write(rec); err != nil {

@@ -95,6 +95,10 @@ type Spec struct {
 	// fate — are exactly what "kernel-exact" exists for; MDS and the
 	// centralized baselines ignore the knob.
 	LocalSolver string `json:"localSolver,omitempty"`
+	// TraceDir, when non-empty, streams one JSONL trace file per job into
+	// the directory (see RunOptions.TraceDir; the powerbench -trace flag
+	// overrides it).
+	TraceDir string `json:"traceDir,omitempty"`
 }
 
 // Job is one concrete experiment: a fully bound scenario point with its

@@ -174,6 +174,10 @@ func TestKernelDeterministic(t *testing.T) {
 		if !c1.Equal(c2) {
 			t.Fatalf("instance %d: covers differ across runs", i)
 		}
+		// ReduceNS/SolveNS are wall-clock (json:"-") — the only fields the
+		// determinism contract exempts.
+		r1.ReduceNS, r1.SolveNS = 0, 0
+		r2.ReduceNS, r2.SolveNS = 0, 0
 		if r1 != r2 {
 			t.Fatalf("instance %d: reports differ: %+v vs %+v", i, r1, r2)
 		}

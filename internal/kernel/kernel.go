@@ -41,6 +41,8 @@
 package kernel
 
 import (
+	"time"
+
 	"powergraph/internal/bitset"
 	"powergraph/internal/exact"
 	"powergraph/internal/graph"
@@ -115,9 +117,34 @@ type RuleCounts struct {
 	ElemDominated int `json:"elemDominated,omitempty"`
 }
 
+// Map returns the nonzero rule counts keyed by their JSON names — the form
+// the tracing subsystem embeds in kernel-solve events. Map keys marshal in
+// sorted order, so the encoding is deterministic.
+func (rc RuleCounts) Map() map[string]int {
+	out := make(map[string]int)
+	put := func(name string, v int) {
+		if v != 0 {
+			out[name] = v
+		}
+	}
+	put("deg0", rc.Deg0)
+	put("zeroWeight", rc.ZeroWeight)
+	put("pendant", rc.Pendant)
+	put("domination", rc.Domination)
+	put("twin", rc.Twin)
+	put("fold", rc.Fold)
+	put("ntForced", rc.NTForced)
+	put("uniqueCoverer", rc.UniqueCoverer)
+	put("setDominated", rc.SetDominated)
+	put("elemDominated", rc.ElemDominated)
+	return out
+}
+
 // Report describes one solve: which path it took and how hard the instance
-// really was. It is a pure function of the input graph, so identical
-// instances yield identical reports on every engine and worker.
+// really was. With the sole exception of the wall-clock ReduceNS/SolveNS
+// fields (excluded from serialization), it is a pure function of the input
+// graph, so identical instances yield identical reports on every engine and
+// worker.
 type Report struct {
 	// Path is PathDirect, PathKernelExact, or PathKernelFallback.
 	Path string `json:"path"`
@@ -146,6 +173,16 @@ type Report struct {
 	Optimal bool `json:"optimal"`
 	// Rules tallies the reduction-rule applications.
 	Rules RuleCounts `json:"rules"`
+	// SearchNodes counts the branch-and-bound nodes the solve expanded
+	// (deterministic: the search draws no randomness).
+	SearchNodes int64 `json:"searchNodes,omitempty"`
+	// ReduceNS and SolveNS are the wall-clock nanoseconds spent in the
+	// reduction rules and in the post-kernel search respectively — the time
+	// per ladder rung. Wall-clock and therefore machine-dependent: excluded
+	// from JSON so serialized results stay deterministic (they surface only
+	// through trace events).
+	ReduceNS int64 `json:"-"`
+	SolveNS  int64 `json:"-"`
 }
 
 // Solver runs the kernelize-then-solve ladder with fixed knobs. The zero
@@ -165,7 +202,10 @@ func NewSolver(cfg Config) *Solver { return &Solver{cfg: cfg} }
 func (s *Solver) VertexCover(g *graph.Graph) (*bitset.Set, Report) {
 	rep := Report{InputN: g.N(), InputM: g.M()}
 	if g.N() <= s.cfg.directN() {
-		cover := exact.VertexCover(g)
+		start := time.Now()
+		cover, nodes := exact.VertexCoverCounted(g)
+		rep.SolveNS = time.Since(start).Nanoseconds()
+		rep.SearchNodes = nodes
 		rep.Path, rep.Optimal = PathDirect, true
 		rep.KernelN, rep.KernelM = g.N(), g.M()
 		rep.Cost = g.SetWeightOf(cover)
@@ -173,7 +213,9 @@ func (s *Solver) VertexCover(g *graph.Graph) (*bitset.Set, Report) {
 		return cover, rep
 	}
 
+	reduceStart := time.Now()
 	k := kernelizeVC(g, &rep.Rules)
+	rep.ReduceNS = time.Since(reduceStart).Nanoseconds()
 	rep.ForcedCost = k.offset
 	kg, orig := k.kernelGraph()
 	rep.KernelN, rep.KernelM = kg.N(), kg.M()
@@ -181,7 +223,11 @@ func (s *Solver) VertexCover(g *graph.Graph) (*bitset.Set, Report) {
 
 	var kernelCover *bitset.Set
 	incumbent := bestIncumbent(kg)
-	if sol, err := exact.VertexCoverBoundedSplit(kg, s.cfg.maxNodes(), incumbent); err == nil {
+	solveStart := time.Now()
+	sol, nodes, err := exact.VertexCoverBoundedSplitCounted(kg, s.cfg.maxNodes(), incumbent)
+	rep.SolveNS = time.Since(solveStart).Nanoseconds()
+	rep.SearchNodes = nodes
+	if err == nil {
 		kernelCover = sol
 		rep.Path, rep.Optimal = PathKernelExact, true
 	} else {
@@ -206,7 +252,10 @@ func (s *Solver) VertexCover(g *graph.Graph) (*bitset.Set, Report) {
 func (s *Solver) DominatingSet(g *graph.Graph) (*bitset.Set, Report) {
 	rep := Report{InputN: g.N(), InputM: g.M()}
 	if g.N() <= s.cfg.directN() {
-		ds := exact.DominatingSet(g)
+		start := time.Now()
+		ds, nodes := exact.DominatingSetCounted(g)
+		rep.SolveNS = time.Since(start).Nanoseconds()
+		rep.SearchNodes = nodes
 		rep.Path, rep.Optimal = PathDirect, true
 		rep.KernelN, rep.KernelM = g.N(), g.M()
 		rep.Cost = g.SetWeightOf(ds)
@@ -214,14 +263,20 @@ func (s *Solver) DominatingSet(g *graph.Graph) (*bitset.Set, Report) {
 		return ds, rep
 	}
 
+	reduceStart := time.Now()
 	k := kernelizeDS(g, &rep.Rules)
+	rep.ReduceNS = time.Since(reduceStart).Nanoseconds()
 	rep.ForcedCost = k.offset
 	inst, setIDs := k.kernelInstance()
 	rep.KernelN, rep.KernelM = len(setIDs), inst.UniverseSize
 	rep.LowerBound = k.offset + scPackingLowerBound(inst)
 
 	var chosen []int
-	if sol, err := exact.SetCoverBounded(inst, s.cfg.maxNodes()); err == nil {
+	solveStart := time.Now()
+	sol, nodes, scErr := exact.SetCoverBoundedCounted(inst, s.cfg.maxNodes())
+	rep.SolveNS = time.Since(solveStart).Nanoseconds()
+	rep.SearchNodes = nodes
+	if scErr == nil {
 		chosen = sol
 		rep.Path, rep.Optimal = PathKernelExact, true
 	} else {
