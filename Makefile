@@ -3,7 +3,7 @@
 GO ?= go
 OUT ?= bench-out
 
-.PHONY: build vet test race race-diff bench bench-engine bench-obs bench-step bench-kernel fuzz-kernel sweep sweep-scale sweep-power-smoke sweep-kernel trace-smoke docs-check clean
+.PHONY: build vet test race race-diff race-shard bench bench-engine bench-obs bench-step bench-kernel fuzz-kernel sweep sweep-scale sweep-power-smoke sweep-kernel sweep-mega sweep-mega-smoke trace-smoke docs-check clean
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,17 @@ race:
 # equivalence tests only (small n, a few minutes) — the CI race job.
 race-diff:
 	$(GO) test -race -count=1 \
-		-run 'TestEngineDifferentialAllAlgorithms|TestEngineAxisSweepIsDifferential|TestStep.*MatchesBlocking|TestStepPrimitivesMatchBlocking|TestRegistryRunsNativelyOnBatchEngine' \
+		-run 'TestEngineDifferentialAllAlgorithms|TestEngineAxisSweepIsDifferential|TestStep.*MatchesBlocking|TestStepPrimitivesMatchBlocking|TestRegistryRunsNativelyOnBatchEngine|TestSharded' \
 		./internal/congest/... ./internal/core/ ./internal/harness/
+
+# Race-detector pass over the shard barrier specifically: the sharded batch
+# engine's worker pool under adversarial shard sizes (empty shards, one-node
+# shards), plus the harness-level sharded determinism differential — the CI
+# race-shard job.
+race-shard:
+	$(GO) test -race -count=1 \
+		-run 'TestSharded|TestNegativeShardsRejected' \
+		./internal/congest/ ./internal/harness/
 
 # Go micro-benchmarks (bench_test.go and friends).
 bench:
@@ -81,6 +90,25 @@ sweep-power-smoke:
 # optimum-checked ratios at every size (regenerates BENCH_kernel.json).
 sweep-kernel:
 	$(GO) run ./cmd/powerbench -spec specs/kernel-sweep.json -strict -quiet -out $(OUT)
+
+# Large-n sweeps over the sharded batch engine (regenerate BENCH_mega.json
+# and BENCH_mega-1m.json): MDS end to end plus the MVC Lemma-6 shortcut
+# rows on a sparse 100k instance with a shard-count axis, then the 300k
+# and million-node shortcut cells. Expect about an hour on one core (the
+# MDS phase budget is Θ(log²n·logΔ) phases of Θ(log n) rounds each; see
+# ARCHITECTURE.md on when sharding pays).
+sweep-mega:
+	$(GO) run ./cmd/powerbench -spec specs/mega-sweep.json -workers 1 -out $(OUT)
+	$(GO) run ./cmd/powerbench -spec specs/mega-1m.json -workers 1 -out $(OUT)
+
+# CI gate for the mega path: the million-node sharded-engine smoke
+# (fixed-size worker pool, sequential-identical output at n = 10⁶) plus one
+# seeded 100k-vertex MDS cell asserted against the golden summary (rounds,
+# messages, solution size) pinned in internal/harness/mega_test.go.
+sweep-mega-smoke:
+	MEGA_SMOKE=1 $(GO) test -count=1 -timeout 45m \
+		-run 'TestShardedMillionNodes|TestMegaGoldenSummary' \
+		./internal/congest/ ./internal/harness/
 
 # Tracing gate: the power-smoke matrix with per-job trace files on, then
 # powertrace validating every file end to end (typed records, sealed files,

@@ -72,6 +72,9 @@ func run() error {
 			"Phase-II leader solver ("+strings.Join(harness.LocalSolverNames(), ", ")+
 				"); empty = the kernel-exact default")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0,
+			"split each batch-engine job's round sweep across this many workers "+
+				"(0 = spec value or sequential; output is byte-identical at any shard count)")
 		outDir   = flag.String("out", "bench-out", "output directory")
 		traceDir = flag.String("trace", "",
 			"write one JSONL trace file per job (job-<index>.jsonl) into this directory; "+
@@ -95,6 +98,12 @@ func run() error {
 		*epsilons, *powers, *engines, *localSolver, *trials, *rootSeed, *oracleN)
 	if err != nil {
 		return err
+	}
+	if *shards != 0 {
+		// The flag pins a single count, overriding both the spec's scalar
+		// and any shardCounts axis.
+		spec.Shards = *shards
+		spec.ShardCounts = nil
 	}
 
 	if *cpuProfile != "" {

@@ -72,11 +72,23 @@ func (e *engine) runBatchToCompletion(steppers []stepper) error {
 	return runErr
 }
 
+// errMaxRounds builds the round-limit abort error; both batch drivers and
+// the goroutine loop report it identically.
+func errMaxRounds(limit int) error {
+	return fmt.Errorf("%w (%d)", ErrMaxRounds, limit)
+}
+
 // runBatch is the batch engine's round loop. Its control flow mirrors
 // (*engine).loop exactly — same round counting, same MaxRounds check
 // position, same "deliver only if someone is still running" rule — so the
-// two engines are behaviorally indistinguishable.
+// two engines are behaviorally indistinguishable. With Config.Shards > 1
+// the sweep is delegated to the sharded driver (shard.go), which stages
+// per-shard side effects and merges them at the barrier so its output is
+// byte-identical to this sequential loop.
 func (e *engine) runBatch(steppers []stepper) error {
+	if e.shards > 1 {
+		return e.runBatchSharded(steppers)
+	}
 	alive := make([]bool, len(steppers))
 	for i := range alive {
 		alive[i] = true
@@ -84,7 +96,7 @@ func (e *engine) runBatch(steppers []stepper) error {
 	live := len(steppers)
 	for round := 0; ; round++ {
 		if round > e.maxRounds {
-			return fmt.Errorf("%w (%d)", ErrMaxRounds, e.maxRounds)
+			return errMaxRounds(e.maxRounds)
 		}
 		// stamp doubles as the duplicate-send guard for this round; it is
 		// round+1 so the zero value of a node's sentRound map never matches.
@@ -195,16 +207,16 @@ func (s *coroStepper[T]) body() iter.Seq[struct{}] {
 			if r := recover(); r != nil {
 				if np, ok := r.(nodePanic); ok {
 					if np.err != errAborted {
-						s.eng.setErr(np.err)
+						s.eng.nodeErr(s.nd, np.err)
 					}
 				} else {
-					s.eng.setErr(fmt.Errorf("congest: node %d panicked: %v [%s]", s.nd.id, r, obs.StackSummary(2, 6)))
+					s.eng.nodeErr(s.nd, fmt.Errorf("congest: node %d panicked: %v [%s]", s.nd.id, r, obs.StackSummary(2, 6)))
 				}
 			}
 		}()
 		out, err := s.handler(s.nd)
 		if err != nil {
-			s.eng.setErr(fmt.Errorf("congest: node %d: %w", s.nd.id, err))
+			s.eng.nodeErr(s.nd, fmt.Errorf("congest: node %d: %w", s.nd.id, err))
 			return
 		}
 		s.outputs[s.nd.id] = out
@@ -233,16 +245,16 @@ func (s *progStepper[T]) step() (res stepResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			if np, ok := r.(nodePanic); ok {
-				s.eng.setErr(np.err)
+				s.eng.nodeErr(s.nd, np.err)
 			} else {
-				s.eng.setErr(fmt.Errorf("congest: node %d panicked: %v [%s]", s.nd.id, r, obs.StackSummary(2, 6)))
+				s.eng.nodeErr(s.nd, fmt.Errorf("congest: node %d panicked: %v [%s]", s.nd.id, r, obs.StackSummary(2, 6)))
 			}
 			res = stepDone
 		}
 	}()
 	done, err := s.prog.Step(s.nd)
 	if err != nil {
-		s.eng.setErr(fmt.Errorf("congest: node %d: %w", s.nd.id, err))
+		s.eng.nodeErr(s.nd, fmt.Errorf("congest: node %d: %w", s.nd.id, err))
 		return stepDone
 	}
 	if done {

@@ -135,6 +135,14 @@ type Config struct {
 	BandwidthFactor int
 	// MaxRounds aborts runaway algorithms. Zero means the default 1<<22.
 	MaxRounds int
+	// Shards splits the batch engine's per-round node sweep into that many
+	// contiguous node-id ranges advanced by a persistent worker pool, with
+	// per-shard staging buffers merged at the round barrier so results,
+	// Stats, and span summaries are byte-identical to the sequential sweep
+	// at any shard count (see shard.go). Values ≤ 1 mean the sequential
+	// sweep; the goroutine engine ignores the field (it is already
+	// concurrent per node). Negative values are rejected.
+	Shards int
 	// Seed derives every node's private random stream; runs are
 	// deterministic given a seed.
 	Seed int64
@@ -217,11 +225,19 @@ type nodePanic struct{ err error }
 // A Node must only be used from the goroutine running its handler (or, for
 // step programs on the batch engine, from inside Step).
 type Node struct {
-	id    int
-	eng   *engine
+	id int
+	eng *engine
+	// rng is created lazily on the first Rand call: a rand.Source carries a
+	// multi-kilobyte state vector, so eagerly seeding every node costs
+	// gigabytes at n ≈ 10⁶ while deterministic algorithms never draw at all.
 	rng   *rand.Rand
 	inbox []Incoming
 	round int
+
+	// sh points at this node's shard staging buffers during a sharded batch
+	// round sweep (see shard.go); nil on the sequential sweep and on the
+	// goroutine engine.
+	sh *shardState
 
 	// outbox is the goroutine engine's per-round send buffer, recreated
 	// after every delivery.
@@ -270,8 +286,15 @@ func (nd *Node) Neighbors() []int { return nd.eng.g.Adj(nd.id) }
 // Weight returns this node's input weight (1 on unweighted graphs).
 func (nd *Node) Weight() int64 { return nd.eng.g.Weight(nd.id) }
 
-// Rand returns this node's private deterministic random stream.
-func (nd *Node) Rand() *rand.Rand { return nd.rng }
+// Rand returns this node's private deterministic random stream (created on
+// first use; the stream depends only on Config.Seed and the node id, never
+// on engine mode or shard count).
+func (nd *Node) Rand() *rand.Rand {
+	if nd.rng == nil {
+		nd.rng = rand.New(rand.NewSource(nd.eng.seedBase + int64(nd.id) + 1))
+	}
+	return nd.rng
+}
 
 // Send queues a B-bit-bounded message to the given destination for delivery
 // next round. It returns an error if the destination is not reachable under
@@ -282,6 +305,9 @@ func (nd *Node) Send(to int, m Message) error {
 		return err
 	}
 	if nd.eng.mode == EngineBatch {
+		if nd.sentRound == nil {
+			nd.sentRound = make(map[int]int, 8)
+		}
 		nd.sentRound[to] = nd.eng.stamp
 		nd.queue(to, m)
 	} else {
@@ -294,10 +320,22 @@ func (nd *Node) Send(to int, m Message) error {
 // sender for the current round on its first send.
 func (nd *Node) queue(to int, m Message) {
 	if len(nd.outDst) == 0 {
-		nd.eng.senders = append(nd.eng.senders, nd.id)
+		nd.registerSender()
 	}
 	nd.outDst = append(nd.outDst, to)
 	nd.outMsgs = append(nd.outMsgs, m)
+}
+
+// registerSender records this node in the current round's sender list: the
+// engine-wide list on the sequential sweep, the shard-local staging list on
+// a sharded sweep (concatenated in shard order at the barrier, which is
+// ascending id order — exactly the sequential sweep's order).
+func (nd *Node) registerSender() {
+	if sh := nd.sh; sh != nil {
+		sh.senders = append(sh.senders, nd.id)
+		return
+	}
+	nd.eng.senders = append(nd.eng.senders, nd.id)
 }
 
 func (nd *Node) sendCheck(to int, m Message) error {
@@ -385,7 +423,7 @@ func (nd *Node) fastBroadcast(m Message, adj []int) {
 		// on the first destination.
 		panic(nodePanic{fmt.Errorf("congest: node %d: message of %d bits exceeds budget %d", nd.id, b, nd.eng.bandwidth)})
 	}
-	nd.eng.senders = append(nd.eng.senders, nd.id)
+	nd.registerSender()
 	if adj == nil {
 		for to := 0; to < n; to++ {
 			if to != nd.id {
@@ -413,6 +451,13 @@ func (nd *Node) SpanBegin(name string, index int) {
 	if nd.eng.tracer == nil {
 		return
 	}
+	if sh := nd.sh; sh != nil {
+		// Sharded sweep: stage the mark shard-locally; the barrier replays
+		// marks in shard order (= id order), reproducing the sequential
+		// sweep's reference-count transitions and event order.
+		sh.marks = append(sh.marks, spanMark{name: name, index: index, round: nd.round})
+		return
+	}
 	nd.eng.spanBegin(name, index, nd.round)
 }
 
@@ -423,6 +468,10 @@ func (nd *Node) SpanBegin(name string, index int) {
 // unconditionally.
 func (nd *Node) SpanEnd(name string, index int) {
 	if nd.eng.tracer == nil {
+		return
+	}
+	if sh := nd.sh; sh != nil {
+		sh.marks = append(sh.marks, spanMark{name: name, index: index, round: nd.round, end: true})
 		return
 	}
 	nd.eng.spanEnd(name, index, nd.round)

@@ -2,7 +2,6 @@ package congest
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 
@@ -51,13 +50,23 @@ type engine struct {
 	senders   []int
 	receivers []int
 
+	// Sharded batch scheduling (see shard.go): shards is the worker count
+	// for the per-round node sweep (≤ 1 means sequential), shardStates the
+	// per-shard staging buffers, and nodeSlab the backing array all Node
+	// values live in (one allocation instead of n).
+	shards      int
+	shardStates []shardState
+	nodeSlab    []Node
+
 	// Tracing (see internal/obs). tracer is nil when disabled; wantRounds
 	// caches tracer.WantRounds() so delivery only pays the per-round
 	// accounting when a tracer actually wants round events. seed is kept
-	// for the run-start record.
+	// for the run-start record; seedBase derives the per-node random
+	// streams lazily (see Node.Rand).
 	tracer     obs.Tracer
 	wantRounds bool
 	seed       int64
+	seedBase   int64
 
 	// Per-round trace accounting, filled by deliver/deliverBatch: bits and
 	// messages delivered in the last completed round, and (only when
@@ -186,6 +195,22 @@ func (e *engine) getErr() error {
 	return e.firstErr
 }
 
+// nodeErr records a node failure. On a sharded batch sweep it is staged in
+// the node's shard (each shard keeps its first error, i.e. its lowest-id
+// failing node, because the in-shard sweep is sequential in id order); the
+// barrier then adopts the lowest shard's error, reproducing exactly the
+// "first error in id order" the sequential sweep records. Everywhere else
+// it goes straight to the engine.
+func (e *engine) nodeErr(nd *Node, err error) {
+	if sh := nd.sh; sh != nil {
+		if sh.err == nil {
+			sh.err = err
+		}
+		return
+	}
+	e.setErr(err)
+}
+
 // newEngine validates cfg and builds the engine plus its nodes. It does not
 // special-case the empty graph — each Run entry point returns an empty
 // Result for n == 0 before driving the engine.
@@ -207,7 +232,17 @@ func newEngine(cfg Config) (*engine, error) {
 	if maxRounds == 0 {
 		maxRounds = 1 << 22
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("congest: negative shard count %d", cfg.Shards)
+	}
 	n := cfg.Graph.N()
+	// Shard counts above n are allowed and simply leave some shards with
+	// empty node ranges; the sharded driver's merge handles them like any
+	// other shard (the stress suite runs such configurations on purpose).
+	shards := cfg.Shards
+	if shards < 1 || cfg.Engine != EngineBatch {
+		shards = 1
+	}
 	eng := &engine{
 		g:         cfg.Graph,
 		model:     cfg.Model,
@@ -215,24 +250,26 @@ func newEngine(cfg Config) (*engine, error) {
 		bandwidth: bwf * IDBits(n),
 		maxRounds: maxRounds,
 		cutA:      cfg.CutA,
+		shards:    shards,
 		abort:     make(chan struct{}),
 		tracer:    cfg.Tracer,
 		seed:      cfg.Seed,
+		seedBase:  cfg.Seed * 1_000_003,
 	}
 	if cfg.Tracer != nil {
 		eng.wantRounds = cfg.Tracer.WantRounds()
 	}
 	eng.stats.Bandwidth = eng.bandwidth
+	// One slab allocation for all node state; per-node maps (goroutine
+	// outboxes, batch duplicate-send guards) and random streams are created
+	// lazily so a million-node run pays only for what its algorithm uses.
+	eng.nodeSlab = make([]Node, n)
 	eng.nodes = make([]*Node, n)
 	for i := 0; i < n; i++ {
-		nd := &Node{
-			id:  i,
-			eng: eng,
-			rng: rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i) + 1)),
-		}
-		if cfg.Engine == EngineBatch {
-			nd.sentRound = make(map[int]int, cfg.Graph.Degree(i))
-		} else {
+		nd := &eng.nodeSlab[i]
+		nd.id = i
+		nd.eng = eng
+		if cfg.Engine != EngineBatch {
 			nd.outbox = make(map[int]Message)
 		}
 		eng.nodes[i] = nd
@@ -370,7 +407,7 @@ func (e *engine) loop() error {
 	active := len(e.nodes)
 	for round := 0; ; round++ {
 		if round > e.maxRounds {
-			return fmt.Errorf("%w (%d)", ErrMaxRounds, e.maxRounds)
+			return errMaxRounds(e.maxRounds)
 		}
 		waiting := make([]int, 0, active)
 		for got := 0; got < active; got++ {

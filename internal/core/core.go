@@ -68,6 +68,11 @@ type Options struct {
 	// batched event-driven engine). Both produce identical results for
 	// identical seeds; batch is the fast choice at large n.
 	Engine congest.EngineMode
+	// Shards splits the batch engine's per-round node sweep across that
+	// many workers (congest.Config.Shards). Output is byte-identical at
+	// any shard count; the goroutine engine ignores the knob. Zero or one
+	// means the sequential sweep.
+	Shards int
 	// BandwidthFactor overrides the per-message budget multiplier
 	// (B = factor·⌈log₂ n⌉ bits). Zero selects each algorithm's default.
 	BandwidthFactor int
@@ -147,6 +152,13 @@ func (o *Options) engine() congest.EngineMode {
 		return congest.EngineGoroutine
 	}
 	return o.Engine
+}
+
+func (o *Options) shards() int {
+	if o == nil {
+		return 0
+	}
+	return o.Shards
 }
 
 func (o *Options) bandwidthFactor(def int) int {

@@ -68,6 +68,7 @@ func ApproxMDSCongest(g *graph.Graph, opts *MDSOptions) (*Result, error) {
 		Graph:           g,
 		Model:           congest.CONGEST,
 		Engine:          opts.engine(),
+		Shards:          opts.shards(),
 		BandwidthFactor: bwf,
 		MaxRounds:       opts.Options.MaxRounds,
 		Seed:            opts.Options.Seed,
@@ -156,7 +157,12 @@ func deriveMDSParams(g *graph.Graph, opts *MDSOptions) (*mdsParams, int, error) 
 	return &mdsParams{
 		n: n, rpow: rpow, r: r, phases: phases,
 		idw: idw, fracBits: fracBits, qWidth: qWidth, rankW: rankW,
-		rankMax: int64(1) << uint(rankW),
+		// Ranks travel as rankW-bit fields but are drawn from an int64, so
+		// the draw space is capped below the int64 width: at idw ≥ 16
+		// (n ≥ 2^15) an uncapped 1<<rankW is zero and Int63n panics.
+		// Collision probability stays ≤ n²/2^62, far below the 1/n the
+		// analysis needs.
+		rankMax: int64(1) << uint(min(rankW, 62)),
 	}, bwf, nil
 }
 

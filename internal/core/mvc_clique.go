@@ -45,6 +45,7 @@ func ApproxMVCCliqueDeterministic(g *graph.Graph, eps float64, opts *Options) (*
 		Graph:           g,
 		Model:           congest.CongestedClique,
 		Engine:          opts.engine(),
+		Shards:          opts.shards(),
 		BandwidthFactor: opts.bandwidthFactor(4),
 		MaxRounds:       opts.maxRounds(),
 		Seed:            opts.seed(),

@@ -57,6 +57,7 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 		Graph:           g,
 		Model:           congest.CongestedClique,
 		Engine:          opts.engine(),
+		Shards:          opts.shards(),
 		BandwidthFactor: opts.bandwidthFactor(4),
 		MaxRounds:       opts.maxRounds(),
 		Seed:            opts.seed(),

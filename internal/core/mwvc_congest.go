@@ -94,6 +94,7 @@ func ApproxMWVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, err
 		Graph:           g,
 		Model:           congest.CONGEST,
 		Engine:          opts.engine(),
+		Shards:          opts.shards(),
 		BandwidthFactor: opts.bandwidthFactor(4),
 		MaxRounds:       opts.maxRounds(),
 		Seed:            opts.seed(),

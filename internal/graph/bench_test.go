@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sparseBench builds the canonical sparse benchmark instance: a connected
+// GNM graph with average degree ~4, the regime where the bounded-BFS power
+// expansion must stay linear-ish.
+func sparseBench(n int) *Graph {
+	return ConnectedGNM(n, 2*n, rand.New(rand.NewSource(int64(n))))
+}
+
+// BenchmarkPowerSparse pins the cost of Gʳ on sparse graphs past the dense
+// cutoff, where Power routes to the bounded-BFS sweep. Watch allocs/op: it
+// must stay a small constant (slice-growth events only), not O(n).
+func BenchmarkPowerSparse(b *testing.B) {
+	for _, n := range []int{20_000, 80_000} {
+		for _, r := range []int{2, 3} {
+			g := sparseBench(n)
+			b.Run(fmt.Sprintf("n=%d/r=%d", n, r), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					g.Power(r)
+				}
+			})
+		}
+	}
+}
+
+// TestPowerSparseAllocsFlat is the allocation guard for the bounded-BFS
+// power expansion: the whole construction performs a bounded number of
+// allocations — the fixed output arrays plus amortized slice growths —
+// independent of n. A per-vertex allocation anywhere in the sweep (the old
+// densification built a map row per vertex) blows the budget by three
+// orders of magnitude at this size.
+func TestPowerSparseAllocsFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting at n=20k")
+	}
+	// n must clear both cutoffs: powerDenseCutoff so Power routes to the
+	// BFS sweep, and rowsCutoff so the result graph skips eager bitset
+	// rows (those are deliberately O(n) allocations for small graphs).
+	g := sparseBench(20_000)
+	for _, r := range []int{2, 3} {
+		allocs := testing.AllocsPerRun(3, func() { g.Power(r) })
+		if allocs > 100 {
+			t.Errorf("Power(%d) at n=%d performed %.0f allocations, want a flat handful",
+				r, g.N(), allocs)
+		}
+	}
+}

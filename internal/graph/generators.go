@@ -131,6 +131,57 @@ func ConnectedGNP(n int, p float64, rng *rand.Rand) *Graph {
 	return b.Build()
 }
 
+// GNM returns a uniform-ish random graph with (up to) m edges sampled by
+// endpoint pairs with rejection of self-loops and duplicates. Unlike GNP's
+// O(n²) Bernoulli sweep this is O(m) work and memory, which makes it the
+// generator of choice for sparse million-node instances; the number of
+// sampling attempts is capped so adversarial (n, m) combinations terminate
+// with fewer edges instead of looping.
+func GNM(n, m int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	if n > 1 {
+		attempts := 20*m + 100
+		for added := 0; added < m && attempts > 0; attempts-- {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if ok, _ := b.AddEdgeIfAbsent(u, v); ok {
+				added++
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ConnectedGNM returns a connected sparse random graph with (up to) m edges:
+// a random spanning tree (each vertex i ≥ 1 attaches to a random earlier
+// vertex, under a random relabeling) plus m-(n-1) extra uniformly sampled
+// edges as in GNM. Connected inputs are required by the leader-based CONGEST
+// algorithms, and at O(m) cost this is the only connectivity-conditioned
+// generator usable at n ≈ 10⁶.
+func ConnectedGNM(n, m int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	if n > 1 {
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			b.MustAddEdge(perm[i], perm[rng.Intn(i)])
+		}
+		extra := m - (n - 1)
+		attempts := 20*extra + 100
+		for added := 0; added < extra && attempts > 0; attempts-- {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if ok, _ := b.AddEdgeIfAbsent(u, v); ok {
+				added++
+			}
+		}
+	}
+	return b.Build()
+}
+
 // UnitDisk returns a random unit-disk graph: n points uniform in the unit
 // square, connected iff within Euclidean distance radius. This is the
 // classical model for the radio networks that motivate computing on G²

@@ -1,31 +1,49 @@
 // Package graph provides the static undirected graph substrate used by every
-// other package in this repository: adjacency storage with both sorted
-// neighbor lists and bitset rows, vertex weights, power-graph (G², Gʳ)
-// computation, generators, and basic traversal algorithms.
+// other package in this repository: flat CSR adjacency storage (indptr /
+// indices arrays in the style of large-scale graph engines), vertex weights,
+// power-graph (G², Gʳ) computation, generators, and basic traversal
+// algorithms. Dense-graph helpers (adjacency bitset rows) are kept for small
+// graphs, where O(n) bits per vertex is cheap, and elided above a size
+// cutoff so million-node graphs stay O(n + m) memory.
 //
 // Graphs are immutable after construction via Builder, which makes them safe
-// to share — across the CONGEST simulator's nodes (either engine) and across
-// harness workers running simulations on the same instance — without
-// locking.
+// to share — across the CONGEST simulator's nodes (either engine, any shard
+// count) and across harness workers running simulations on the same
+// instance — without locking.
 package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"powergraph/internal/bitset"
 )
 
+// rowsCutoff bounds the vertex count up to which adjacency bitset rows are
+// materialized eagerly at Build time. Rows cost n bits per vertex (O(n²)
+// total), which is fine at kernel/oracle scale but fatal at n ≈ 10⁶
+// (≈ 125 GB); above the cutoff HasEdge falls back to binary search over the
+// CSR row and AdjRow materializes on demand.
+const rowsCutoff = 1 << 14
+
 // Graph is an immutable, simple (no self-loops, no multi-edges), undirected
 // graph on vertices {0, …, n-1} with optional positive vertex weights.
+//
+// Adjacency is stored once, in compressed sparse row form: indptr[v] ..
+// indptr[v+1] delimits v's sorted neighbor row inside indices. A widened
+// copy (flat) backs the []int views handed out by Adj so hot loops keep
+// zero-allocation access without converting element widths.
 //
 // All accessors are safe for concurrent use because the structure never
 // changes after Build.
 type Graph struct {
 	n       int
 	m       int
-	adj     [][]int       // sorted neighbor lists
-	rows    []*bitset.Set // adjacency bitsets, rows[v].Contains(u) iff {u,v} ∈ E
+	indptr  []int32       // CSR row offsets, len n+1
+	indices []int32       // CSR neighbor ids, len 2m, sorted within each row
+	flat    []int         // same content as indices, widened; backs Adj views
+	rows    []*bitset.Set // adjacency bitsets; nil when n > rowsCutoff
 	weights []int64       // per-vertex weights; nil means all weights are 1
 	names   []string      // optional debug names; nil means "v<i>"
 }
@@ -116,34 +134,41 @@ func (b *Builder) SetName(v int, name string) {
 	b.names[v] = name
 }
 
-// Build produces the immutable Graph. The Builder may be reused afterwards,
-// but further mutations do not affect the built graph.
+// Build produces the immutable Graph in CSR form. The Builder may be reused
+// afterwards, but further mutations do not affect the built graph.
 func (b *Builder) Build() *Graph {
-	g := &Graph{
-		n:    b.n,
-		m:    len(b.edges),
-		adj:  make([][]int, b.n),
-		rows: make([]*bitset.Set, b.n),
+	if 2*int64(len(b.edges)) > math.MaxInt32 {
+		panic(fmt.Sprintf("graph: %d edges exceed the int32 CSR index space", len(b.edges)))
 	}
-	deg := make([]int, b.n)
+	deg := make([]int32, b.n+1)
 	for e := range b.edges {
-		deg[e[0]]++
-		deg[e[1]]++
+		deg[e[0]+1]++
+		deg[e[1]+1]++
 	}
+	indptr := deg // reuse: prefix-summed in place
 	for v := 0; v < b.n; v++ {
-		g.adj[v] = make([]int, 0, deg[v])
-		g.rows[v] = bitset.New(b.n)
+		indptr[v+1] += indptr[v]
 	}
+	indices := make([]int32, 2*len(b.edges))
+	fill := make([]int32, b.n)
 	for e := range b.edges {
 		u, v := e[0], e[1]
-		g.adj[u] = append(g.adj[u], v)
-		g.adj[v] = append(g.adj[v], u)
-		g.rows[u].Add(v)
-		g.rows[v].Add(u)
+		indices[indptr[u]+fill[u]] = int32(v)
+		indices[indptr[v]+fill[v]] = int32(u)
+		fill[u]++
+		fill[v]++
+	}
+	g := &Graph{
+		n:       b.n,
+		m:       len(b.edges),
+		indptr:  indptr,
+		indices: indices,
 	}
 	for v := 0; v < b.n; v++ {
-		sort.Ints(g.adj[v])
+		row := indices[indptr[v]:indptr[v+1]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
 	}
+	g.finish()
 	if b.weights != nil {
 		g.weights = make([]int64, b.n)
 		copy(g.weights, b.weights)
@@ -155,6 +180,30 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// finish derives the widened flat view and (below the cutoff) the bitset
+// rows from the already-sorted CSR arrays.
+func (g *Graph) finish() {
+	g.flat = make([]int, len(g.indices))
+	for i, u := range g.indices {
+		g.flat[i] = int(u)
+	}
+	if g.n <= rowsCutoff {
+		g.rows = make([]*bitset.Set, g.n)
+		for v := 0; v < g.n; v++ {
+			g.rows[v] = bitset.FromIndices(g.n, g.Adj(v)...)
+		}
+	}
+}
+
+// fromCSR assembles a Graph directly from sorted CSR arrays (each row
+// strictly increasing, symmetric, no self-loops). Bulk constructors — the
+// bounded-BFS power expansion — use it to bypass the Builder's edge map.
+func fromCSR(n int, indptr, indices []int32) *Graph {
+	g := &Graph{n: n, m: len(indices) / 2, indptr: indptr, indices: indices}
+	g.finish()
+	return g
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
@@ -162,40 +211,83 @@ func (g *Graph) N() int { return g.n }
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.indptr[v+1] - g.indptr[v]) }
 
 // MaxDegree returns the maximum degree Δ of the graph (0 for empty graphs).
 func (g *Graph) MaxDegree() int {
-	d := 0
+	d := int32(0)
 	for v := 0; v < g.n; v++ {
-		if len(g.adj[v]) > d {
-			d = len(g.adj[v])
+		if w := g.indptr[v+1] - g.indptr[v]; w > d {
+			d = w
 		}
 	}
-	return d
+	return int(d)
 }
 
-// Adj returns the sorted neighbor list of v as a shared read-only view.
-// Callers must not modify the returned slice; use Neighbors for a copy.
-func (g *Graph) Adj(v int) []int { return g.adj[v] }
+// IndPtr returns the CSR row-offset array (length n+1) as a shared read-only
+// view: vertex v's neighbors occupy Indices()[IndPtr()[v]:IndPtr()[v+1]].
+func (g *Graph) IndPtr() []int32 { return g.indptr }
+
+// Indices returns the CSR neighbor array (length 2m, sorted within each row)
+// as a shared read-only view.
+func (g *Graph) Indices() []int32 { return g.indices }
+
+// NeighborRange returns the half-open [lo, hi) range of v's row inside
+// Indices — the allocation-free iteration form consumed by the engines.
+func (g *Graph) NeighborRange(v int) (lo, hi int32) {
+	return g.indptr[v], g.indptr[v+1]
+}
+
+// Adj returns the sorted neighbor list of v as a shared read-only view into
+// the flat CSR buffer. Callers must not modify the returned slice; use
+// Neighbors for a copy.
+func (g *Graph) Adj(v int) []int {
+	return g.flat[g.indptr[v]:g.indptr[v+1]:g.indptr[v+1]]
+}
 
 // Neighbors returns a fresh copy of the sorted neighbor list of v.
 func (g *Graph) Neighbors(v int) []int {
-	out := make([]int, len(g.adj[v]))
-	copy(out, g.adj[v])
+	adj := g.Adj(v)
+	out := make([]int, len(adj))
+	copy(out, adj)
 	return out
 }
 
-// AdjRow returns the adjacency bitset of v as a shared read-only view.
-// Callers must not modify the returned set; Clone it before mutating.
-func (g *Graph) AdjRow(v int) *bitset.Set { return g.rows[v] }
+// AdjRow returns the adjacency bitset of v. Below the rows cutoff this is a
+// shared read-only view (callers must Clone before mutating); above it a
+// fresh set is materialized from the CSR row on every call, so large-graph
+// hot paths should iterate Adj instead.
+func (g *Graph) AdjRow(v int) *bitset.Set {
+	if g.rows != nil {
+		return g.rows[v]
+	}
+	return bitset.FromIndices(g.n, g.Adj(v)...)
+}
 
-// HasEdge reports whether {u, v} is an edge.
+// HasEdge reports whether {u, v} is an edge: one bitset probe below the rows
+// cutoff, binary search over the smaller CSR row above it.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u == v {
 		return false
 	}
-	return g.rows[u].Contains(v)
+	if g.rows != nil {
+		return g.rows[u].Contains(v)
+	}
+	if g.Degree(v) < g.Degree(u) {
+		u, v = v, u
+	}
+	row := g.indices[g.indptr[u]:g.indptr[u+1]]
+	t := int32(v)
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(row) && row[lo] == t
 }
 
 // Weighted reports whether the graph carries non-default vertex weights.
@@ -240,7 +332,7 @@ func (g *Graph) Name(v int) string {
 func (g *Graph) Edges() [][2]int {
 	out := make([][2]int, 0, g.m)
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
+		for _, v := range g.Adj(u) {
 			if u < v {
 				out = append(out, [2]int{u, v})
 			}
@@ -251,7 +343,7 @@ func (g *Graph) Edges() [][2]int {
 
 // ClosedNeighborhood returns N[v] = N(v) ∪ {v} as a fresh bitset.
 func (g *Graph) ClosedNeighborhood(v int) *bitset.Set {
-	s := g.rows[v].Clone()
+	s := bitset.FromIndices(g.n, g.Adj(v)...)
 	s.Add(v)
 	return s
 }

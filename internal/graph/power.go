@@ -2,9 +2,19 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 
 	"powergraph/internal/bitset"
 )
+
+// powerDenseCutoff selects the Gʳ construction strategy. At or below the
+// cutoff the classical bitset reach-set expansion wins (word-parallel ORs,
+// O(n²/64) per expansion, unbeatable on dense balls); above it the
+// bounded-BFS sweep over the CSR arrays is used, whose work is
+// Σ_v |ball_r(v)| + |edges(ball_r(v))| — linear-ish on the sparse graphs
+// that are the only feasible inputs at that scale — and whose memory stays
+// O(n + m(Gʳ)) instead of O(n²).
+const powerDenseCutoff = 1 << 12
 
 // Square returns G² = (V, F) where {u,v} ∈ F iff 0 < dist_G(u,v) ≤ 2.
 //
@@ -22,9 +32,27 @@ func (g *Graph) Power(r int) *Graph {
 	if r < 1 {
 		panic(fmt.Sprintf("graph: Power(%d) with r < 1", r))
 	}
-	// Iteratively expand reach sets: reach_{k+1}[v] = reach_k[v] ∪
-	// ⋃_{u ∈ N(v)} reach_k[u]. Starting from reach_1 = N[v], after r-1
-	// expansions reach[v] = ball of radius r around v.
+	var p *Graph
+	if g.n <= powerDenseCutoff {
+		p = g.powerDense(r)
+	} else {
+		p = g.powerBFS(r)
+	}
+	if g.weights != nil {
+		p.weights = make([]int64, g.n)
+		copy(p.weights, g.weights)
+	}
+	if g.names != nil {
+		p.names = make([]string, g.n)
+		copy(p.names, g.names)
+	}
+	return p
+}
+
+// powerDense is the reach-set expansion: reach_{k+1}[v] = reach_k[v] ∪
+// ⋃_{u ∈ N(v)} reach_k[u]. Starting from reach_1 = N[v], after r-1
+// expansions reach[v] = ball of radius r around v.
+func (g *Graph) powerDense(r int) *Graph {
 	reach := make([]*bitset.Set, g.n)
 	for v := 0; v < g.n; v++ {
 		reach[v] = g.ClosedNeighborhood(v)
@@ -33,39 +61,68 @@ func (g *Graph) Power(r int) *Graph {
 		next := make([]*bitset.Set, g.n)
 		for v := 0; v < g.n; v++ {
 			s := reach[v].Clone()
-			for _, u := range g.adj[v] {
+			for _, u := range g.Adj(v) {
 				s.Or(reach[u])
 			}
 			next[v] = s
 		}
 		reach = next
 	}
-	b := NewBuilder(g.n)
+	indptr := make([]int32, g.n+1)
+	total := 0
+	for v := 0; v < g.n; v++ {
+		total += reach[v].Count() - 1 // ball minus v itself
+	}
+	indices := make([]int32, 0, total)
 	for v := 0; v < g.n; v++ {
 		reach[v].ForEach(func(u int) bool {
-			if u > v {
-				b.MustAddEdge(v, u)
+			if u != v {
+				indices = append(indices, int32(u))
 			}
 			return true
 		})
+		indptr[v+1] = int32(len(indices))
 	}
-	g.copyAttrsTo(b)
-	return b.Build()
+	return fromCSR(g.n, indptr, indices)
 }
 
-func (g *Graph) copyAttrsTo(b *Builder) {
-	if g.weights != nil {
-		for v := 0; v < g.n; v++ {
-			b.SetWeight(v, g.weights[v])
-		}
-	}
-	if g.names != nil {
-		for v := 0; v < g.n; v++ {
-			if g.names[v] != "" {
-				b.SetName(v, g.names[v])
+// powerBFS computes each vertex's radius-r ball with a bounded breadth-first
+// search over the CSR arrays, writing the result CSR directly: no per-vertex
+// sets, no intermediate adjacency maps, no Builder edge map. The visited
+// array is epoch-stamped so it is cleared once, not once per vertex, keeping
+// the whole construction alloc-flat (a handful of amortized slice growths
+// regardless of n — see BenchmarkPowerSparse and TestPowerSparseAllocsFlat).
+func (g *Graph) powerBFS(r int) *Graph {
+	indptr := make([]int32, g.n+1)
+	indices := make([]int32, 0, len(g.indices))
+	visited := make([]int32, g.n) // epoch mark: visited[u] == v+1 ⇔ u in v's ball
+	var cur, next []int32
+	for v := 0; v < g.n; v++ {
+		epoch := int32(v + 1)
+		visited[v] = epoch
+		cur = append(cur[:0], int32(v))
+		rowStart := len(indices)
+		for depth := 0; depth < r && len(cur) > 0; depth++ {
+			next = next[:0]
+			for _, u := range cur {
+				lo, hi := g.indptr[u], g.indptr[u+1]
+				for _, w := range g.indices[lo:hi] {
+					if visited[w] != epoch {
+						visited[w] = epoch
+						next = append(next, w)
+						indices = append(indices, w)
+					}
+				}
 			}
+			cur, next = next, cur
 		}
+		// slices.Sort, not sort.Slice: the reflection-based sorter
+		// allocates per call, which would turn the sweep's allocation
+		// count O(n).
+		slices.Sort(indices[rowStart:])
+		indptr[v+1] = int32(len(indices))
 	}
+	return fromCSR(g.n, indptr, indices)
 }
 
 // InducedSubgraph returns the subgraph of g induced by the vertex set keep,
@@ -85,7 +142,7 @@ func (g *Graph) InducedSubgraph(keep *bitset.Set) (sub *Graph, orig []int) {
 		if g.names != nil && g.names[v] != "" {
 			b.SetName(i, g.names[v])
 		}
-		for _, u := range g.adj[v] {
+		for _, u := range g.Adj(v) {
 			if j, ok := index[u]; ok && i < j {
 				b.MustAddEdge(i, j)
 			}
@@ -102,11 +159,16 @@ func (g *Graph) SquareInduced(s *bitset.Set) (sub *Graph, orig []int) {
 }
 
 // TwoHopNeighborhood returns N²(v): all vertices at distance 1 or 2 from v
-// in g, excluding v itself.
+// in g, excluding v itself. Built by walking the CSR rows, so it needs no
+// adjacency bitsets and works at any scale (one O(n)-bit set is allocated
+// for the result).
 func (g *Graph) TwoHopNeighborhood(v int) *bitset.Set {
-	s := g.rows[v].Clone()
-	for _, u := range g.adj[v] {
-		s.Or(g.rows[u])
+	s := bitset.New(g.n)
+	for _, u := range g.Adj(v) {
+		s.Add(u)
+		for _, w := range g.Adj(u) {
+			s.Add(w)
+		}
 	}
 	s.Remove(v)
 	return s

@@ -18,7 +18,7 @@ func (g *Graph) BFS(src int) (dist, parent []int) {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, u := range g.adj[v] {
+		for _, u := range g.Adj(v) {
 			if dist[u] == -1 {
 				dist[u] = dist[v] + 1
 				parent[u] = v
@@ -98,18 +98,43 @@ func (g *Graph) Dist(u, v int) int {
 	return dist[v]
 }
 
+// commonAfter merges the two sorted neighbor rows a and b, invoking fn for
+// every common element strictly greater than floor until fn returns false.
+// Row-free replacement for the bitset intersections the triangle helpers
+// used to rely on — works at any graph scale.
+func commonAfter(a, b []int, floor int, fn func(w int) bool) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			if a[i] > floor && !fn(a[i]) {
+				return
+			}
+			i++
+			j++
+		}
+	}
+}
+
 // FindTriangle returns the lexicographically smallest triangle (u < v < w,
 // mutually adjacent) if one exists, and ok=false otherwise. The centralized
 // 5/3-approximation's part-1 loop uses this repeatedly.
 func (g *Graph) FindTriangle() (t [3]int, ok bool) {
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
+		for _, v := range g.Adj(u) {
 			if v <= u {
 				continue
 			}
-			common := g.rows[u].Intersect(g.rows[v])
-			if w := common.NextAfter(v); w != -1 {
-				return [3]int{u, v, w}, true
+			commonAfter(g.Adj(u), g.Adj(v), v, func(w int) bool {
+				t, ok = [3]int{u, v, w}, true
+				return false
+			})
+			if ok {
+				return t, true
 			}
 		}
 	}
@@ -120,14 +145,14 @@ func (g *Graph) FindTriangle() (t [3]int, ok bool) {
 func (g *Graph) CountTriangles() int {
 	c := 0
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
+		for _, v := range g.Adj(u) {
 			if v <= u {
 				continue
 			}
-			common := g.rows[u].Intersect(g.rows[v])
-			for w := common.NextAfter(v); w != -1; w = common.NextAfter(w) {
+			commonAfter(g.Adj(u), g.Adj(v), v, func(int) bool {
 				c++
-			}
+				return true
+			})
 		}
 	}
 	return c
@@ -143,7 +168,7 @@ func (g *Graph) GreedyMaximalMatching() [][2]int {
 		if matched.Contains(u) {
 			continue
 		}
-		for _, v := range g.adj[u] {
+		for _, v := range g.Adj(u) {
 			if v > u && !matched.Contains(v) {
 				matched.Add(u)
 				matched.Add(v)

@@ -29,6 +29,10 @@ type CellSummary struct {
 	// sweep produces one cell per engine with identical measurement
 	// distributions; only WallMS may differ.
 	Engine string `json:"engine,omitempty"`
+	// Shards is the batch engine's shard count for this cell (0 = the
+	// sequential sweep). Like Engine it splits cells without touching
+	// measurements; a ShardCounts sweep compares the cells' WallMS.
+	Shards int `json:"shards,omitempty"`
 
 	// Trials counts results in the cell; Errors the failed subset.
 	Trials int `json:"trials"`
@@ -77,7 +81,7 @@ func Aggregate(results []JobResult) []CellSummary {
 			a = &acc{summary: CellSummary{
 				Generator: r.Generator, N: r.N, Power: r.Power,
 				Algorithm: r.Algorithm, Model: r.Model, Problem: r.Problem,
-				Epsilon: r.Epsilon, Engine: r.Engine,
+				Epsilon: r.Epsilon, Engine: r.Engine, Shards: r.Shards,
 			}}
 			cells[key] = a
 			order = append(order, key)

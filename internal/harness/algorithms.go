@@ -116,6 +116,7 @@ func distOpts(job Job, tr obs.Tracer) (*core.Options, error) {
 	return &core.Options{
 		Seed:            job.Seed,
 		Engine:          engine,
+		Shards:          job.Shards,
 		BandwidthFactor: job.BandwidthFactor,
 		MaxRounds:       job.MaxRounds,
 		Power:           job.Power,

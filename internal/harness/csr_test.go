@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+
+	"powergraph/internal/graph"
+)
+
+// csrReference rebuilds an adjacency-map view of g straight from the raw CSR
+// arrays, verifying the representation invariants on the way: indptr is a
+// monotone length-(n+1) prefix array covering indices exactly, every row is
+// strictly increasing (sorted, no duplicate neighbors), self-loop free, and
+// symmetric. The returned map is the ground truth the accessor checks
+// compare against.
+func csrReference(t *testing.T, g *graph.Graph) map[int]map[int]bool {
+	t.Helper()
+	n := g.N()
+	indptr, indices := g.IndPtr(), g.Indices()
+	if len(indptr) != n+1 || indptr[0] != 0 || int(indptr[n]) != len(indices) {
+		t.Fatalf("indptr shape: len=%d first=%d last=%d indices=%d",
+			len(indptr), indptr[0], indptr[n], len(indices))
+	}
+	if len(indices) != 2*g.M() {
+		t.Fatalf("indices holds %d entries for m=%d", len(indices), g.M())
+	}
+	adj := make(map[int]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		lo, hi := indptr[v], indptr[v+1]
+		if lo > hi {
+			t.Fatalf("indptr not monotone at %d: %d > %d", v, lo, hi)
+		}
+		row := indices[lo:hi]
+		set := make(map[int]bool, len(row))
+		for i, u := range row {
+			if int(u) < 0 || int(u) >= n || int(u) == v {
+				t.Fatalf("row %d: bad neighbor %d", v, u)
+			}
+			if i > 0 && row[i-1] >= u {
+				t.Fatalf("row %d not strictly increasing: %v", v, row)
+			}
+			set[int(u)] = true
+		}
+		adj[v] = set
+	}
+	for v, set := range adj {
+		for u := range set {
+			if !adj[u][v] {
+				t.Fatalf("asymmetric edge {%d,%d}", v, u)
+			}
+		}
+	}
+	return adj
+}
+
+// checkCSRAccessors verifies every neighbor-access surface of g — Adj,
+// Neighbors, Degree, NeighborRange, AdjRow, HasEdge, MaxDegree, Edges,
+// Weight — against the reference adjacency map.
+func checkCSRAccessors(t *testing.T, g *graph.Graph, rng *rand.Rand) {
+	t.Helper()
+	adj := csrReference(t, g)
+	n := g.N()
+	maxDeg, edges := 0, 0
+	for v := 0; v < n; v++ {
+		row := g.Adj(v)
+		deg := g.Degree(v)
+		if deg != len(adj[v]) || deg != len(row) {
+			t.Fatalf("Degree(%d) = %d, row len %d, want %d", v, deg, len(row), len(adj[v]))
+		}
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+		edges += len(row)
+		lo, hi := g.NeighborRange(v)
+		if int(hi-lo) != len(row) {
+			t.Fatalf("NeighborRange(%d) spans %d, Adj has %d", v, hi-lo, len(row))
+		}
+		rowSet := g.AdjRow(v)
+		for i, u := range row {
+			if !adj[v][u] {
+				t.Fatalf("Adj(%d) holds non-neighbor %d", v, u)
+			}
+			if int(g.Indices()[int(lo)+i]) != u {
+				t.Fatalf("Indices row of %d diverges from Adj at %d", v, i)
+			}
+			if !rowSet.Contains(u) {
+				t.Fatalf("AdjRow(%d) missing %d", v, u)
+			}
+		}
+		if rowSet.Count() != len(row) {
+			t.Fatalf("AdjRow(%d) holds %d bits for %d neighbors", v, rowSet.Count(), len(row))
+		}
+		cp := g.Neighbors(v)
+		for i, u := range cp {
+			if row[i] != u {
+				t.Fatalf("Neighbors(%d) diverges from Adj", v)
+			}
+		}
+	}
+	if g.MaxDegree() != maxDeg || edges != 2*g.M() {
+		t.Fatalf("MaxDegree=%d (want %d), degree sum %d for m=%d",
+			g.MaxDegree(), maxDeg, edges, g.M())
+	}
+	for _, e := range g.Edges() {
+		if !adj[e[0]][e[1]] || e[0] >= e[1] {
+			t.Fatalf("Edges() emitted bad pair %v", e)
+		}
+	}
+	// HasEdge: exhaustive on small graphs, sampled plus every real edge on
+	// large ones (so both present and absent probes are covered either way).
+	probe := func(u, v int) {
+		if g.HasEdge(u, v) != adj[u][v] || g.HasEdge(v, u) != adj[u][v] {
+			t.Fatalf("HasEdge(%d,%d) = %v, want %v", u, v, g.HasEdge(u, v), adj[u][v])
+		}
+	}
+	if n <= 260 {
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				probe(u, v)
+			}
+		}
+	} else {
+		for i := 0; i < 4000; i++ {
+			probe(rng.Intn(n), rng.Intn(n))
+		}
+		for _, e := range g.Edges() {
+			probe(e[0], e[1])
+		}
+	}
+	var total int64
+	for v := 0; v < n; v++ {
+		w := g.Weight(v)
+		if w <= 0 {
+			t.Fatalf("non-positive weight %d at %d", w, v)
+		}
+		if !g.Weighted() && w != 1 {
+			t.Fatalf("unweighted graph reports weight %d at %d", w, v)
+		}
+		total += w
+	}
+	if total != g.TotalWeight() {
+		t.Fatalf("TotalWeight = %d, sum of Weight = %d", g.TotalWeight(), total)
+	}
+}
+
+// TestCSRMatchesAdjacency is the flat-core differential: for every registry
+// generator across sizes up to 5000 and random seeds (plus graphs past the
+// bitset-row cutoff, where HasEdge switches to binary search), the CSR
+// arrays must describe a simple symmetric sorted adjacency and every
+// accessor must agree with it — including after Builder edge-dedup and
+// weight overlays.
+func TestCSRMatchesAdjacency(t *testing.T) {
+	big := map[string]bool{
+		"path": true, "cycle": true, "star": true, "grid": true,
+		"random-tree": true, "gnm": true, "connected-gnm": true,
+		"gnp": true, "connected-gnp": true,
+	}
+	for _, name := range GeneratorNames() {
+		t.Run(name, func(t *testing.T) {
+			sizes := []int{3, 4, 29, 240}
+			if big[name] {
+				sizes = append(sizes, 1201, 5000)
+			}
+			for _, n := range sizes {
+				for seed := int64(0); seed < 2; seed++ {
+					spec := GeneratorSpec{Name: name}
+					if seed == 1 {
+						spec.MaxWeight = 50 // exercise the weight overlay
+					}
+					rng := rand.New(rand.NewSource(seed*7919 + int64(n)))
+					g, err := spec.Build(n, rng)
+					if err != nil {
+						t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+					}
+					checkCSRAccessors(t, g, rng)
+				}
+			}
+		})
+	}
+
+	// Past the bitset-row cutoff (n > 1<<14) AdjRow materializes on demand
+	// and HasEdge binary-searches the smaller CSR row; same contract.
+	t.Run("beyond-rows-cutoff", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(11))
+		checkCSRAccessors(t, graph.GNM(20000, 60000, rng), rng)
+		checkCSRAccessors(t, graph.Star(17000), rng)
+	})
+
+	// Builder dedup: AddEdgeIfAbsent tolerates duplicates without double
+	// edges, AddEdge rejects them loudly, and the built CSR matches the
+	// deduplicated ground truth exactly.
+	t.Run("builder-dedup", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(5))
+		const n = 700
+		b := graph.NewBuilder(n)
+		truth := map[[2]int]bool{}
+		for i := 0; i < 4000; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			added, err := b.AddEdgeIfAbsent(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if added == truth[[2]int{u, v}] {
+				t.Fatalf("AddEdgeIfAbsent({%d,%d}) = %v on duplicate=%v",
+					u, v, added, truth[[2]int{u, v}])
+			}
+			if truth[[2]int{u, v}] {
+				if err := b.AddEdge(u, v); err == nil {
+					t.Fatalf("AddEdge accepted duplicate {%d,%d}", u, v)
+				}
+			}
+			truth[[2]int{u, v}] = true
+		}
+		for v := 0; v < n; v++ {
+			b.SetWeight(v, int64(1+v%9))
+		}
+		g := b.Build()
+		if g.M() != len(truth) {
+			t.Fatalf("built m=%d, ground truth has %d edges", g.M(), len(truth))
+		}
+		adj := csrReference(t, g)
+		for e := range truth {
+			if !adj[e[0]][e[1]] {
+				t.Fatalf("edge %v lost in Build", e)
+			}
+		}
+		for v := 0; v < n; v++ {
+			if g.Weight(v) != int64(1+v%9) {
+				t.Fatalf("weight of %d = %d", v, g.Weight(v))
+			}
+		}
+		checkCSRAccessors(t, g, rng)
+	})
+}

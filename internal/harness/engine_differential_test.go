@@ -2,6 +2,8 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
+	"runtime"
 	"testing"
 )
 
@@ -16,6 +18,61 @@ func differentialJob(alg string, engine string, n int, eps float64) Job {
 	j.Seed = deriveSeed(1, j.cellKey(), 0)
 	j.InstanceSeed = deriveSeed(1, j.instanceKey(), 0)
 	return j
+}
+
+// TestShardedEngineDeterministic runs every registered distributed
+// algorithm on the batch engine across its full supported power range at
+// several shard counts — sequential, 2, a count that does not divide n,
+// and GOMAXPROCS — and requires byte-identical JobResults: solutions,
+// Stats, and span summaries all serialize to the same JSON at every shard
+// count. The shard barrier must be invisible in everything but wall clock.
+func TestShardedEngineDeterministic(t *testing.T) {
+	shardCounts := []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+	for _, alg := range AlgorithmNames() {
+		entry, _ := lookupAlgorithm(alg)
+		if entry.Model == ModelCentralized {
+			continue
+		}
+		t.Run(alg, func(t *testing.T) {
+			for r := 1; r <= 4; r++ {
+				if !entry.SupportsPower(r) {
+					continue
+				}
+				var want *JobResult
+				var wantJSON []byte
+				for _, sc := range shardCounts {
+					job := differentialJob(alg, "batch", 26, 0.5)
+					job.Power = r
+					job.Seed = deriveSeed(1, job.cellKey(), 0)
+					job.InstanceSeed = deriveSeed(1, job.instanceKey(), 0)
+					job.Shards = sc
+					got := executeJob(job, nil)
+					if got.Error != "" {
+						t.Fatalf("r=%d shards=%d: %s", r, sc, got.Error)
+					}
+					got.Elapsed, got.Metrics, got.Shards = 0, nil, 0
+					gotJSON, err := json.Marshal(got)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want == nil {
+						want, wantJSON = got, gotJSON
+						if !got.Verified {
+							t.Fatalf("r=%d: solution failed feasibility", r)
+						}
+						continue
+					}
+					if *want != *got {
+						t.Fatalf("r=%d: shards=%d diverges from shards=%d:\n%+v\n%+v",
+							r, sc, shardCounts[0], *want, *got)
+					}
+					if string(wantJSON) != string(gotJSON) {
+						t.Fatalf("r=%d: serialized results diverge at shards=%d", r, sc)
+					}
+				}
+			}
+		})
+	}
 }
 
 // TestEngineDifferentialAllAlgorithms runs every registered distributed

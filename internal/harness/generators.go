@@ -93,6 +93,12 @@ var generators = map[string]generatorFn{
 	"connected-gnp": func(n int, spec GeneratorSpec, rng *rand.Rand) *graph.Graph {
 		return graph.ConnectedGNP(n, spec.gnpP(n), rng)
 	},
+	"gnm": func(n int, spec GeneratorSpec, rng *rand.Rand) *graph.Graph {
+		return graph.GNM(n, spec.gnmM(n), rng)
+	},
+	"connected-gnm": func(n int, spec GeneratorSpec, rng *rand.Rand) *graph.Graph {
+		return graph.ConnectedGNM(n, spec.gnmM(n), rng)
+	},
 	"unit-disk": func(n int, spec GeneratorSpec, rng *rand.Rand) *graph.Graph {
 		return graph.UnitDisk(n, spec.diskRadius(n), rng)
 	},
@@ -109,6 +115,21 @@ func (g GeneratorSpec) gnpP(n int) float64 {
 		return math.Min(1, g.AvgDeg/float64(n))
 	}
 	return math.Min(1, 8/float64(n))
+}
+
+// gnmM resolves the edge-count target of the gnm generators: avgDeg·n/2
+// edges, matching gnp's expected count at the same average degree (default
+// average degree 8, like gnpP).
+func (g GeneratorSpec) gnmM(n int) int {
+	d := g.AvgDeg
+	if d <= 0 {
+		d = 8
+	}
+	m := int(d * float64(n) / 2)
+	if max := n * (n - 1) / 2; m > max {
+		m = max
+	}
+	return m
 }
 
 func (g GeneratorSpec) diskRadius(n int) float64 {
@@ -174,6 +195,8 @@ var generatorDescriptions = map[string]string{
 	"random-tree":         "uniform random labeled tree (Prüfer sequence)",
 	"gnp":                 "Erdős–Rényi G(n,p) (default p = 8/n, constant average degree; may be disconnected)",
 	"connected-gnp":       "G(n,p) resampled/patched until connected (default p = 8/n)",
+	"gnm":                 "sparse random G(n,m) by edge sampling, m = avgDeg·n/2 (default avgDeg 8) — O(m) build, the million-node workload",
+	"connected-gnm":       "random spanning tree + G(n,m) extra edges: connected, O(m) build at any scale",
 	"unit-disk":           "random unit-disk graph (default radius above the connectivity threshold)",
 	"connected-unit-disk": "unit-disk graph conditioned on connectivity",
 }

@@ -76,6 +76,12 @@ type JobResult struct {
 	// in that case.
 	Error string `json:"error,omitempty"`
 
+	// Shards is the shard count the job ran with. Deliberately not
+	// serialized — sweeps at any shard count must stay byte-identical —
+	// but it does split aggregation cells, so a shard-count sweep's BENCH
+	// summary compares wall clocks per count (the mega sweep's scaling
+	// curve).
+	Shards int `json:"-"`
 	// Elapsed is the job's wall-clock duration.  It is intentionally not
 	// serialized: timing is machine-dependent and would break the
 	// byte-identical-output determinism contract.
@@ -88,11 +94,13 @@ type JobResult struct {
 }
 
 // cellKey groups results into scenario cells for aggregation. Unlike
-// Job.cellKey (the seed-derivation key), it includes the engine mode, so a
-// two-engine sweep aggregates each engine's identical measurements — but
-// different wall clocks — into separate, comparable cells.
+// Job.cellKey (the seed-derivation key), it includes the engine mode and
+// the shard count, so a two-engine or multi-shard sweep aggregates each
+// mode's identical measurements — but different wall clocks — into
+// separate, comparable cells.
 func (r *JobResult) cellKey() string {
-	return scenarioKey(r.Generator, r.N, r.Power, r.Algorithm, r.Epsilon) + "|eng=" + r.Engine
+	return fmt.Sprintf("%s|eng=%s|sh=%d",
+		scenarioKey(r.Generator, r.N, r.Power, r.Algorithm, r.Epsilon), r.Engine, r.Shards)
 }
 
 // Progress is delivered once per completed job, in emission (job-index)
@@ -417,6 +425,7 @@ func (x *jobExec) run(job Job) (out *JobResult) {
 		Trial:        job.Trial,
 		Seed:         job.Seed,
 		InstanceSeed: job.InstanceSeed,
+		Shards:       job.Shards,
 		Optimum:      -1,
 	}
 

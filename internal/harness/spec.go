@@ -85,6 +85,24 @@ type Spec struct {
 	BandwidthFactor int `json:"bandwidthFactor,omitempty"`
 	// MaxRounds aborts runaway distributed executions (0 = engine default).
 	MaxRounds int `json:"maxRounds,omitempty"`
+	// Shards splits the batch engine's per-round node sweep across that
+	// many workers inside each job (congest.Config.Shards; 0/1 = the
+	// sequential sweep, the goroutine engine ignores it). Like the engine
+	// mode it never enters seed derivation and must never change any
+	// measurement — a multi-shard sweep is a live determinism test of the
+	// shard barrier — so it only trades wall clock, which is what makes it
+	// worthwhile for the single huge jobs of the mega sweeps where
+	// job-level parallelism has nothing left to parallelize.
+	Shards int `json:"shards,omitempty"`
+	// ShardCounts sweeps the shard count as an axis (default [Shards]):
+	// one job per count for batch-engine cells, aggregated into separate
+	// BENCH cells so their wall clocks compare side by side — the mega
+	// sweep's shard-scaling curve. Like Shards itself the axis never
+	// enters seed derivation and must never change measurements, so a
+	// multi-count sweep doubles as a live determinism test of the shard
+	// barrier. Cells that ignore shards (non-batch engines, centralized
+	// baselines) collapse the axis to its first entry.
+	ShardCounts []int `json:"shardCounts,omitempty"`
 	// LocalSolver picks the Phase-II leader solver of the MVC algorithms:
 	// "" or "kernel-exact" (the default kernelize-then-solve ladder of
 	// internal/kernel: reduction rules, bounded branch and bound, local-
@@ -129,11 +147,12 @@ type Job struct {
 	// runner's oracle cache solve each instance exactly once. Zero means
 	// "use Seed" (hand-built job lists keep their original behavior).
 	InstanceSeed int64 `json:"instanceSeed,omitempty"`
-	// OracleN, BandwidthFactor, MaxRounds, LocalSolver are copied from the
-	// Spec.
+	// OracleN, BandwidthFactor, MaxRounds, Shards, LocalSolver are copied
+	// from the Spec.
 	OracleN         int    `json:"oracleN,omitempty"`
 	BandwidthFactor int    `json:"bandwidthFactor,omitempty"`
 	MaxRounds       int    `json:"maxRounds,omitempty"`
+	Shards          int    `json:"shards,omitempty"`
 	LocalSolver     string `json:"localSolver,omitempty"`
 }
 
@@ -188,6 +207,14 @@ func (s *Spec) Validate() error {
 	if s.Trials < 0 {
 		return fmt.Errorf("harness: negative trial count %d", s.Trials)
 	}
+	if s.Shards < 0 {
+		return fmt.Errorf("harness: negative shard count %d", s.Shards)
+	}
+	for _, c := range s.shardCounts() {
+		if c < 0 {
+			return fmt.Errorf("harness: negative shard count %d in shardCounts", c)
+		}
+	}
 	if _, err := parseLocalSolver(s.LocalSolver); err != nil {
 		return err
 	}
@@ -220,6 +247,13 @@ func (s *Spec) engineModes() []string {
 		return []string{""}
 	}
 	return s.EngineModes
+}
+
+func (s *Spec) shardCounts() []int {
+	if len(s.ShardCounts) == 0 {
+		return []int{s.Shards}
+	}
+	return s.ShardCounts
 }
 
 // Expand materializes the matrix into jobs in canonical order
@@ -258,28 +292,45 @@ func (s *Spec) Expand() ([]Job, ExpandReport, error) {
 						engines = []string{""}
 					}
 					for _, engine := range engines {
-						for _, eps := range epsGrid {
-							for t := 0; t < s.trials(); t++ {
-								j := Job{
-									Index:           len(jobs),
-									Generator:       gen,
-									N:               n,
-									Power:           r,
-									Algorithm:       name,
-									Epsilon:         eps,
-									Engine:          engine,
-									Trial:           t,
-									OracleN:         s.OracleN,
-									BandwidthFactor: s.BandwidthFactor,
-									MaxRounds:       s.MaxRounds,
-									LocalSolver:     s.LocalSolver,
+						// The shard axis only moves wall clock on the batch
+						// engine; everywhere else it collapses to its first
+						// entry, reported like the engine collapse above.
+						counts := s.shardCounts()
+						if mode, err := congest.ParseEngineMode(engine); alg.Model == ModelCentralized ||
+							err != nil || mode != congest.EngineBatch {
+							if len(counts) > 1 {
+								rep.Skipped = append(rep.Skipped, fmt.Sprintf(
+									"%s × n=%d × r=%d: %s engine %q ignores the shard axis (ran once)",
+									gen.Key(), n, r, name, engine))
+							}
+							counts = counts[:1]
+						}
+						for _, shards := range counts {
+							for _, eps := range epsGrid {
+								for t := 0; t < s.trials(); t++ {
+									j := Job{
+										Index:           len(jobs),
+										Generator:       gen,
+										N:               n,
+										Power:           r,
+										Algorithm:       name,
+										Epsilon:         eps,
+										Engine:          engine,
+										Trial:           t,
+										OracleN:         s.OracleN,
+										BandwidthFactor: s.BandwidthFactor,
+										MaxRounds:       s.MaxRounds,
+										Shards:          shards,
+										LocalSolver:     s.LocalSolver,
+									}
+									// Neither the engine mode nor the shard
+									// count is part of the seed: every
+									// (engine, shards) pair replays the same
+									// run.
+									j.Seed = deriveSeed(s.RootSeed, j.cellKey(), t)
+									j.InstanceSeed = deriveSeed(s.RootSeed, j.instanceKey(), t)
+									jobs = append(jobs, j)
 								}
-								// The engine mode is deliberately not part
-								// of the seed: both engines replay the
-								// same instance.
-								j.Seed = deriveSeed(s.RootSeed, j.cellKey(), t)
-								j.InstanceSeed = deriveSeed(s.RootSeed, j.instanceKey(), t)
-								jobs = append(jobs, j)
 							}
 						}
 					}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -99,14 +100,22 @@ func TestRegistryTraceConformance(t *testing.T) {
 }
 
 // TestTracingDoesNotPerturbSweep is the determinism-under-observation
-// contract: the same spec produces byte-identical JSONL and CSV result
-// streams with per-job trace files enabled and disabled, and the trace
-// directory holds one well-formed file per job.
+// contract, with the shard axis folded in: the same spec produces
+// byte-identical JSONL and CSV result streams with per-job trace files
+// enabled and disabled, sequential and sharded — all four combinations —
+// and the trace directory holds one well-formed file per job. The sweep
+// runs both engines so the sharded batch path is genuinely exercised
+// (shards are a no-op on the goroutine engine).
 func TestTracingDoesNotPerturbSweep(t *testing.T) {
-	run := func(traceDir string) (jsonl, csv []byte) {
-		var jb, cb bytes.Buffer
+	tracedSpec := func(shards int) *Spec {
 		spec := testSpec()
-		_, err := Run(t.Context(), spec, RunOptions{
+		spec.EngineModes = []string{"goroutine", "batch"}
+		spec.Shards = shards
+		return spec
+	}
+	run := func(traceDir string, shards int) (jsonl, csv []byte) {
+		var jb, cb bytes.Buffer
+		_, err := Run(t.Context(), tracedSpec(shards), RunOptions{
 			Workers:  2,
 			Sinks:    []Sink{NewJSONLSink(&jb), NewCSVSink(&cb)},
 			TraceDir: traceDir,
@@ -116,17 +125,27 @@ func TestTracingDoesNotPerturbSweep(t *testing.T) {
 		}
 		return jb.Bytes(), cb.Bytes()
 	}
-	plainJSONL, plainCSV := run("")
+	plainJSONL, plainCSV := run("", 0)
 	dir := t.TempDir()
-	tracedJSONL, tracedCSV := run(dir)
+	tracedJSONL, tracedCSV := run(dir, 0)
 	if !bytes.Equal(plainJSONL, tracedJSONL) {
 		t.Fatal("enabling -trace changed the JSONL result stream")
 	}
 	if !bytes.Equal(plainCSV, tracedCSV) {
 		t.Fatal("enabling -trace changed the CSV result stream")
 	}
+	for _, shards := range []int{3, runtime.GOMAXPROCS(0)} {
+		shardDir := t.TempDir()
+		shardedJSONL, shardedCSV := run(shardDir, shards)
+		if !bytes.Equal(plainJSONL, shardedJSONL) {
+			t.Fatalf("shards=%d changed the JSONL result stream", shards)
+		}
+		if !bytes.Equal(plainCSV, shardedCSV) {
+			t.Fatalf("shards=%d changed the CSV result stream", shards)
+		}
+	}
 
-	jobs, _, err := testSpec().Expand()
+	jobs, _, err := tracedSpec(0).Expand()
 	if err != nil {
 		t.Fatal(err)
 	}

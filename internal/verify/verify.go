@@ -50,9 +50,18 @@ func IsPowerVertexCover(g *graph.Graph, r int, s *bitset.Set) (ok bool, witness 
 			if s.Contains(u) {
 				continue
 			}
-			uncoveredNbr := g.TwoHopNeighborhood(u).Difference(s)
-			if w := uncoveredNbr.First(); w != -1 {
-				return false, [2]int{u, w}
+			// Walk u's 2-hop neighborhood over the CSR rows directly (no
+			// per-vertex bitset materialization, so the check stays O(Σ deg²)
+			// at million-node scale): every 2-hop neighbor must be in s.
+			for _, v := range g.Adj(u) {
+				if v != u && !s.Contains(v) {
+					return false, [2]int{u, v}
+				}
+				for _, w := range g.Adj(v) {
+					if w != u && !s.Contains(w) {
+						return false, [2]int{u, w}
+					}
+				}
 			}
 		}
 		return true, [2]int{}
@@ -64,7 +73,7 @@ func IsPowerVertexCover(g *graph.Graph, r int, s *bitset.Set) (ok bool, witness 
 // g-neighbor in s. The first undominated vertex (if any) is returned.
 func IsDominatingSet(g *graph.Graph, s *bitset.Set) (ok bool, witness int) {
 	for v := 0; v < g.N(); v++ {
-		if s.Contains(v) || g.AdjRow(v).Intersects(s) {
+		if s.Contains(v) || anyInSet(g.Adj(v), s) {
 			continue
 		}
 		return false, v
@@ -72,16 +81,38 @@ func IsDominatingSet(g *graph.Graph, s *bitset.Set) (ok bool, witness int) {
 	return true, -1
 }
 
+// anyInSet reports whether any vertex of vs is a member of s.
+func anyInSet(vs []int, s *bitset.Set) bool {
+	for _, v := range vs {
+		if s.Contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
 // IsSquareDominatingSet reports whether s dominates g²: every vertex is in s
 // or within distance 2 (in g) of a member of s.
 func IsSquareDominatingSet(g *graph.Graph, s *bitset.Set) (ok bool, witness int) {
 	for v := 0; v < g.N(); v++ {
-		if s.Contains(v) || g.TwoHopNeighborhood(v).Intersects(s) {
+		if s.Contains(v) || twoHopIntersects(g, v, s) {
 			continue
 		}
 		return false, v
 	}
 	return true, -1
+}
+
+// twoHopIntersects reports whether any vertex within distance 2 of v (in g,
+// excluding v itself) belongs to s, walking the CSR rows directly so no
+// per-vertex neighborhood bitset is ever materialized.
+func twoHopIntersects(g *graph.Graph, v int, s *bitset.Set) bool {
+	for _, u := range g.Adj(v) {
+		if s.Contains(u) || anyInSet(g.Adj(u), s) {
+			return true
+		}
+	}
+	return false
 }
 
 // IsPowerDominatingSet reports whether s dominates gʳ: every vertex is in s
