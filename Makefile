@@ -3,7 +3,7 @@
 GO ?= go
 OUT ?= bench-out
 
-.PHONY: build vet test race race-diff race-shard bench bench-engine bench-obs bench-step bench-kernel fuzz-kernel sweep sweep-scale sweep-power-smoke sweep-kernel sweep-mega sweep-mega-smoke trace-smoke docs-check clean
+.PHONY: build vet test race race-diff race-shard bench bench-engine bench-obs bench-step bench-kernel fuzz-kernel sweep sweep-scale sweep-power-smoke sweep-kernel sweep-sparsify sweep-mega sweep-mega-smoke trace-smoke sparsify-smoke docs-check clean
 
 build:
 	$(GO) build ./...
@@ -90,6 +90,24 @@ sweep-power-smoke:
 # optimum-checked ratios at every size (regenerates BENCH_kernel.json).
 sweep-kernel:
 	$(GO) run ./cmd/powerbench -spec specs/kernel-sweep.json -strict -quiet -out $(OUT)
+
+# Sparsified-vs-legacy Phase-II gather comparison at r ∈ {3, 4},
+# n = 500…2000 (regenerates BENCH_sparsify.json): every cell runs twice on
+# identical instances and seeds — once through the StepSparsify certificate
+# gather, once through the legacy all-incident-edges near flood — so the
+# messages / maxRoundMessages columns are a controlled measurement of the
+# sparsifier's win.
+sweep-sparsify:
+	$(GO) run ./cmd/powerbench -spec specs/sparsify-sweep.json -strict -quiet -out $(OUT)
+
+# CI gate for the sparsified gather: the sparsify matrix at smoke sizes
+# (r ∈ {3, 4}, both gather modes on identical instances) under -strict,
+# with per-job traces validated by powertrace — any infeasible Gʳ solution,
+# gather divergence, or malformed phase2-sparsify span fails the run.
+sparsify-smoke:
+	$(GO) run ./cmd/powerbench -spec specs/sparsify-smoke.json -strict -quiet \
+		-out $(OUT) -trace $(OUT)/sparsify-traces
+	$(GO) run ./cmd/powertrace -check $(OUT)/sparsify-traces
 
 # Large-n sweeps over the sharded batch engine (regenerate BENCH_mega.json
 # and BENCH_mega-1m.json): MDS end to end plus the MVC Lemma-6 shortcut

@@ -71,6 +71,10 @@ func run() error {
 		localSolver = flag.String("local-solver", "",
 			"Phase-II leader solver ("+strings.Join(harness.LocalSolverNames(), ", ")+
 				"); empty = the kernel-exact default")
+		gather = flag.String("gather", "",
+			"comma-separated Phase-II gather modes at power ≠ 2 ("+strings.Join(harness.GatherNames(), ", ")+
+				"); empty = sparsified. Listing both runs each cell under both modes on identical "+
+				"seeds — a live differential of the sparsifier")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 0,
 			"split each batch-engine job's round sweep across this many workers "+
@@ -98,6 +102,13 @@ func run() error {
 		*epsilons, *powers, *engines, *localSolver, *trials, *rootSeed, *oracleN)
 	if err != nil {
 		return err
+	}
+	if *gather != "" {
+		// The flag overrides the spec's gather axis outright.
+		spec.Gathers = splitCSV(*gather)
+		if err := spec.Validate(); err != nil {
+			return err
+		}
 	}
 	if *shards != 0 {
 		// The flag pins a single count, overriding both the spec's scalar
@@ -239,6 +250,9 @@ func printRegistry(w io.Writer) {
 		}
 		fmt.Fprintf(w, "  %-17s %-12s %-4s [%s]\n", a.Name, a.Model, a.Problem, strings.Join(tags, ","))
 		fmt.Fprintf(w, "  %-17s %s\n", "", a.Description)
+		if a.Estimator != "" {
+			fmt.Fprintf(w, "  %-17s estimator: %s\n", "", a.Estimator)
+		}
 		if len(a.Spans) > 0 {
 			fmt.Fprintf(w, "  %-17s spans: %s\n", "", strings.Join(a.Spans, ", "))
 		}
@@ -255,6 +269,10 @@ func printRegistry(w io.Writer) {
 	fmt.Fprintln(w, "\nlocal solvers (Phase-II leader, spec localSolver / -local-solver):")
 	for _, s := range harness.LocalSolverInfos() {
 		fmt.Fprintf(w, "  %-13s %s\n", s.Name, s.Description)
+	}
+	fmt.Fprintln(w, "\ngather modes (generalized Phase II at power != 2, spec gathers / -gather):")
+	for _, g := range harness.GatherInfos() {
+		fmt.Fprintf(w, "  %-13s %s\n", g.Name, g.Description)
 	}
 }
 

@@ -90,7 +90,11 @@ type spanKey struct {
 }
 
 // spanBegin records one node's span-begin mark, emitting the tracer event
-// on the first mark for this (name, index).
+// on the first mark for this (name, index). The emitted mark carries the
+// cumulative message count as of the round boundary: marks fire while the
+// round's handlers run (or, sharded, at the barrier replay) — in both cases
+// before that round's delivery updates the counter — so the snapshot is the
+// traffic delivered before the mark's round, identically on every engine.
 func (e *engine) spanBegin(name string, index, round int) {
 	e.spanMu.Lock()
 	defer e.spanMu.Unlock()
@@ -101,7 +105,7 @@ func (e *engine) spanBegin(name string, index, round int) {
 	refs := e.spans[k]
 	e.spans[k] = refs + 1
 	if refs == 0 {
-		e.tracer.SpanBegin(obs.Span{Name: name, Index: index, Round: round})
+		e.tracer.SpanBegin(obs.Span{Name: name, Index: index, Round: round, Msgs: e.stats.Messages})
 	}
 }
 
@@ -118,7 +122,7 @@ func (e *engine) spanEnd(name string, index, round int) {
 	}
 	if refs == 1 {
 		delete(e.spans, k)
-		e.tracer.SpanEnd(obs.Span{Name: name, Index: index, Round: round})
+		e.tracer.SpanEnd(obs.Span{Name: name, Index: index, Round: round, Msgs: e.stats.Messages})
 		return
 	}
 	e.spans[k] = refs - 1

@@ -473,12 +473,13 @@ type StepRankFlood struct {
 	rank, id int64
 	wR, wI   int
 	senders  map[int]bool
+	bestFrom int
 	r        int
 }
 
 // NewStepRankFlood starts a rank-flood contributing (rank, id).
 func NewStepRankFlood(rank, id int64, rankW, idW int) *StepRankFlood {
-	return &StepRankFlood{rank: rank, id: id, wR: rankW, wI: idW}
+	return &StepRankFlood{rank: rank, id: id, wR: rankW, wI: idW, bestFrom: -1}
 }
 
 // Step advances one round-slice.
@@ -493,6 +494,7 @@ func (s *StepRankFlood) Step(nd *congest.Node) bool {
 			s.senders[in.From] = true
 			if s.rank < 0 || m.Rank < s.rank || (m.Rank == s.rank && m.ID < s.id) {
 				s.rank, s.id = m.Rank, m.ID
+				s.bestFrom = in.From
 			}
 		}
 		if s.rank < 0 {
@@ -514,6 +516,13 @@ func (s *StepRankFlood) Best() (rank, id int64) { return s.rank, s.id }
 // Senders reports which neighbors sent a value this flood; valid once done.
 func (s *StepRankFlood) Senders() map[int]bool { return s.senders }
 
+// BestFrom returns the neighbor whose message set the final best this flood,
+// or -1 when the flood left the best unchanged. Chained rank floods use it
+// to record adoption parents — the per-candidate in-trees the exact depth-r
+// vote estimator routes along (see NewStepCandidateMinFloodRoutes). Valid
+// once done.
+func (s *StepRankFlood) BestFrom() int { return s.bestFrom }
+
 // CandMin is StepCandidateMinFlood's message: a candidate id plus a
 // quantized sample.
 type CandMin struct {
@@ -524,28 +533,43 @@ type CandMin struct {
 // Bits returns the total declared width.
 func (m CandMin) Bits() int { return m.WidthC + m.WidthQ }
 
+// CandRoute records one adoption event of the chained rank floods: this
+// node first held candidate Cand as its running best after Lvl flood stages,
+// having heard it from neighbor From (-1 at the candidate itself, which
+// holds its own id at Lvl 0). Because a node's running best only ever
+// improves, it adopts at most one new candidate per stage, so the Lvl
+// values of a node's routes are pairwise distinct — the property the exact
+// vote estimator's relay schedule is built on.
+type CandRoute struct {
+	Cand, From, Lvl int
+}
+
 // StepCandidateMinFlood is the r-round per-candidate minimum flood of
 // Theorem 28's vote estimation (the congestion-avoiding trick of
 // Section 6.1), generalized to depth-r collection for the Gʳ pipeline:
-// voters broadcast a sample tagged with their chosen candidate, relay nodes
-// forward to each neighboring candidate only that candidate's running
-// minimum, and candidates read their own minimum. Done on slice hops+1.
+// voters hold a sample tagged with their chosen candidate, relays forward
+// per-candidate running minima toward the candidate, and candidates read
+// their own minimum. Done on slice hops+1, estimates exact at every depth.
 //
-// At hops = 2 (the paper's G² case) the flood is exact and byte-identical
-// to the original two-round trick: every voter is two hops from its
-// candidate, so the single relay slice delivers every sample's minimum.
-// For hops ≥ 3 the intermediate slices additionally spread each relay's
-// single most promising pair — the minimum sample it knows, the one that
-// can still decide a FromMinima estimate — to its non-candidate neighbors;
-// one message per link per round cannot carry every candidate's minimum
-// across r-hop relays, so distant samples may be dropped and the estimate
-// is conservative (votes are never overestimated). Candidates that join on
-// a conservative estimate still satisfy the join rule, and feasibility is
-// unconditional via the coverage flood and fallback.
+// At hops ≤ 2 (the paper's G² case) the flood is byte-identical to the
+// original two-round trick: voters broadcast, the single relay slice
+// forwards each neighboring candidate its minimum, candidates read. For
+// hops ≥ 3 broadcasting every candidate's minimum would exceed one message
+// per link per round, so the flood instead routes along the adoption
+// in-trees of the preceding chained rank floods (CandRoute): a node that
+// first adopted candidate c after lvl stages sends its accumulated minimum
+// for c to its adoption parent exactly in slice hops − lvl. Adoption
+// parents adopted strictly earlier (lvl' < lvl), hence send strictly later,
+// so every child minimum is merged before the parent forwards — and since a
+// node's route levels are pairwise distinct, it sends at most one message
+// per slice: zero congestion, every sample delivered, the Theorem-28
+// estimate exact for every supported r (the conservative hops ≥ 3 spread
+// this schedule replaces survives only in git history).
 type StepCandidateMinFlood struct {
 	voteFor   int
 	own       int64
 	candNbrs  map[int]bool
+	byLvl     map[int]CandRoute
 	candidate bool
 	wC, wQ    int
 	hops      int
@@ -563,11 +587,18 @@ func NewStepCandidateMinFlood(voteFor int, own int64, candNbrs map[int]bool, can
 	return NewStepCandidateMinFloodR(voteFor, own, candNbrs, candidate, candW, sampleW, 2)
 }
 
-// NewStepCandidateMinFloodR is the depth-r form of NewStepCandidateMinFlood:
-// samples travel up to hops ≥ 1 G-hops toward their candidate.
+// NewStepCandidateMinFloodR is the depth-r form of NewStepCandidateMinFlood
+// for hops ∈ {1, 2}, where voter broadcasts reach every relevant relay and
+// the schedule needs no routing state. Deeper floods must supply adoption
+// routes via NewStepCandidateMinFloodRoutes — the broadcast schedule cannot
+// carry every candidate's minimum across ≥ 3 hops within the bandwidth
+// budget, and the conservative fallback it used to degrade to is retired.
 func NewStepCandidateMinFloodR(voteFor int, own int64, candNbrs map[int]bool, candidate bool, candW, sampleW, hops int) *StepCandidateMinFlood {
 	if hops < 1 {
 		panicCollective(fmt.Sprintf("primitives: NewStepCandidateMinFloodR with hops %d < 1", hops))
+	}
+	if hops > 2 {
+		panicCollective(fmt.Sprintf("primitives: NewStepCandidateMinFloodR with hops %d > 2 (use NewStepCandidateMinFloodRoutes)", hops))
 	}
 	return &StepCandidateMinFlood{
 		voteFor: voteFor, own: own, candNbrs: candNbrs, candidate: candidate,
@@ -575,8 +606,47 @@ func NewStepCandidateMinFloodR(voteFor int, own int64, candNbrs map[int]bool, ca
 	}
 }
 
+// NewStepCandidateMinFloodRoutes starts the routed exact flood for any
+// depth hops ≥ 1: routes are this node's adoption events from the hops
+// chained rank floods that selected voteFor (one per candidate ever held,
+// levels pairwise distinct in 0..hops, From = -1 exactly at level 0). A
+// voter must hold a route for its own voteFor — it adopted that candidate
+// by definition — so a missing route is a protocol bug, not data.
+func NewStepCandidateMinFloodRoutes(voteFor int, own int64, routes []CandRoute, candidate bool, candW, sampleW, hops int) *StepCandidateMinFlood {
+	if hops < 1 {
+		panicCollective(fmt.Sprintf("primitives: NewStepCandidateMinFloodRoutes with hops %d < 1", hops))
+	}
+	byLvl := make(map[int]CandRoute, len(routes))
+	voteRouted := voteFor < 0 || own < 0
+	for _, rt := range routes {
+		if rt.Lvl < 0 || rt.Lvl > hops {
+			panicCollective(fmt.Sprintf("primitives: candidate route level %d outside 0..%d", rt.Lvl, hops))
+		}
+		if (rt.From < 0) != (rt.Lvl == 0) {
+			panicCollective(fmt.Sprintf("primitives: candidate route %+v: From must be -1 exactly at level 0", rt))
+		}
+		if _, dup := byLvl[rt.Lvl]; dup {
+			panicCollective(fmt.Sprintf("primitives: duplicate candidate route level %d", rt.Lvl))
+		}
+		byLvl[rt.Lvl] = rt
+		if rt.Cand == voteFor {
+			voteRouted = true
+		}
+	}
+	if !voteRouted {
+		panicCollective(fmt.Sprintf("primitives: voter for candidate %d has no adoption route to it", voteFor))
+	}
+	return &StepCandidateMinFlood{
+		voteFor: voteFor, own: own, byLvl: byLvl, candidate: candidate,
+		wC: candW, wQ: sampleW, hops: hops, best: -1,
+	}
+}
+
 // Step advances one round-slice.
 func (s *StepCandidateMinFlood) Step(nd *congest.Node) bool {
+	if s.byLvl != nil {
+		return s.stepRouted(nd)
+	}
 	switch {
 	case s.r == 0:
 		s.perCand = map[int64]int64{}
@@ -592,17 +662,6 @@ func (s *StepCandidateMinFlood) Step(nd *congest.Node) bool {
 			}
 			if q, ok := s.perCand[int64(u)]; ok {
 				nd.MustSend(u, CandMin{Cand: int64(u), Q: q, WidthC: s.wC, WidthQ: s.wQ})
-			}
-		}
-		if s.r < s.hops-1 {
-			// Spread slice (hops ≥ 3 only): relay the single minimum-sample
-			// pair onward so it can cross the remaining hops.
-			if cand, q, ok := s.minPair(); ok {
-				for _, u := range nd.Neighbors() {
-					if !s.candNbrs[u] {
-						nd.MustSend(u, CandMin{Cand: cand, Q: q, WidthC: s.wC, WidthQ: s.wQ})
-					}
-				}
 			}
 		}
 	default:
@@ -626,6 +685,36 @@ func (s *StepCandidateMinFlood) Step(nd *congest.Node) bool {
 	return false
 }
 
+// stepRouted advances the routed exact schedule: slice τ < hops sends the
+// accumulated minimum of the level-(hops−τ) route (if any) to its adoption
+// parent; the closing slice folds the last deliveries and lets candidates
+// read their own minimum.
+func (s *StepCandidateMinFlood) stepRouted(nd *congest.Node) bool {
+	if s.r == 0 {
+		s.perCand = map[int64]int64{}
+		if s.own >= 0 {
+			s.perCand[int64(s.voteFor)] = s.own
+		}
+	} else {
+		s.mergeRecv(nd)
+	}
+	if s.r == s.hops {
+		if s.candidate {
+			if q, ok := s.perCand[int64(nd.ID())]; ok {
+				s.best = q
+			}
+		}
+		return true
+	}
+	if rt, ok := s.byLvl[s.hops-s.r]; ok && rt.From >= 0 {
+		if q, have := s.perCand[int64(rt.Cand)]; have {
+			nd.MustSend(rt.From, CandMin{Cand: int64(rt.Cand), Q: q, WidthC: s.wC, WidthQ: s.wQ})
+		}
+	}
+	s.r++
+	return false
+}
+
 // mergeRecv folds this slice's deliveries into the per-candidate minima.
 func (s *StepCandidateMinFlood) mergeRecv(nd *congest.Node) {
 	for _, in := range nd.Recv() {
@@ -637,18 +726,6 @@ func (s *StepCandidateMinFlood) mergeRecv(nd *congest.Node) {
 			s.perCand[m.Cand] = m.Q
 		}
 	}
-}
-
-// minPair returns the (candidate, sample) pair with the smallest sample this
-// node knows, ties broken toward the smaller candidate id (deterministic
-// across engines).
-func (s *StepCandidateMinFlood) minPair() (cand, q int64, ok bool) {
-	for c, v := range s.perCand {
-		if !ok || v < q || (v == q && c < cand) {
-			cand, q, ok = c, v, true
-		}
-	}
-	return cand, q, ok
 }
 
 // Min returns this candidate's vote minimum (-1 when it saw none, or when

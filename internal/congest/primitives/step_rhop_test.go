@@ -68,7 +68,10 @@ func (in rhopInputs) voteFor(g *graph.Graph, v int) int {
 
 func (in rhopInputs) voteSample(v int) int64 { return int64((v*65537 + 11) % 1021) }
 
-// rhopProgram chains every depth-r primitive at one node.
+// rhopProgram chains every depth-r primitive at one node. The chained rank
+// floods double as the route recorder for the exact candidate flood: each
+// adoption of a new running best is kept as a CandRoute, exactly the way
+// the MDS program captures its relay trees.
 type rhopProgram struct {
 	in      rhopInputs
 	voteFor int
@@ -80,6 +83,8 @@ type rhopProgram struct {
 	rank      *StepRankFlood
 	rankHops  int
 	candNbrs  map[int]bool
+	routes    []CandRoute
+	prevBest  int
 	near      *StepNearFlood
 	votes     *StepCandidateMinFlood
 	out       rhopOut
@@ -111,6 +116,11 @@ func (p *rhopProgram) Step(nd *congest.Node) (bool, error) {
 			p.out.MinFlood = p.flood.Min()
 			p.rank = NewStepRankFlood(p.in.rank(nd.ID()), int64(nd.ID()), 8, congest.IDBits(nd.N()))
 			p.rankHops = 1
+			p.prevBest = -1
+			if p.in.candidate(nd.ID()) {
+				p.routes = append(p.routes, CandRoute{Cand: nd.ID(), From: -1, Lvl: 0})
+				p.prevBest = nd.ID()
+			}
 			p.stage = 2
 		case 2:
 			if !p.rank.Step(nd) {
@@ -118,6 +128,10 @@ func (p *rhopProgram) Step(nd *congest.Node) (bool, error) {
 			}
 			if p.rankHops == 1 {
 				p.candNbrs = p.rank.Senders()
+			}
+			if _, id := p.rank.Best(); id >= 0 && int(id) != p.prevBest {
+				p.routes = append(p.routes, CandRoute{Cand: int(id), From: p.rank.BestFrom(), Lvl: p.rankHops})
+				p.prevBest = int(id)
 			}
 			if p.rankHops < p.in.r {
 				r, id := p.rank.Best()
@@ -139,8 +153,13 @@ func (p *rhopProgram) Step(nd *congest.Node) (bool, error) {
 			if p.voteFor >= 0 {
 				own = p.in.voteSample(nd.ID())
 			}
-			p.votes = NewStepCandidateMinFloodR(p.voteFor, own, p.candNbrs,
-				p.in.candidate(nd.ID()), congest.IDBits(nd.N()), 12, p.in.r)
+			if p.in.r <= 2 {
+				p.votes = NewStepCandidateMinFloodR(p.voteFor, own, p.candNbrs,
+					p.in.candidate(nd.ID()), congest.IDBits(nd.N()), 12, p.in.r)
+			} else {
+				p.votes = NewStepCandidateMinFloodRoutes(p.voteFor, own, p.routes,
+					p.in.candidate(nd.ID()), congest.IDBits(nd.N()), 12, p.in.r)
+			}
 			p.stage = 4
 		default:
 			if !p.votes.Step(nd) {
@@ -208,21 +227,19 @@ func rhopReference(g *graph.Graph, in rhopInputs, voteFor []int) []rhopOut {
 		}
 		o.CandNbrs = fmt.Sprint(cand)
 	}
-	// Candidate vote minima: exact for r ≤ 2 (left -1 here for r ≥ 3, where
-	// only the conservative bound is asserted).
-	if in.r <= 2 {
-		for c := 0; c < n; c++ {
-			if !in.candidate(c) {
+	// Candidate vote minima: exact at every depth (the legacy broadcast
+	// schedule serves r ≤ 2, the routed relay schedule serves r ≥ 3).
+	for c := 0; c < n; c++ {
+		if !in.candidate(c) {
+			continue
+		}
+		dist, _ := g.BFS(c)
+		for v := 0; v < n; v++ {
+			if dist[v] < 0 || dist[v] > in.r || voteFor[v] != c {
 				continue
 			}
-			dist, _ := g.BFS(c)
-			for v := 0; v < n; v++ {
-				if dist[v] < 0 || dist[v] > in.r || voteFor[v] != c {
-					continue
-				}
-				if s := in.voteSample(v); out[c].CandMin < 0 || s < out[c].CandMin {
-					out[c].CandMin = s
-				}
+			if s := in.voteSample(v); out[c].CandMin < 0 || s < out[c].CandMin {
+				out[c].CandMin = s
 			}
 		}
 	}
@@ -231,9 +248,10 @@ func rhopReference(g *graph.Graph, in rhopInputs, voteFor []int) []rhopOut {
 
 // TestRHopPrimitivesMatchBFSReference is the satellite property test: on
 // random connected graphs, the depth-r collectives agree with the BFS
-// reference for r = 1…5 under both engines; the depth-r candidate flood is
-// exact for r ≤ 2 and conservative-but-sound (a real voter's sample, never
-// below the true minimum) for r ≥ 3.
+// reference for r = 1…5 under both engines. The candidate flood is asserted
+// EXACT at every depth: the legacy broadcast schedule at r ≤ 2, the routed
+// relay schedule (NewStepCandidateMinFloodRoutes over the adoption routes
+// recorded from the chained rank floods) at r ≥ 3.
 func TestRHopPrimitivesMatchBFSReference(t *testing.T) {
 	for _, n := range []int{9, 17, 26} {
 		for r := 1; r <= 5; r++ {
@@ -245,20 +263,25 @@ func TestRHopPrimitivesMatchBFSReference(t *testing.T) {
 			}
 			want := rhopReference(g, in, voteFor)
 
-			var engineOuts [2][]rhopOut
-			for i, mode := range []congest.EngineMode{congest.EngineGoroutine, congest.EngineBatch} {
-				res, err := congest.RunProgram(congest.Config{
-					Graph: g, Model: congest.CONGEST, Engine: mode, BandwidthFactor: 8,
-				}, func(nd *congest.Node) congest.StepProgram[rhopOut] {
+			// Both engines plus a sharded batch sweep: the routed candidate
+			// flood must be exact under the shard barrier too.
+			cfgs := []congest.Config{
+				{Graph: g, Model: congest.CONGEST, Engine: congest.EngineGoroutine, BandwidthFactor: 8},
+				{Graph: g, Model: congest.CONGEST, Engine: congest.EngineBatch, BandwidthFactor: 8},
+				{Graph: g, Model: congest.CONGEST, Engine: congest.EngineBatch, Shards: 3, BandwidthFactor: 8},
+			}
+			engineOuts := make([][]rhopOut, len(cfgs))
+			for i, cfg := range cfgs {
+				res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[rhopOut] {
 					return &rhopProgram{in: in, voteFor: voteFor[nd.ID()]}
 				})
 				if err != nil {
-					t.Fatalf("n=%d r=%d %v: %v", n, r, mode, err)
+					t.Fatalf("n=%d r=%d %v sh=%d: %v", n, r, cfg.Engine, cfg.Shards, err)
 				}
 				engineOuts[i] = res.Outputs
-			}
-			if !reflect.DeepEqual(engineOuts[0], engineOuts[1]) {
-				t.Fatalf("n=%d r=%d: engines diverge", n, r)
+				if i > 0 && !reflect.DeepEqual(engineOuts[0], engineOuts[i]) {
+					t.Fatalf("n=%d r=%d: engine config %d diverges from goroutine", n, r, i)
+				}
 			}
 
 			for v, got := range engineOuts[0] {
@@ -273,38 +296,8 @@ func TestRHopPrimitivesMatchBFSReference(t *testing.T) {
 					}
 					continue
 				}
-				if r <= 2 {
-					if got.CandMin != w.CandMin {
-						t.Fatalf("n=%d r=%d candidate %d: vote min %d, want exact %d", n, r, v, got.CandMin, w.CandMin)
-					}
-					continue
-				}
-				// r ≥ 3: conservative and sound — either no estimate, or the
-				// sample of a genuine ≤ r-hop voter, at or above the true
-				// minimum.
-				if got.CandMin < 0 {
-					continue
-				}
-				trueMin, fromVoter := int64(-1), false
-				dist, _ := g.BFS(v)
-				for u := 0; u < n; u++ {
-					if dist[u] < 0 || dist[u] > r || voteFor[u] != v {
-						continue
-					}
-					s := in.voteSample(u)
-					if trueMin < 0 || s < trueMin {
-						trueMin = s
-					}
-					if s == got.CandMin {
-						fromVoter = true
-					}
-				}
-				if !fromVoter {
-					t.Fatalf("n=%d r=%d candidate %d: vote min %d is not any ≤%d-hop voter's sample", n, r, v, got.CandMin, r)
-				}
-				if got.CandMin < trueMin {
-					t.Fatalf("n=%d r=%d candidate %d: vote min %d below true minimum %d (overestimated votes)",
-						n, r, v, got.CandMin, trueMin)
+				if got.CandMin != w.CandMin {
+					t.Fatalf("n=%d r=%d candidate %d: vote min %d, want exact %d", n, r, v, got.CandMin, w.CandMin)
 				}
 			}
 		}

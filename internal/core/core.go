@@ -89,6 +89,12 @@ type Options struct {
 	Power int
 	// LocalSolver overrides the leader's Phase-II solver (default exact).
 	LocalSolver LocalSolver
+	// Gather selects the generalized Phase-II gather mode at power ≠ 2:
+	// GatherSparsified (zero value, the default) ships each near node's
+	// certificate edge subset after the bounded-round StepSparsify labeling;
+	// GatherLegacy pins the PR-4 all-incident-edges wire format for
+	// differential runs. The paper's r = 2 path ignores the knob.
+	Gather GatherMode
 	// CutA, when non-nil, makes the run report bits crossing the given
 	// vertex cut (Section 5.1 instrumentation).
 	CutA *bitset.Set
@@ -184,6 +190,13 @@ func (o *Options) power() (int, error) {
 		return 0, fmt.Errorf("core: power must be ≥ 1, got %d", o.Power)
 	}
 	return o.Power, nil
+}
+
+func (o *Options) gatherMode() GatherMode {
+	if o == nil {
+		return GatherSparsified
+	}
+	return o.Gather
 }
 
 func (o *Options) cutA() *bitset.Set {

@@ -27,9 +27,11 @@ type MDSOptions struct {
 // rounds. It simulates the [CD18] MDS algorithm on Gʳ using the Lemma 29
 // exponential-sketch estimator for every quantity a node would need from
 // its r-hop neighborhood (described below for r = 2, whose schedule is
-// reproduced exactly; other powers deepen every flood to r hops — the vote
-// estimation of step 4 becomes conservative for r ≥ 3, see
-// StepCandidateMinFlood, which only ever delays joins):
+// reproduced exactly; other powers deepen every flood to r hops, and the
+// step-4 vote estimation stays exact at every depth by routing each sample
+// along the rank floods' adoption trees — see
+// NewStepCandidateMinFloodRoutes, which replaced the conservative r ≥ 3
+// spread):
 //
 //  1. each vertex estimates its coverage C_v (uncovered vertices within two
 //     hops) with r = Θ(log n) two-round min-floods and rounds it to a power
@@ -200,12 +202,16 @@ type mdsCongestProgram struct {
 	// Step 2 (candidate selection) state.
 	hop *primitives.StepHopMax
 
-	// Step 3 (rank voting) state.
-	rank      *primitives.StepRankFlood
-	rankStage int
-	candNbrs  map[int]bool
-	candidate bool
-	voteFor   int
+	// Step 3 (rank voting) state. routes records each adoption of a new
+	// running-best candidate (level = stages completed, parent = delivering
+	// neighbor) — the in-tree step 4's exact depth-r schedule routes along.
+	rank       *primitives.StepRankFlood
+	rankStage  int
+	candNbrs   map[int]bool
+	candidate  bool
+	voteFor    int
+	routes     []primitives.CandRoute
+	prevBestID int
 
 	// Step 4 (vote estimation) state.
 	votes      *primitives.StepCandidateMinFlood
@@ -296,6 +302,12 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 			}
 			p.rank = primitives.NewStepRankFlood(myRank, int64(nd.ID()), p.rankW, p.idw)
 			p.rankStage = 0
+			p.routes = p.routes[:0]
+			p.prevBestID = -1
+			if p.candidate {
+				p.routes = append(p.routes, primitives.CandRoute{Cand: nd.ID(), From: -1, Lvl: 0})
+				p.prevBestID = nd.ID()
+			}
 			p.sub = mdsRank
 		case mdsRank:
 			if !p.rank.Step(nd) {
@@ -305,6 +317,13 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 				// Direct senders in the first flood are the neighboring
 				// candidates (used to route step 4's forwarded minima).
 				p.candNbrs = p.rank.Senders()
+			}
+			if _, id := p.rank.Best(); id >= 0 && int(id) != p.prevBestID {
+				// Adopted a new running best: record the delivering neighbor
+				// as this candidate's relay parent at this level.
+				p.routes = append(p.routes, primitives.CandRoute{
+					Cand: int(id), From: p.rank.BestFrom(), Lvl: p.rankStage + 1})
+				p.prevBestID = int(id)
 			}
 			if p.rankStage < p.rpow-1 {
 				r1, id1 := p.rank.Best()
@@ -320,8 +339,7 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 			p.voteMinima = p.voteMinima[:0]
 			p.gotVotes = true
 			p.j = 0
-			p.votes = primitives.NewStepCandidateMinFloodR(
-				p.voteFor, p.voteSample(nd), p.candNbrs, p.candidate, p.idw, p.qWidth, p.rpow)
+			p.votes = p.newVoteFlood(nd)
 			nd.SpanBegin("mds-votes", p.phase)
 			p.sub = mdsVotes
 		case mdsVotes:
@@ -335,8 +353,7 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 			}
 			p.j++
 			if p.j < p.r {
-				p.votes = primitives.NewStepCandidateMinFloodR(
-					p.voteFor, p.voteSample(nd), p.candNbrs, p.candidate, p.idw, p.qWidth, p.rpow)
+				p.votes = p.newVoteFlood(nd)
 				continue
 			}
 			// Step 5: join on votes ≥ C̃_v/8.
@@ -389,6 +406,18 @@ func (p *mdsCongestProgram) Step(nd *congest.Node) (bool, error) {
 			return true, nil
 		}
 	}
+}
+
+// newVoteFlood starts one step-4 vote-estimation flood: the paper's exact
+// broadcast trick at rpow ≤ 2 (byte-identical to the r = 2 schedule), the
+// routed exact schedule along the captured adoption trees at rpow ≥ 3.
+func (p *mdsCongestProgram) newVoteFlood(nd *congest.Node) *primitives.StepCandidateMinFlood {
+	if p.rpow <= 2 {
+		return primitives.NewStepCandidateMinFloodR(
+			p.voteFor, p.voteSample(nd), p.candNbrs, p.candidate, p.idw, p.qWidth, p.rpow)
+	}
+	return primitives.NewStepCandidateMinFloodRoutes(
+		p.voteFor, p.voteSample(nd), p.routes, p.candidate, p.idw, p.qWidth, p.rpow)
 }
 
 func (p *mdsCongestProgram) Output() nodeOut {

@@ -72,8 +72,8 @@ func ApproxMVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, erro
 	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
 		return &mvcCongestProgram{
 			n: n, l: l, power: r, iterations: iterations, idw: congest.IDBits(n),
-			solver: solver,
-			inR:    true, inC: true,
+			solver: solver, gmode: opts.gatherMode(),
+			inR: true, inC: true,
 		}
 	})
 	if err != nil {
@@ -91,6 +91,7 @@ func ApproxMVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, erro
 type mvcCongestProgram struct {
 	n, l, power, iterations, idw int
 	solver                       LocalSolver
+	gmode                        GatherMode
 
 	// Phase I state. sr counts Phase-I round-slices: slice 0 sends the
 	// first R-status broadcast, then each iteration occupies 4 slices, and
@@ -123,13 +124,13 @@ func (p *mvcCongestProgram) Step(nd *congest.Node) (bool, error) {
 				p.stage = 2
 				continue
 			}
-			p.gather = newPowerGather(p.power, p.inR, p.uNbrs)
+			p.gather = newPowerGather(p.power, p.inR, p.uNbrs, p.gmode)
 			p.stage = 1
 		case 1:
 			if !p.gather.Step(nd) {
 				return false, nil
 			}
-			items := powerEdgeItems(nd, p.gather.Near(), p.inR)
+			items := powerEdgeItems(nd, p.gather, p.inR)
 			p.pipe = primitives.NewStepLeaderPipeline(nd, items, func(gathered []congest.Message) []congest.Message {
 				return coverIDItems(leaderSolvePowerRemainder(p.n, p.power, gathered, p.solver), p.idw)
 			})

@@ -70,7 +70,7 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 	}
 	res, err := congest.RunProgram(cfg, func(nd *congest.Node) congest.StepProgram[nodeOut] {
 		return &mvcRandCongestProgram{
-			n: n, power: r, idw: congest.IDBits(n), solver: solver,
+			n: n, power: r, idw: congest.IDBits(n), solver: solver, gmode: opts.gatherMode(),
 			voting: primitives.NewStepVotingPhase(primitives.VotingConfig{
 				Tau:         tau,
 				RandomIters: randomIters,
@@ -91,6 +91,7 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 type mvcRandCongestProgram struct {
 	n, power, idw int
 	solver        LocalSolver
+	gmode         GatherMode
 
 	voting  *primitives.StepVotingPhase
 	status  *primitives.StepStatusExchange
@@ -121,13 +122,13 @@ func (p *mvcRandCongestProgram) Step(nd *congest.Node) (bool, error) {
 				p.stage = 3
 				continue
 			}
-			p.gather = newPowerGather(p.power, p.voting.InR(), p.status.On())
+			p.gather = newPowerGather(p.power, p.voting.InR(), p.status.On(), p.gmode)
 			p.stage = 2
 		case 2:
 			if !p.gather.Step(nd) {
 				return false, nil
 			}
-			items := powerEdgeItems(nd, p.gather.Near(), p.voting.InR())
+			items := powerEdgeItems(nd, p.gather, p.voting.InR())
 			p.pipe = primitives.NewStepLeaderPipeline(nd, items, func(gathered []congest.Message) []congest.Message {
 				return coverIDItems(leaderSolvePowerRemainder(p.n, p.power, gathered, p.solver), p.idw)
 			})

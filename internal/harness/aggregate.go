@@ -29,6 +29,11 @@ type CellSummary struct {
 	// sweep produces one cell per engine with identical measurement
 	// distributions; only WallMS may differ.
 	Engine string `json:"engine,omitempty"`
+	// Gather is the generalized Phase-II gather mode the cell ran under
+	// (empty = the sparsified default). A two-mode sweep produces one cell
+	// per mode with identical solutions but different rounds/messages/bits —
+	// the sparsifier's measured win.
+	Gather string `json:"gather,omitempty"`
 	// Shards is the batch engine's shard count for this cell (0 = the
 	// sequential sweep). Like Engine it splits cells without touching
 	// measurements; a ShardCounts sweep compares the cells' WallMS.
@@ -54,6 +59,16 @@ type CellSummary struct {
 	Rounds   Dist `json:"rounds"`
 	Messages Dist `json:"messages"`
 	Bits     Dist `json:"bits"`
+	// MaxRoundMessages is the per-trial peak single-round message count —
+	// the congestion spike a sweep like specs/sparsify-sweep.json compares
+	// across gather modes (the legacy near flood's burst vs the certificate
+	// gather's bounded relays).
+	MaxRoundMessages Dist `json:"maxRoundMessages"`
+	// GatherMessages is the Phase-II gather's own message count
+	// (JobResult.GatherMsgs): the metric the gather axis varies, which
+	// Messages — dominated by Phase I — hides. Zero-valued for cells with
+	// no gather stage.
+	GatherMessages Dist `json:"gatherMessages"`
 	// WallMS is the per-job wall-clock distribution in milliseconds. Like
 	// the summary's ElapsedMS it is machine-dependent, which is why it
 	// appears only in BENCH summaries and never in the deterministic
@@ -68,8 +83,8 @@ type CellSummary struct {
 // as the result stream.
 func Aggregate(results []JobResult) []CellSummary {
 	type acc struct {
-		summary                                   CellSummary
-		cost, ratio, rounds, messages, bits, wall []float64
+		summary                                                        CellSummary
+		cost, ratio, rounds, messages, bits, maxMsgs, gatherMsgs, wall []float64
 	}
 	var order []string
 	cells := map[string]*acc{}
@@ -81,7 +96,7 @@ func Aggregate(results []JobResult) []CellSummary {
 			a = &acc{summary: CellSummary{
 				Generator: r.Generator, N: r.N, Power: r.Power,
 				Algorithm: r.Algorithm, Model: r.Model, Problem: r.Problem,
-				Epsilon: r.Epsilon, Engine: r.Engine, Shards: r.Shards,
+				Epsilon: r.Epsilon, Engine: r.Engine, Gather: r.Gather, Shards: r.Shards,
 			}}
 			cells[key] = a
 			order = append(order, key)
@@ -107,6 +122,8 @@ func Aggregate(results []JobResult) []CellSummary {
 		a.rounds = append(a.rounds, float64(r.Rounds))
 		a.messages = append(a.messages, float64(r.Messages))
 		a.bits = append(a.bits, float64(r.TotalBits))
+		a.maxMsgs = append(a.maxMsgs, float64(r.MaxRoundMessages))
+		a.gatherMsgs = append(a.gatherMsgs, float64(r.GatherMsgs))
 		a.wall = append(a.wall, float64(r.Elapsed)/float64(time.Millisecond))
 		if r.Optimum >= 0 {
 			a.summary.OracleTrials++
@@ -121,6 +138,8 @@ func Aggregate(results []JobResult) []CellSummary {
 		a.summary.Rounds = distOf(a.rounds)
 		a.summary.Messages = distOf(a.messages)
 		a.summary.Bits = distOf(a.bits)
+		a.summary.MaxRoundMessages = distOf(a.maxMsgs)
+		a.summary.GatherMessages = distOf(a.gatherMsgs)
 		a.summary.WallMS = distOf(a.wall)
 		out = append(out, a.summary)
 	}

@@ -62,6 +62,12 @@ type Algorithm struct {
 	// for centralized baselines, which never touch the simulator.
 	// TestRegistryTraceConformance pins emitted ⊆ declared.
 	Spans []string
+	// Estimator states, per power, how exactly the algorithm's distributed
+	// aggregation reconstructs what it claims (the Gʳ[U] remainder for the
+	// leader algorithms, the vote minimum for the Theorem-28 estimator) —
+	// powerbench -list surfaces it so exact-vs-conservative is visible per
+	// entry. Empty for centralized baselines.
+	Estimator string
 	// Run executes the algorithm for the job's power/epsilon.  g is the
 	// communication graph; power is the pre-materialized Gʳ (centralized
 	// baselines run on it directly — the distributed algorithms ignore it
@@ -113,6 +119,10 @@ func distOpts(job Job, tr obs.Tracer) (*core.Options, error) {
 	if err != nil {
 		return nil, err
 	}
+	gather, err := parseGather(job.Gather)
+	if err != nil {
+		return nil, err
+	}
 	return &core.Options{
 		Seed:            job.Seed,
 		Engine:          engine,
@@ -121,6 +131,7 @@ func distOpts(job Job, tr obs.Tracer) (*core.Options, error) {
 		MaxRounds:       job.MaxRounds,
 		Power:           job.Power,
 		LocalSolver:     solver,
+		Gather:          gather,
 		Tracer:          tr,
 	}, nil
 }
@@ -130,13 +141,16 @@ func distOpts(job Job, tr obs.Tracer) (*core.Options, error) {
 // algorithms run Phase II through StepLeaderPipeline (BFS tree + convergecast
 // over G); the clique algorithms gather at the leader in O(1) hops and have
 // no tree.
+// "phase2-sparsify" is the default near-U certificate labeling of the
+// generalized Phase II (power ≠ 2); "phase2-near" is its GatherLegacy
+// counterpart, the PR-4 one-bit near flood.
 var (
 	pipelineSpans = []string{
-		"phase1", "phase1-iter", "phase2-near",
+		"phase1", "phase1-iter", "phase2-sparsify", "phase2-near",
 		"leader-elect", "bfs-tree", "phase2-gather", "leader-solve", "phase2-flood",
 	}
 	cliqueSpans = []string{
-		"phase1", "phase1-iter", "phase2-near",
+		"phase1", "phase1-iter", "phase2-sparsify", "phase2-near",
 		"leader-elect", "phase2-gather", "leader-solve", "phase2-flood",
 	}
 	mdsSpans = []string{"mds-phase", "mds-estimate", "mds-votes"}
@@ -190,6 +204,55 @@ func parseLocalSolver(name string) (core.LocalSolver, error) {
 	}
 }
 
+// GatherInfo describes one value of the spec/job gather knob for listings
+// (powerbench -list) and flag help.
+type GatherInfo struct {
+	Name, Description string
+}
+
+// GatherInfos lists the gather knob values with their one-line summaries, in
+// display order. parseGather and this list must stay in step
+// (TestGatherRegistryInSync enforces it).
+func GatherInfos() []GatherInfo {
+	return []GatherInfo{
+		{"sparsified", "bounded-round StepSparsify certificate gather (default): near nodes ship a deduped edge subset preserving Gʳ[U] exactly"},
+		{"legacy", "PR-4 wire format: one-bit near flood, every near node ships all incident edges (r = 2 always uses the paper's F-edge path)"},
+	}
+}
+
+// GatherNames lists the spec/job gather knob values.
+func GatherNames() []string {
+	infos := GatherInfos()
+	names := make([]string, len(infos))
+	for i, in := range infos {
+		names[i] = in.Name
+	}
+	return names
+}
+
+// parseGather maps a job/spec gather-mode name to a core.GatherMode; the
+// empty name is the sparsified default. r = 2 ignores the knob entirely (the
+// paper's F-edge wire format is the only r = 2 path).
+func parseGather(name string) (core.GatherMode, error) {
+	switch name {
+	case "", "sparsified":
+		return core.GatherSparsified, nil
+	case "legacy":
+		return core.GatherLegacy, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown gather mode %q (want one of %v)", name, GatherNames())
+	}
+}
+
+// Estimator statements shared by the distributed registry entries (see
+// Algorithm.Estimator): every leader algorithm reconstructs Gʳ[U] exactly at
+// every supported power, and the Theorem-28 vote estimator is exact at every
+// power since the sparsified relay schedule replaced the conservative spread.
+const (
+	leaderEstimator = "exact Gʳ[U] at every r: paper F-edges at r=2, sparsified certificate gather otherwise"
+	mdsEstimator    = "vote minima exact at every r: broadcast schedule at r<=2, routed relay schedule at r>=3 (conservative before sparsification)"
+)
+
 // centralizedResult wraps a plain solution as a core.Result with no
 // communication cost, so sinks and aggregation treat both kinds uniformly.
 func centralizedResult(sol *bitset.Set) *core.Result {
@@ -200,7 +263,7 @@ var algorithms = map[string]*Algorithm{
 	"mvc-congest": {
 		Name: "mvc-congest", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
 		MinPower: distMinPower, MaxPower: distMaxPower,
-		Spans:    pipelineSpans,
+		Spans:    pipelineSpans, Estimator: leaderEstimator,
 		Description: "Algorithm 1 (Thm 1): deterministic (1+eps)-approx Gʳ-MVC (O(n/eps) CONGEST rounds at r=2)",
 		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
 			opts, err := distOpts(job, tr)
@@ -213,7 +276,7 @@ var algorithms = map[string]*Algorithm{
 	"mvc-congest-rand": {
 		Name: "mvc-congest-rand", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
 		MinPower: distMinPower, MaxPower: distMaxPower,
-		Spans:    pipelineSpans,
+		Spans:    pipelineSpans, Estimator: leaderEstimator,
 		Description: "Section 3.3: randomized voting Phase I in plain CONGEST (O(log n) heavy-neighborhood drain), Gʳ Phase II",
 		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
 			opts, err := distOpts(job, tr)
@@ -226,7 +289,7 @@ var algorithms = map[string]*Algorithm{
 	"mwvc-congest": {
 		Name: "mwvc-congest", Model: ModelCongest, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
 		MinPower: distMinPower, MaxPower: distMaxPower,
-		Spans:    pipelineSpans,
+		Spans:    pipelineSpans, Estimator: leaderEstimator,
 		Description: "Theorem 7: deterministic (1+eps)-approx weighted Gʳ-MVC via ripe weight classes",
 		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
 			opts, err := distOpts(job, tr)
@@ -239,7 +302,7 @@ var algorithms = map[string]*Algorithm{
 	"mvc-congest-53": {
 		Name: "mvc-congest-53", Model: ModelCongest, Problem: ProblemMVC, NativeStep: true,
 		MinPower: distMinPower, MaxPower: distMaxPower,
-		Spans:    pipelineSpans,
+		Spans:    pipelineSpans, Estimator: leaderEstimator,
 		Description: "Corollary 17: 5/3-approx G²-MVC with polynomial local work (heuristic local solver at other r)",
 		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
 			o, err := distOpts(job, tr)
@@ -255,7 +318,7 @@ var algorithms = map[string]*Algorithm{
 	"mvc-clique-det": {
 		Name: "mvc-clique-det", Model: ModelClique, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
 		MinPower: distMinPower, MaxPower: distMaxPower,
-		Spans:    cliqueSpans,
+		Spans:    cliqueSpans, Estimator: leaderEstimator,
 		Description: "Corollary 10: deterministic (1+eps)-approx Gʳ-MVC (O(eps·n + 1/eps) CONGESTED CLIQUE rounds at r=2)",
 		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
 			opts, err := distOpts(job, tr)
@@ -268,7 +331,7 @@ var algorithms = map[string]*Algorithm{
 	"mvc-clique-rand": {
 		Name: "mvc-clique-rand", Model: ModelClique, Problem: ProblemMVC, NeedsEps: true, NativeStep: true,
 		MinPower: distMinPower, MaxPower: distMaxPower,
-		Spans:    cliqueSpans,
+		Spans:    cliqueSpans, Estimator: leaderEstimator,
 		Description: "Theorem 11: randomized (1+eps)-approx Gʳ-MVC (O(log n + 1/eps) CONGESTED CLIQUE rounds at r=2)",
 		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
 			opts, err := distOpts(job, tr)
@@ -281,7 +344,7 @@ var algorithms = map[string]*Algorithm{
 	"mds-congest": {
 		Name: "mds-congest", Model: ModelCongest, Problem: ProblemMDS, NativeStep: true,
 		MinPower: distMinPower, MaxPower: distMaxPower,
-		Spans:    mdsSpans,
+		Spans:    mdsSpans, Estimator: mdsEstimator,
 		Description: "Theorem 28: randomized O(log Δʳ)-approx Gʳ-MDS in polylog(n) CONGEST rounds (sketch estimator)",
 		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
 			opts, err := distOpts(job, tr)
@@ -348,6 +411,9 @@ type Info struct {
 	// Spans is the declared phase-span taxonomy (nil for centralized
 	// entries); powerbench -list renders it as its own column.
 	Spans []string
+	// Estimator is the per-power exactness statement of the algorithm's
+	// distributed aggregation (empty for centralized entries).
+	Estimator string
 }
 
 // SupportsPower reports whether the listed algorithm can serve power r.
@@ -365,7 +431,7 @@ func AlgorithmInfos() []Info {
 			Name: a.Name, Model: a.Model, Problem: a.Problem, Description: a.Description,
 			NeedsEps: a.NeedsEps, AnyPower: a.AnyPower, Exact: a.Exact, NativeStep: a.NativeStep,
 			Powers: a.PowersLabel(), MinPower: a.MinPower, MaxPower: a.MaxPower,
-			Spans: append([]string(nil), a.Spans...),
+			Spans: append([]string(nil), a.Spans...), Estimator: a.Estimator,
 		})
 	}
 	return out

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
+	"powergraph/internal/congest/primitives"
 	"powergraph/internal/graph"
 )
 
@@ -42,6 +44,27 @@ func powerJobSolver(alg, engine, solver string, gen GeneratorSpec, n, r int, eps
 	j.Seed = deriveSeed(23, j.cellKey(), 0)
 	j.InstanceSeed = deriveSeed(23, j.instanceKey(), 0)
 	return j
+}
+
+// powerJobGather is powerJob with an explicit gather knob. Like the solver
+// and the engine, the gather mode stays out of seed derivation, so the
+// legacy and sparsified jobs replay the identical instance and Phase-I run.
+func powerJobGather(alg, engine, gather string, gen GeneratorSpec, n, r int, eps float64) Job {
+	j := powerJob(alg, engine, gen, n, r, eps)
+	j.Gather = gather
+	return j
+}
+
+// sparsifySpan extracts the "phase2-sparsify*count:rounds" entry from a
+// JobResult span summary.
+func sparsifySpan(spans string) (count, rounds int, ok bool) {
+	for _, e := range strings.Split(spans, ";") {
+		var c, rd int
+		if n, _ := fmt.Sscanf(e, "phase2-sparsify*%d:%d", &c, &rd); n == 2 {
+			return c, rd, true
+		}
+	}
+	return 0, 0, false
 }
 
 // powerRatioBound returns the per-run approximation bound asserted for an
@@ -136,6 +159,58 @@ func TestCrossPowerDifferentialSuite(t *testing.T) {
 					if *leg != *ker {
 						t.Fatalf("%s: legacy exact solver diverges from kernel-exact:\nkernel-exact: %+v\nlegacy:       %+v",
 							cell, *ker, *leg)
+					}
+					// Gather differential (r ≠ 2 only; r = 2 has no gather
+					// knob): the pinned legacy wire format replays the
+					// identical instance and Phase-I run, so the solution
+					// must match exactly — only the Phase-II accounting
+					// (rounds/messages/bits and the near-U span) may move.
+					if r != 2 {
+						leg := executeJob(powerJobGather(info.Name, "batch", "legacy", gen, n, r, jobEps), nil)
+						if leg.Error != "" {
+							t.Fatalf("%s: legacy gather: %s", cell, leg.Error)
+						}
+						if leg.Cost != bat.Cost || leg.SolutionSize != bat.SolutionSize ||
+							leg.Verified != bat.Verified || leg.Optimum != bat.Optimum {
+							t.Fatalf("%s: legacy gather changes the solution:\nsparsified: %+v\nlegacy:     %+v",
+								cell, *bat, *leg)
+						}
+						if info.Problem == ProblemMVC {
+							// Per-r round bound of the sparsified near-U
+							// labeling: exactly SparsifyRounds(r) label
+							// rounds; the end mark lands in the handoff
+							// slice shared with the item stage, so the span
+							// covers exactly SparsifyRounds(r) rounds.
+							cnt, rd, ok := sparsifySpan(bat.Spans)
+							if !ok {
+								t.Fatalf("%s: no phase2-sparsify span in %q", cell, bat.Spans)
+							}
+							if want := primitives.SparsifyRounds(r); cnt != 1 || rd != want {
+								t.Fatalf("%s: phase2-sparsify span *%d:%d, want *1:%d", cell, cnt, rd, want)
+							}
+							if _, _, ok := sparsifySpan(leg.Spans); ok {
+								t.Fatalf("%s: legacy gather emitted a phase2-sparsify span: %q", cell, leg.Spans)
+							}
+						} else {
+							// MDS has no power gather: the knob must be
+							// fully inert.
+							leg2 := *leg
+							leg2.Gather, leg2.Engine, leg2.Elapsed, leg2.Metrics = "", "", 0, nil
+							if leg2 != *bat {
+								t.Fatalf("%s: gather knob perturbed the gather-free MDS run:\ndefault: %+v\nlegacy:  %+v",
+									cell, *bat, leg2)
+							}
+						}
+						// Sharding the batch sweep must not change any
+						// sparsified measurement (the candidate flood and
+						// certificate exchange under the shard barrier).
+						shJob := powerJob(info.Name, "batch", gen, n, r, jobEps)
+						shJob.Shards = 3
+						sh := executeJob(shJob, nil)
+						sh.Engine, sh.Shards, sh.Elapsed, sh.Metrics = "", 0, 0, nil
+						if *sh != *bat {
+							t.Fatalf("%s: sharded run diverges:\nsequential: %+v\nsharded:    %+v", cell, *bat, *sh)
+						}
 					}
 					// Feasibility on the materialized Gʳ.
 					if !gor.Verified {

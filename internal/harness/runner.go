@@ -30,8 +30,11 @@ type JobResult struct {
 	Problem   string        `json:"problem"`
 	Epsilon   float64       `json:"epsilon,omitempty"`
 	Engine    string        `json:"engine,omitempty"`
-	Trial     int           `json:"trial"`
-	Seed      int64         `json:"seed"`
+	// Gather is the generalized Phase-II gather mode the job ran with
+	// (empty = the sparsified default; see Spec.Gathers).
+	Gather string `json:"gather,omitempty"`
+	Trial  int    `json:"trial"`
+	Seed   int64  `json:"seed"`
 	// InstanceSeed is the seed that generated the graph (see
 	// Job.InstanceSeed); omitted for hand-built jobs that use Seed.
 	InstanceSeed int64 `json:"instanceSeed,omitempty"`
@@ -70,6 +73,14 @@ type JobResult struct {
 	// by first-begin round (see obs.Collector.SpanSummary). Empty for
 	// centralized baselines.
 	Spans string `json:"spans,omitempty"`
+	// GatherMsgs is the network message count of the Phase-II gather alone:
+	// the traffic inside the phase2-sparsify / phase2-near / phase2-gather
+	// spans (from the engines' round-boundary snapshots, see
+	// obs.Collector.SpanMessages). It isolates the cost the gather axis
+	// varies — Phase I dwarfs it in Messages — and is deterministic per
+	// seed, so it lives in the serialized record. Zero when the algorithm
+	// has no gather stage (MDS, centralized, r = 2's F-edge path).
+	GatherMsgs int64 `json:"gatherMsgs,omitempty"`
 
 	// Error is set when the job failed (including recovered panics, which
 	// carry a deterministic stack summary); all measurement fields are zero
@@ -94,13 +105,13 @@ type JobResult struct {
 }
 
 // cellKey groups results into scenario cells for aggregation. Unlike
-// Job.cellKey (the seed-derivation key), it includes the engine mode and
-// the shard count, so a two-engine or multi-shard sweep aggregates each
-// mode's identical measurements — but different wall clocks — into
-// separate, comparable cells.
+// Job.cellKey (the seed-derivation key), it includes the engine mode, the
+// gather mode, and the shard count, so a two-engine, two-gather, or
+// multi-shard sweep aggregates each mode's measurements into separate,
+// comparable cells.
 func (r *JobResult) cellKey() string {
-	return fmt.Sprintf("%s|eng=%s|sh=%d",
-		scenarioKey(r.Generator, r.N, r.Power, r.Algorithm, r.Epsilon), r.Engine, r.Shards)
+	return fmt.Sprintf("%s|eng=%s|gm=%s|sh=%d",
+		scenarioKey(r.Generator, r.N, r.Power, r.Algorithm, r.Epsilon), r.Engine, r.Gather, r.Shards)
 }
 
 // Progress is delivered once per completed job, in emission (job-index)
@@ -422,6 +433,7 @@ func (x *jobExec) run(job Job) (out *JobResult) {
 		Algorithm:    job.Algorithm,
 		Epsilon:      job.Epsilon,
 		Engine:       job.Engine,
+		Gather:       job.Gather,
 		Trial:        job.Trial,
 		Seed:         job.Seed,
 		InstanceSeed: job.InstanceSeed,
@@ -451,6 +463,8 @@ func (x *jobExec) run(job Job) (out *JobResult) {
 	defer func() {
 		out.Elapsed = time.Since(start)
 		out.Spans = col.SpanSummary()
+		spanMsgs := col.SpanMessages()
+		out.GatherMsgs = spanMsgs["phase2-sparsify"] + spanMsgs["phase2-near"] + spanMsgs["phase2-gather"]
 		snap := obs.ReadRuntime()
 		out.Metrics = &obs.JobMetrics{
 			QueueNS:    start.Sub(x.runStart).Nanoseconds(),
@@ -475,7 +489,7 @@ func (x *jobExec) run(job Job) (out *JobResult) {
 			*out = JobResult{
 				Index: job.Index, Generator: job.Generator, N: job.N,
 				Power: job.Power, Algorithm: job.Algorithm,
-				Epsilon: job.Epsilon, Engine: job.Engine,
+				Epsilon: job.Epsilon, Engine: job.Engine, Gather: job.Gather,
 				Trial: job.Trial, Seed: job.Seed, InstanceSeed: job.InstanceSeed,
 				Optimum: -1,
 				Error:   fmt.Sprintf("panic: %v [%s]", rec, obs.StackSummary(1, 6)),

@@ -37,11 +37,11 @@ func (s *JSONLSink) Close() error { return nil }
 // csvHeader is the fixed column order of CSVSink.
 var csvHeader = []string{
 	"index", "generator", "n", "power", "algorithm", "model", "problem",
-	"epsilon", "engine", "trial", "seed", "instanceSeed", "cost",
+	"epsilon", "engine", "gather", "trial", "seed", "instanceSeed", "cost",
 	"solutionSize", "verified", "optimum", "ratio", "rounds", "messages",
 	"totalBits", "maxRoundBits", "maxRoundMessages", "bandwidth",
 	"phaseISize", "fallbackJoins", "leaderPath", "leaderKernelN", "spans",
-	"error",
+	"gatherMsgs", "error",
 }
 
 // CSVSink streams results as CSV with a fixed header row.
@@ -74,6 +74,7 @@ func (s *CSVSink) Write(r *JobResult) error {
 		r.Problem,
 		formatFloat(r.Epsilon),
 		r.Engine,
+		r.Gather,
 		strconv.Itoa(r.Trial),
 		strconv.FormatInt(r.Seed, 10),
 		strconv.FormatInt(r.InstanceSeed, 10),
@@ -93,6 +94,7 @@ func (s *CSVSink) Write(r *JobResult) error {
 		r.LeaderPath,
 		strconv.Itoa(r.LeaderKernelN),
 		r.Spans,
+		strconv.FormatInt(r.GatherMsgs, 10),
 		r.Error,
 	}
 	if err := s.w.Write(rec); err != nil {

@@ -15,12 +15,16 @@
 // derived from the root seed by hashing the job's scenario coordinates, so
 // adding or removing cells never perturbs the seeds of unrelated cells.
 //
-// Two coordinates are deliberately excluded from seed derivation:
+// Three coordinates are deliberately excluded from seed derivation:
 //
 //   - The engine mode (Spec.EngineModes): the same cell under "goroutine"
 //     and "batch" replays the identical run, so a two-engine sweep is a
 //     built-in differential test of the simulator — measurements must
 //     match, only wall clock may differ.
+//   - The gather mode (Spec.Gathers): "legacy" and "sparsified" replay the
+//     identical instance and Phase-I run and must produce the same
+//     solution, so a two-mode sweep is a built-in differential test of the
+//     Phase-II sparsifier — only rounds/messages/bits may differ.
 //   - The graph instance seed (Job.InstanceSeed) depends only on
 //     (generator, n, power, trial), never on algorithm or ε, so every
 //     algorithm in a scenario runs on the identical instance.
@@ -103,6 +107,18 @@ type Spec struct {
 	// barrier. Cells that ignore shards (non-batch engines, centralized
 	// baselines) collapse the axis to its first entry.
 	ShardCounts []int `json:"shardCounts,omitempty"`
+	// Gathers sweeps the generalized Phase-II gather mode as an axis:
+	// "sparsified" (or "", the default) ships each near node's bounded
+	// StepSparsify certificate edges; "legacy" pins the PR-4 wire format
+	// (one-bit near flood, all incident edges). Like the engine mode the
+	// axis never enters seed derivation — both modes replay the identical
+	// instance and Phase-I run and must produce the same solution, which
+	// makes a two-mode sweep a live differential test of the sparsifier —
+	// but it splits aggregation cells, so BENCH summaries compare the modes'
+	// message counts side by side. Cells where the knob is inert
+	// (centralized baselines, and r = 2's paper wire format) collapse the
+	// axis to its first entry.
+	Gathers []string `json:"gathers,omitempty"`
 	// LocalSolver picks the Phase-II leader solver of the MVC algorithms:
 	// "" or "kernel-exact" (the default kernelize-then-solve ladder of
 	// internal/kernel: reduction rules, bounded branch and bound, local-
@@ -154,6 +170,11 @@ type Job struct {
 	MaxRounds       int    `json:"maxRounds,omitempty"`
 	Shards          int    `json:"shards,omitempty"`
 	LocalSolver     string `json:"localSolver,omitempty"`
+	// Gather is the generalized Phase-II gather mode ("" = "sparsified",
+	// "legacy" pins the PR-4 all-incident-edges path). Like the engine mode
+	// it never enters seed derivation: both modes replay the identical run
+	// and must produce the same solution.
+	Gather string `json:"gather,omitempty"`
 }
 
 // ExpandReport describes what Expand produced.
@@ -218,6 +239,11 @@ func (s *Spec) Validate() error {
 	if _, err := parseLocalSolver(s.LocalSolver); err != nil {
 		return err
 	}
+	for _, gm := range s.gathers() {
+		if _, err := parseGather(gm); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -247,6 +273,13 @@ func (s *Spec) engineModes() []string {
 		return []string{""}
 	}
 	return s.EngineModes
+}
+
+func (s *Spec) gathers() []string {
+	if len(s.Gathers) == 0 {
+		return []string{""}
+	}
+	return s.Gathers
 }
 
 func (s *Spec) shardCounts() []int {
@@ -279,6 +312,18 @@ func (s *Spec) Expand() ([]Job, ExpandReport, error) {
 					if alg.NeedsEps {
 						epsGrid = s.epsilons()
 					}
+					// The gather axis only exists where the generalized
+					// Phase II runs: centralized baselines have no gather,
+					// and r = 2 always uses the paper's F-edge wire format.
+					gathers := s.gathers()
+					if alg.Model == ModelCentralized || r == 2 {
+						if len(gathers) > 1 {
+							rep.Skipped = append(rep.Skipped, fmt.Sprintf(
+								"%s × n=%d × r=%d: algorithm %s ignores the gather axis (ran once)",
+								gen.Key(), n, r, name))
+						}
+						gathers = gathers[:1]
+					}
 					// Centralized baselines have no simulator, so the
 					// engine axis collapses to one mode-less job; extra
 					// modes are reported, not silently multiplied.
@@ -306,30 +351,33 @@ func (s *Spec) Expand() ([]Job, ExpandReport, error) {
 							counts = counts[:1]
 						}
 						for _, shards := range counts {
-							for _, eps := range epsGrid {
-								for t := 0; t < s.trials(); t++ {
-									j := Job{
-										Index:           len(jobs),
-										Generator:       gen,
-										N:               n,
-										Power:           r,
-										Algorithm:       name,
-										Epsilon:         eps,
-										Engine:          engine,
-										Trial:           t,
-										OracleN:         s.OracleN,
-										BandwidthFactor: s.BandwidthFactor,
-										MaxRounds:       s.MaxRounds,
-										Shards:          shards,
-										LocalSolver:     s.LocalSolver,
+							for _, gather := range gathers {
+								for _, eps := range epsGrid {
+									for t := 0; t < s.trials(); t++ {
+										j := Job{
+											Index:           len(jobs),
+											Generator:       gen,
+											N:               n,
+											Power:           r,
+											Algorithm:       name,
+											Epsilon:         eps,
+											Engine:          engine,
+											Trial:           t,
+											OracleN:         s.OracleN,
+											BandwidthFactor: s.BandwidthFactor,
+											MaxRounds:       s.MaxRounds,
+											Shards:          shards,
+											LocalSolver:     s.LocalSolver,
+											Gather:          gather,
+										}
+										// Neither the engine mode, the shard
+										// count, nor the gather mode is part
+										// of the seed: every (engine, shards,
+										// gather) triple replays the same run.
+										j.Seed = deriveSeed(s.RootSeed, j.cellKey(), t)
+										j.InstanceSeed = deriveSeed(s.RootSeed, j.instanceKey(), t)
+										jobs = append(jobs, j)
 									}
-									// Neither the engine mode nor the shard
-									// count is part of the seed: every
-									// (engine, shards) pair replays the same
-									// run.
-									j.Seed = deriveSeed(s.RootSeed, j.cellKey(), t)
-									j.InstanceSeed = deriveSeed(s.RootSeed, j.instanceKey(), t)
-									jobs = append(jobs, j)
 								}
 							}
 						}

@@ -201,11 +201,11 @@ func checkTraceFile(t *testing.T, path string) {
 func TestCSVHeaderPinned(t *testing.T) {
 	want := []string{
 		"index", "generator", "n", "power", "algorithm", "model", "problem",
-		"epsilon", "engine", "trial", "seed", "instanceSeed", "cost",
+		"epsilon", "engine", "gather", "trial", "seed", "instanceSeed", "cost",
 		"solutionSize", "verified", "optimum", "ratio", "rounds", "messages",
 		"totalBits", "maxRoundBits", "maxRoundMessages", "bandwidth",
 		"phaseISize", "fallbackJoins", "leaderPath", "leaderKernelN", "spans",
-		"error",
+		"gatherMsgs", "error",
 	}
 	if !reflect.DeepEqual(csvHeader, want) {
 		t.Fatalf("csvHeader changed:\n got  %v\n want %v", csvHeader, want)

@@ -87,11 +87,15 @@ type RoundEvent struct {
 
 // Span identifies one phase-span mark. Index distinguishes repeated spans
 // of the same name (Phase-I iteration number, MDS phase number); Round is
-// the engine round at which the mark occurred.
+// the engine round at which the mark occurred. Msgs is the cumulative
+// network message count delivered BEFORE that round — a round-boundary
+// snapshot, so end.Msgs − begin.Msgs prices exactly the traffic of the
+// half-open round interval [begin, end), deterministically on every engine.
 type Span struct {
 	Name  string `json:"name"`
 	Index int    `json:"index"`
 	Round int    `json:"round"`
+	Msgs  int64  `json:"msgs,omitempty"`
 }
 
 // KernelSolveEvent describes one leader-local kernelize-then-solve call.
@@ -213,11 +217,13 @@ func (w *JSONLWriter) Close() error { return w.Flush() }
 // one handler activation, racing against its peers). Per-instance
 // aggregation makes the summary order-insensitive, hence deterministic.
 type spanAgg struct {
-	firstRound int // round of the first begin — deterministic sort key
-	count      int // completed begin→end pairs
-	rounds     int // total rounds spanned across completions
-	open       int // currently open marks
-	openRound  int // round of the open mark (for rounds accounting)
+	firstRound int   // round of the first begin — deterministic sort key
+	count      int   // completed begin→end pairs
+	rounds     int   // total rounds spanned across completions
+	msgs       int64 // total messages delivered across completed spans
+	open       int   // currently open marks
+	openRound  int   // round of the open mark (for rounds accounting)
+	openMsgs   int64 // cumulative-message snapshot of the open mark
 }
 
 // spanID keys a Collector's aggregation: one logical span instance.
@@ -278,6 +284,7 @@ func (c *Collector) SpanBegin(s Span) {
 	a.open++
 	if a.open == 1 {
 		a.openRound = s.Round
+		a.openMsgs = s.Msgs
 	}
 	c.begins = append(c.begins, s)
 }
@@ -294,6 +301,7 @@ func (c *Collector) SpanEnd(s Span) {
 	if a.open == 0 {
 		a.count++
 		a.rounds += s.Round - a.openRound
+		a.msgs += s.Msgs - a.openMsgs
 	}
 	c.ends = append(c.ends, s)
 }
@@ -411,6 +419,24 @@ func (c *Collector) SpanSummary() string {
 		fmt.Fprintf(&b, "%s*%d:%d", e.name, e.count, e.rounds)
 	}
 	return b.String()
+}
+
+// SpanMessages returns, per span name, the total network messages delivered
+// during completed spans of that name (summed over instances, computed from
+// the round-boundary snapshots the engines stamp on every mark). Like
+// SpanSummary it is a pure function of the seeded run, identical on every
+// engine — it is how the harness prices the Phase-II gather for
+// BENCH_sparsify.json's legacy-vs-sparsified comparison.
+func (c *Collector) SpanMessages() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64)
+	for id, a := range c.spans {
+		if a.count > 0 {
+			out[id.name] += a.msgs
+		}
+	}
+	return out
 }
 
 // SpanNames returns the distinct names of completed spans, sorted.
