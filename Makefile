@@ -3,7 +3,7 @@
 GO ?= go
 OUT ?= bench-out
 
-.PHONY: build vet test race race-diff race-shard bench bench-engine bench-obs bench-step bench-kernel fuzz-kernel sweep sweep-scale sweep-power-smoke sweep-kernel sweep-sparsify sweep-mega sweep-mega-smoke trace-smoke sparsify-smoke docs-check clean
+.PHONY: build vet test race race-diff race-shard race-serve serve-smoke serve-load bench bench-engine bench-obs bench-step bench-kernel fuzz-kernel sweep sweep-scale sweep-power-smoke sweep-kernel sweep-sparsify sweep-mega sweep-mega-smoke trace-smoke sparsify-smoke docs-check clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,28 @@ race-shard:
 	$(GO) test -race -count=1 \
 		-run 'TestSharded|TestNegativeShardsRejected' \
 		./internal/congest/ ./internal/harness/
+
+# Race-detector pass over the serving layer: the churn property tests
+# (incremental Gʳ maintenance byte-identical to full recomputes, engine and
+# shard invariance on churned instances), the component-cached exact solver,
+# the overlay/incremental-power graph layer, and harness cancellation — the
+# CI serve-smoke job's second leg.
+race-serve:
+	$(GO) test -race -count=1 \
+		-run 'TestChurn|TestIncremental|TestOverlay|TestRunLoadSmoke|TestSolveInstance|TestCancel|TestServer' \
+		./internal/serve/ ./internal/graph/ ./internal/kernel/ ./internal/harness/ ./internal/congest/
+
+# Serving-layer smoke: the full HTTP surface against golden responses
+# (including the no-leaked-goroutines check), validation and NDJSON churn
+# paths, and the load-generator accounting invariants.
+serve-smoke:
+	$(GO) test -count=1 -run 'TestServer|TestSolveCanceled|TestRunLoadSmoke|TestLoadLoadSpec' ./internal/serve/
+
+# Sustained mixed-load benchmark against an in-process server (regenerates
+# BENCH_serve.json: QPS plus per-endpoint p50/p95 under concurrent solve +
+# churn traffic).
+serve-load:
+	$(GO) run ./cmd/powerserve -load specs/serve-load.json -out BENCH_serve.json
 
 # Go micro-benchmarks (bench_test.go and friends).
 bench:

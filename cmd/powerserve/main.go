@@ -1,0 +1,112 @@
+// Command powerserve is the always-on serving layer: it holds graphs
+// resident in memory and answers MVC / MWVC / MDS queries over HTTP/JSON
+// while accepting streaming edge churn, maintaining every cached power graph
+// Gʳ incrementally (see internal/serve).
+//
+// Serve mode binds the API and blocks until interrupted:
+//
+//	powerserve -addr :8080
+//	powerserve -addr :8080 -preload graph.txt        # edge-list file as "graph"
+//
+// Bench mode drives the mixed-load generator against an in-process server
+// and writes the sustained-QPS / latency-quantile report:
+//
+//	powerserve -load specs/serve-load.json -out BENCH_serve.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"powergraph/internal/graph"
+	"powergraph/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "powerserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "", "listen address for serve mode (e.g. :8080)")
+		workers  = flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		preload  = flag.String("preload", "", "comma-separated edge-list files to load at startup (id = file base name)")
+		loadSpec = flag.String("load", "", "load-spec file: run the bench instead of serving")
+		out      = flag.String("out", "BENCH_serve.json", "bench report path (with -load)")
+	)
+	flag.Parse()
+
+	if *loadSpec != "" {
+		return runBench(*loadSpec, *out)
+	}
+	if *addr == "" {
+		return fmt.Errorf("need -addr to serve or -load to benchmark (see -help)")
+	}
+
+	srv := serve.New(serve.Options{Workers: *workers})
+	if *preload != "" {
+		for _, path := range strings.Split(*preload, ",") {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			g, err := graph.ReadEdgeList(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("preload %s: %w", path, err)
+			}
+			id := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+			if _, err := srv.AddGraph(id, g); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "powerserve: loaded %s as %q (n=%d m=%d)\n", path, id, g.N(), g.M())
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "powerserve: listening on %s\n", *addr)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(shutdownCtx)
+}
+
+func runBench(specPath, outPath string) error {
+	spec, err := serve.LoadLoadSpec(specPath)
+	if err != nil {
+		return err
+	}
+	rep, err := serve.RunLoad(spec)
+	if err != nil {
+		return err
+	}
+	payload, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(payload, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d requests (%.0f qps, %d solves, %d churns) in %.0fms -> %s\n",
+		rep.Name, rep.Requests, rep.QPS, rep.Solves, rep.Churns, rep.DurationMs, outPath)
+	return nil
+}

@@ -98,6 +98,9 @@ func (e *engine) runBatch(steppers []stepper) error {
 		if round > e.maxRounds {
 			return errMaxRounds(e.maxRounds)
 		}
+		if err := e.ctxErr(); err != nil {
+			return err
+		}
 		// stamp doubles as the duplicate-send guard for this round; it is
 		// round+1 so the zero value of a node's sentRound map never matches.
 		e.stamp = round + 1

@@ -36,6 +36,7 @@
 package congest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -124,6 +125,12 @@ type Incoming struct {
 type Config struct {
 	Graph *graph.Graph
 	Model Model
+	// Ctx, when non-nil, cancels an in-flight run: both engines check it at
+	// every round barrier and abort with an error wrapping ErrCanceled (and
+	// the context's cause) as soon as it is done. nil means never canceled.
+	// This is what lets a server impose per-request deadlines on simulations
+	// that would otherwise run a 10⁶-node job to completion.
+	Ctx context.Context
 	// Engine selects the execution engine (default EngineGoroutine). Both
 	// engines yield identical results for identical configs; EngineBatch is
 	// markedly faster at large n.
@@ -207,6 +214,11 @@ type StepProgram[T any] interface {
 
 // ErrMaxRounds reports that the round limit was hit before termination.
 var ErrMaxRounds = errors.New("congest: exceeded maximum round count")
+
+// ErrCanceled reports that Config.Ctx was done before the run terminated.
+// The returned error also wraps the context's cause, so errors.Is matches
+// both ErrCanceled and e.g. context.DeadlineExceeded.
+var ErrCanceled = errors.New("congest: run canceled")
 
 // IDBits returns the number of bits needed to address n distinct ids —
 // the unit "O(log n)" in all of the paper's message-size accounting.

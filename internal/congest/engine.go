@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -24,6 +25,9 @@ type engine struct {
 	bandwidth int
 	maxRounds int
 	cutA      *bitset.Set
+	// ctx cancels the run at the next round barrier; nil means no
+	// cancellation (checked via ctxErr, one poll per round).
+	ctx context.Context
 
 	nodes []*Node
 	stats Stats
@@ -185,6 +189,23 @@ type graphLike interface {
 	Weight(v int) int64
 }
 
+// ctxErr polls the run's context without blocking: nil while the run may
+// continue, an error wrapping ErrCanceled and the context's cause once it is
+// done. Every round loop calls it at the same position — right after the
+// MaxRounds check at the top of each round iteration — so all three drivers
+// abort at the same granularity: a clean round boundary.
+func (e *engine) ctxErr() error {
+	if e.ctx == nil {
+		return nil
+	}
+	select {
+	case <-e.ctx.Done():
+		return fmt.Errorf("%w (%w)", ErrCanceled, context.Cause(e.ctx))
+	default:
+		return nil
+	}
+}
+
 func (e *engine) setErr(err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -254,6 +275,7 @@ func newEngine(cfg Config) (*engine, error) {
 		bandwidth: bwf * IDBits(n),
 		maxRounds: maxRounds,
 		cutA:      cfg.CutA,
+		ctx:       cfg.Ctx,
 		shards:    shards,
 		abort:     make(chan struct{}),
 		tracer:    cfg.Tracer,
@@ -412,6 +434,9 @@ func (e *engine) loop() error {
 	for round := 0; ; round++ {
 		if round > e.maxRounds {
 			return errMaxRounds(e.maxRounds)
+		}
+		if err := e.ctxErr(); err != nil {
+			return err
 		}
 		waiting := make([]int, 0, active)
 		for got := 0; got < active; got++ {

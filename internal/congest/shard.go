@@ -101,6 +101,9 @@ func (e *engine) runBatchSharded(steppers []stepper) error {
 		if round > e.maxRounds {
 			return errMaxRounds(e.maxRounds)
 		}
+		if err := e.ctxErr(); err != nil {
+			return err
+		}
 		e.stamp = round + 1
 		wg.Add(e.shards)
 		for _, c := range starts {

@@ -38,6 +38,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -61,6 +62,10 @@ type LocalSolver func(*graph.Graph) *bitset.Set
 
 // Options tune a distributed run. The zero value is ready to use.
 type Options struct {
+	// Ctx, when non-nil, cancels an in-flight simulation at its next round
+	// barrier (congest.Config.Ctx): the run aborts with an error wrapping
+	// congest.ErrCanceled and the context's cause. nil means never canceled.
+	Ctx context.Context
 	// Seed drives all node-local randomness (deterministic per seed).
 	Seed int64
 	// Engine selects the simulator's execution engine
@@ -144,6 +149,13 @@ func (o *Options) leaderSolver() (LocalSolver, *kernel.Report) {
 		}
 		return cover
 	}, rep
+}
+
+func (o *Options) ctx() context.Context {
+	if o == nil {
+		return nil
+	}
+	return o.Ctx
 }
 
 func (o *Options) seed() int64 {

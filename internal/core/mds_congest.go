@@ -68,6 +68,7 @@ func ApproxMDSCongest(g *graph.Graph, opts *MDSOptions) (*Result, error) {
 
 	cfg := congest.Config{
 		Graph:           g,
+		Ctx:             opts.Options.ctx(),
 		Model:           congest.CONGEST,
 		Engine:          opts.engine(),
 		Shards:          opts.shards(),

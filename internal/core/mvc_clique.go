@@ -43,6 +43,7 @@ func ApproxMVCCliqueDeterministic(g *graph.Graph, eps float64, opts *Options) (*
 
 	cfg := congest.Config{
 		Graph:           g,
+		Ctx:             opts.ctx(),
 		Model:           congest.CongestedClique,
 		Engine:          opts.engine(),
 		Shards:          opts.shards(),

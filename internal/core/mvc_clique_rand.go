@@ -55,6 +55,7 @@ func ApproxMVCCliqueRandomized(g *graph.Graph, eps float64, opts *Options) (*Res
 
 	cfg := congest.Config{
 		Graph:           g,
+		Ctx:             opts.ctx(),
 		Model:           congest.CongestedClique,
 		Engine:          opts.engine(),
 		Shards:          opts.shards(),

@@ -60,6 +60,7 @@ func ApproxMVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, erro
 
 	cfg := congest.Config{
 		Graph:           g,
+		Ctx:             opts.ctx(),
 		Model:           congest.CONGEST,
 		Engine:          opts.engine(),
 		Shards:          opts.shards(),

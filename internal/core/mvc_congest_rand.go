@@ -59,6 +59,7 @@ func ApproxMVCCongestRandomized(g *graph.Graph, eps float64, opts *Options) (*Re
 
 	cfg := congest.Config{
 		Graph:           g,
+		Ctx:             opts.ctx(),
 		Model:           congest.CONGEST,
 		Engine:          opts.engine(),
 		Shards:          opts.shards(),

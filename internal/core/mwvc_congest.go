@@ -92,6 +92,7 @@ func ApproxMWVCCongest(g *graph.Graph, eps float64, opts *Options) (*Result, err
 
 	cfg := congest.Config{
 		Graph:           g,
+		Ctx:             opts.ctx(),
 		Model:           congest.CONGEST,
 		Engine:          opts.engine(),
 		Shards:          opts.shards(),

@@ -91,6 +91,11 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if err1 != nil || err2 != nil {
 				return nil, fmt.Errorf("graph: line %d: bad weight line", lineNo)
 			}
+			if v < 0 || v >= b.n {
+				// Range-check here rather than letting SetWeight panic: a
+				// malformed input file must surface as a line-numbered error.
+				return nil, fmt.Errorf("graph: line %d: weight vertex %d out of range [0,%d)", lineNo, v, b.n)
+			}
 			b.SetWeight(v, wt)
 		default:
 			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])

@@ -1,0 +1,269 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// sameCSR asserts byte-identity of the two graphs' CSR arrays, weights, and
+// names — the contract the incremental paths promise against a fresh build.
+func sameCSR(t *testing.T, got, want *Graph, label string) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Fatalf("%s: n = %d, want %d", label, got.N(), want.N())
+	}
+	if !slices.Equal(got.indptr, want.indptr) {
+		t.Fatalf("%s: indptr differs", label)
+	}
+	if !slices.Equal(got.indices, want.indices) {
+		t.Fatalf("%s: indices differs", label)
+	}
+	if !slices.Equal(got.weights, want.weights) {
+		t.Fatalf("%s: weights differ", label)
+	}
+	if !slices.Equal(got.names, want.names) {
+		t.Fatalf("%s: names differ", label)
+	}
+}
+
+func TestOverlayInsertDelete(t *testing.T) {
+	o := NewOverlay(Path(5)) // edges 0-1, 1-2, 2-3, 3-4
+	if o.M() != 4 || o.Pending() != 0 {
+		t.Fatalf("m=%d pending=%d", o.M(), o.Pending())
+	}
+	if err := o.Insert(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Delete(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if o.M() != 4 || o.Pending() != 2 {
+		t.Fatalf("after edits: m=%d pending=%d", o.M(), o.Pending())
+	}
+	if !o.HasEdge(0, 2) || !o.HasEdge(2, 0) {
+		t.Fatal("inserted edge missing")
+	}
+	if o.HasEdge(1, 2) || o.HasEdge(2, 1) {
+		t.Fatal("deleted edge still present")
+	}
+	// Inverse edits cancel the staged ones exactly.
+	if err := o.Delete(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Insert(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if o.Pending() != 0 {
+		t.Fatalf("pending=%d after cancel", o.Pending())
+	}
+	sameCSR(t, o.Materialize(), Path(5), "cancelled edits")
+}
+
+func TestOverlayRejectsBadEdits(t *testing.T) {
+	o := NewOverlay(Path(4))
+	bad := []struct {
+		name string
+		err  error
+	}{
+		{"insert out of range", o.Insert(0, 4)},
+		{"insert negative", o.Insert(-1, 2)},
+		{"insert self-loop", o.Insert(2, 2)},
+		{"insert duplicate base edge", o.Insert(0, 1)},
+		{"delete out of range", o.Delete(0, 9)},
+		{"delete self-loop", o.Delete(1, 1)},
+		{"delete missing edge", o.Delete(0, 3)},
+	}
+	for _, c := range bad {
+		if c.err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if err := o.Insert(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Insert(0, 2); err == nil {
+		t.Error("duplicate staged insert: expected error")
+	}
+	if err := o.Delete(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Delete(0, 2); err == nil {
+		t.Error("double delete: expected error")
+	}
+	if o.Pending() != 0 {
+		t.Fatalf("pending=%d, want 0", o.Pending())
+	}
+}
+
+func TestOverlayApplyRollsBackOnFailure(t *testing.T) {
+	o := NewOverlay(Path(5))
+	if err := o.Insert(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	before := o.Materialize()
+	batch := []EdgeEdit{
+		{U: 0, V: 2},           // fine
+		{U: 1, V: 2, Del: true}, // fine
+		{U: 3, V: 3},           // self-loop: fails
+	}
+	err := o.Apply(batch)
+	if err == nil || !strings.Contains(err.Error(), "edit 2") {
+		t.Fatalf("err = %v, want edit-2 failure", err)
+	}
+	if o.Pending() != 1 {
+		t.Fatalf("pending=%d after rollback, want 1", o.Pending())
+	}
+	sameCSR(t, o.Materialize(), before, "rollback")
+}
+
+func TestOverlayMaterializeMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base := WithRandomWeights(ConnectedGNP(40, 0.1, rng), 30, rng)
+	o := NewOverlay(base)
+	// Mirror edge set to drive random valid edits.
+	edges := make(map[[2]int]bool)
+	for _, e := range base.Edges() {
+		edges[e] = true
+	}
+	for step := 0; step < 300; step++ {
+		u, v := rng.Intn(40), rng.Intn(40)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if edges[key] {
+			if err := o.Delete(u, v); err != nil {
+				t.Fatal(err)
+			}
+			delete(edges, key)
+		} else {
+			if err := o.Insert(u, v); err != nil {
+				t.Fatal(err)
+			}
+			edges[key] = true
+		}
+		if step%37 == 0 {
+			b := NewBuilder(40)
+			for e := range edges {
+				b.MustAddEdge(e[0], e[1])
+			}
+			for w := 0; w < 40; w++ {
+				b.SetWeight(w, base.Weight(w))
+			}
+			want := b.Build()
+			got := o.Materialize()
+			sameCSR(t, got, want, "materialize")
+			if got.M() != o.M() {
+				t.Fatalf("o.M()=%d, materialized M=%d", o.M(), got.M())
+			}
+		}
+	}
+}
+
+func TestOverlayCompact(t *testing.T) {
+	o := NewOverlay(Path(20)) // only consecutive vertices are adjacent
+	if err := o.Apply([]EdgeEdit{{U: 0, V: 19}, {U: 1, V: 18}}); err != nil {
+		t.Fatal(err)
+	}
+	view := o.Materialize()
+	o.Compact(view)
+	if o.Pending() != 0 || o.Base() != view {
+		t.Fatal("compact did not adopt the view")
+	}
+	// Edits after compaction still behave.
+	if err := o.Delete(0, 19); err != nil {
+		t.Fatal(err)
+	}
+	if o.HasEdge(0, 19) {
+		t.Fatal("edge survives delete after compact")
+	}
+}
+
+// TestIncrementalPowerMatchesFull is the graph-layer half of the churn
+// property: after every random batch, the spliced dirty-region power graph
+// must be byte-identical to a fresh view.Power(r), for r ∈ 1..4, on both
+// unweighted and weighted bases.
+func TestIncrementalPowerMatchesFull(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(1234))
+		// A grid keeps radius-3 balls small relative to n, so small batches
+		// exercise the splice path even at r = 4; the large burst still
+		// trips the full-recompute fallback.
+		const n = 400
+		base := Grid(20, 20)
+		if weighted {
+			base = WithRandomWeights(base, 20, rng)
+		}
+		for r := 1; r <= 4; r++ {
+			o := NewOverlay(base)
+			view := o.Materialize()
+			power := view.Power(r)
+			sawFull, sawInc := false, false
+			for batchNo := 0; batchNo < 12; batchNo++ {
+				size := 1 + rng.Intn(3)
+				if batchNo == 5 {
+					size = 150 // large burst: should trip the full-recompute fallback at high r
+				}
+				var batch []EdgeEdit
+				for len(batch) < size {
+					u, v := rng.Intn(n), rng.Intn(n)
+					if u == v {
+						continue
+					}
+					if o.HasEdge(u, v) {
+						if err := o.Delete(u, v); err != nil {
+							t.Fatal(err)
+						}
+						batch = append(batch, EdgeEdit{U: u, V: v, Del: true})
+					} else {
+						if err := o.Insert(u, v); err != nil {
+							t.Fatal(err)
+						}
+						batch = append(batch, EdgeEdit{U: u, V: v})
+					}
+				}
+				view = o.Materialize()
+				var st IncPowerStats
+				power, st = IncrementalPower(view, power, r, batch)
+				if st.Full {
+					sawFull = true
+				} else {
+					sawInc = true
+				}
+				sameCSR(t, power, view.Power(r), "incremental power")
+			}
+			if r >= 2 && !sawFull {
+				t.Errorf("r=%d weighted=%v: fallback never exercised", r, weighted)
+			}
+			if !sawInc {
+				t.Errorf("r=%d weighted=%v: splice path never exercised", r, weighted)
+			}
+		}
+	}
+}
+
+func TestIncrementalPowerEmptyBatch(t *testing.T) {
+	g := Path(10)
+	p := g.Power(3)
+	got, st := IncrementalPower(g, p, 3, nil)
+	if got != p || st.Dirty != 0 || st.Full {
+		t.Fatalf("empty batch: got %p (want %p), stats %+v", got, p, st)
+	}
+}
+
+func TestReadEdgeListWeightOutOfRange(t *testing.T) {
+	for _, in := range []string{"n 2\nw 5 7", "n 2\nw -1 7"} {
+		_, err := ReadEdgeList(strings.NewReader(in))
+		if err == nil {
+			t.Fatalf("input %q: expected error, got nil", in)
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Fatalf("input %q: error %q lacks line number", in, err)
+		}
+	}
+}

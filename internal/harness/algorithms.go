@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -73,7 +74,9 @@ type Algorithm struct {
 	// baselines run on it directly — the distributed algorithms ignore it
 	// and communicate over G only).  Centralized baselines report zero
 	// simulator stats and ignore tr, the job's tracer (nil = untraced).
-	Run func(g, power *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error)
+	// ctx cancels an in-flight distributed run at its next round barrier
+	// (core.Options.Ctx); centralized baselines ignore it.
+	Run func(ctx context.Context, g, power *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error)
 }
 
 // SupportsPower reports whether the algorithm can serve power r.
@@ -110,7 +113,7 @@ const (
 	distMaxPower = 4
 )
 
-func distOpts(job Job, tr obs.Tracer) (*core.Options, error) {
+func distOpts(ctx context.Context, job Job, tr obs.Tracer) (*core.Options, error) {
 	engine, err := congest.ParseEngineMode(job.Engine)
 	if err != nil {
 		return nil, err
@@ -124,6 +127,7 @@ func distOpts(job Job, tr obs.Tracer) (*core.Options, error) {
 		return nil, err
 	}
 	return &core.Options{
+		Ctx:             ctx,
 		Seed:            job.Seed,
 		Engine:          engine,
 		Shards:          job.Shards,
@@ -265,8 +269,8 @@ var algorithms = map[string]*Algorithm{
 		MinPower: distMinPower, MaxPower: distMaxPower,
 		Spans:    pipelineSpans, Estimator: leaderEstimator,
 		Description: "Algorithm 1 (Thm 1): deterministic (1+eps)-approx Gʳ-MVC (O(n/eps) CONGEST rounds at r=2)",
-		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
-			opts, err := distOpts(job, tr)
+		Run: func(ctx context.Context, g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
+			opts, err := distOpts(ctx, job, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -278,8 +282,8 @@ var algorithms = map[string]*Algorithm{
 		MinPower: distMinPower, MaxPower: distMaxPower,
 		Spans:    pipelineSpans, Estimator: leaderEstimator,
 		Description: "Section 3.3: randomized voting Phase I in plain CONGEST (O(log n) heavy-neighborhood drain), Gʳ Phase II",
-		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
-			opts, err := distOpts(job, tr)
+		Run: func(ctx context.Context, g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
+			opts, err := distOpts(ctx, job, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -291,8 +295,8 @@ var algorithms = map[string]*Algorithm{
 		MinPower: distMinPower, MaxPower: distMaxPower,
 		Spans:    pipelineSpans, Estimator: leaderEstimator,
 		Description: "Theorem 7: deterministic (1+eps)-approx weighted Gʳ-MVC via ripe weight classes",
-		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
-			opts, err := distOpts(job, tr)
+		Run: func(ctx context.Context, g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
+			opts, err := distOpts(ctx, job, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -304,8 +308,8 @@ var algorithms = map[string]*Algorithm{
 		MinPower: distMinPower, MaxPower: distMaxPower,
 		Spans:    pipelineSpans, Estimator: leaderEstimator,
 		Description: "Corollary 17: 5/3-approx G²-MVC with polynomial local work (heuristic local solver at other r)",
-		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
-			o, err := distOpts(job, tr)
+		Run: func(ctx context.Context, g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
+			o, err := distOpts(ctx, job, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -320,8 +324,8 @@ var algorithms = map[string]*Algorithm{
 		MinPower: distMinPower, MaxPower: distMaxPower,
 		Spans:    cliqueSpans, Estimator: leaderEstimator,
 		Description: "Corollary 10: deterministic (1+eps)-approx Gʳ-MVC (O(eps·n + 1/eps) CONGESTED CLIQUE rounds at r=2)",
-		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
-			opts, err := distOpts(job, tr)
+		Run: func(ctx context.Context, g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
+			opts, err := distOpts(ctx, job, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -333,8 +337,8 @@ var algorithms = map[string]*Algorithm{
 		MinPower: distMinPower, MaxPower: distMaxPower,
 		Spans:    cliqueSpans, Estimator: leaderEstimator,
 		Description: "Theorem 11: randomized (1+eps)-approx Gʳ-MVC (O(log n + 1/eps) CONGESTED CLIQUE rounds at r=2)",
-		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
-			opts, err := distOpts(job, tr)
+		Run: func(ctx context.Context, g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
+			opts, err := distOpts(ctx, job, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -346,8 +350,8 @@ var algorithms = map[string]*Algorithm{
 		MinPower: distMinPower, MaxPower: distMaxPower,
 		Spans:    mdsSpans, Estimator: mdsEstimator,
 		Description: "Theorem 28: randomized O(log Δʳ)-approx Gʳ-MDS in polylog(n) CONGEST rounds (sketch estimator)",
-		Run: func(g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
-			opts, err := distOpts(job, tr)
+		Run: func(ctx context.Context, g, _ *graph.Graph, job Job, tr obs.Tracer) (*core.Result, error) {
+			opts, err := distOpts(ctx, job, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -357,42 +361,42 @@ var algorithms = map[string]*Algorithm{
 	"five-thirds": {
 		Name: "five-thirds", Model: ModelCentralized, Problem: ProblemMVC,
 		Description: "centralized 5/3-approximation for MVC on the materialized G²",
-		Run: func(_, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
+		Run: func(_ context.Context, _, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
 			return centralizedResult(centralized.FiveThirdsOnGraph(power).Cover), nil
 		},
 	},
 	"gavril": {
 		Name: "gavril", Model: ModelCentralized, Problem: ProblemMVC, AnyPower: true,
 		Description: "centralized Gavril 2-approximation (maximal matching) on the materialized Gʳ",
-		Run: func(_, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
+		Run: func(_ context.Context, _, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
 			return centralizedResult(centralized.Gavril2Approx(power)), nil
 		},
 	},
 	"all-vertices": {
 		Name: "all-vertices", Model: ModelCentralized, Problem: ProblemMVC, AnyPower: true,
 		Description: "trivial all-vertices cover (Lemma 6 upper bound)",
-		Run: func(g, _ *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
+		Run: func(_ context.Context, g, _ *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
 			return centralizedResult(centralized.AllVerticesPowerMVC(g)), nil
 		},
 	},
 	"greedy-mds": {
 		Name: "greedy-mds", Model: ModelCentralized, Problem: ProblemMDS, AnyPower: true,
 		Description: "centralized greedy set-cover ln(Δ)-approximation for MDS on Gʳ",
-		Run: func(_, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
+		Run: func(_ context.Context, _, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
 			return centralizedResult(exact.GreedyDominatingSet(power)), nil
 		},
 	},
 	"exact": {
 		Name: "exact", Model: ModelCentralized, Problem: ProblemMVC, AnyPower: true, Exact: true,
 		Description: "exact MVC on Gʳ (exponential branch-and-bound; the ratio oracle)",
-		Run: func(_, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
+		Run: func(_ context.Context, _, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
 			return centralizedResult(exact.VertexCover(power)), nil
 		},
 	},
 	"exact-mds": {
 		Name: "exact-mds", Model: ModelCentralized, Problem: ProblemMDS, AnyPower: true, Exact: true,
 		Description: "exact MDS on Gʳ (exponential set-cover solve; the ratio oracle)",
-		Run: func(_, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
+		Run: func(_ context.Context, _, power *graph.Graph, _ Job, _ obs.Tracer) (*core.Result, error) {
 			return centralizedResult(exact.DominatingSet(power)), nil
 		},
 	},

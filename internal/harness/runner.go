@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -12,6 +13,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"powergraph/internal/congest"
+	"powergraph/internal/graph"
 	"powergraph/internal/kernel"
 	"powergraph/internal/obs"
 	"powergraph/internal/verify"
@@ -87,6 +90,11 @@ type JobResult struct {
 	// in that case.
 	Error string `json:"error,omitempty"`
 
+	// Canceled marks a job whose run was aborted by context cancellation
+	// (congest.ErrCanceled) rather than by a fault of its own. RunJobs drops
+	// canceled in-flight results from the report — a canceled sweep keeps
+	// only what completed — so the field never reaches serialized output.
+	Canceled bool `json:"-"`
 	// Shards is the shard count the job ran with. Deliberately not
 	// serialized — sweeps at any shard count must stay byte-identical —
 	// but it does split aggregation cells, so a shard-count sweep's BENCH
@@ -242,7 +250,13 @@ func RunJobs(ctx context.Context, jobs []Job, opts RunOptions) (*Report, error) 
 		go func() {
 			defer wg.Done()
 			for pos := range jobCh {
-				res := exec.run(jobs[pos])
+				res := exec.run(runCtx, jobs[pos])
+				if res.Canceled {
+					// The engine aborted mid-run on runCtx; the job produced
+					// no measurement, so it must not enter the report (a
+					// canceled sweep keeps exactly what completed).
+					continue
+				}
 				select {
 				case resCh <- ranked{rank[pos], res}:
 				case <-runCtx.Done():
@@ -413,19 +427,56 @@ type jobExec struct {
 // disk) — the entry point the differential and registry tests use; RunJobs
 // routes workers through one shared jobExec instead.
 func executeJob(job Job, oracle *oracleCache) *JobResult {
-	return (&jobExec{oracle: oracle, runStart: time.Now()}).run(job)
+	return (&jobExec{oracle: oracle, runStart: time.Now()}).run(context.Background(), job)
 }
 
-// run executes one job start to finish: build the instance from the job's
-// seed, run the algorithm, verify feasibility on Gʳ, and consult the exact
-// oracle when enabled.  Panics anywhere inside are isolated into the
-// result's Error field — with a deterministic stack summary — so one bad
-// cell cannot take down a sweep. A span-only obs.Collector is attached to
-// every job (JobResult.Spans); with a trace directory, a JSONLWriter
-// streams the full event feed to job-<index>.jsonl alongside it.
-func (x *jobExec) run(job Job) (out *JobResult) {
+// OracleCache memoizes exact-oracle optima across SolveInstance calls, the
+// way RunJobs shares one cache across a sweep's workers. The type is opaque
+// to other packages: construct with NewOracleCache, pass to SolveInstance.
+type OracleCache = oracleCache
+
+// NewOracleCache returns an empty oracle cache safe for concurrent use.
+func NewOracleCache() *OracleCache { return newOracleCache() }
+
+// SolveInstance runs one job's algorithm on an already-built instance —
+// g with its pre-materialized power graph — and returns the same JobResult
+// a sweep would produce for that (instance, job) pair: algorithm stats,
+// feasibility verification, and (when job.OracleN allows) the exact-oracle
+// ratio through the shared cache. This is the serving layer's entry point:
+// the server holds graphs resident and cannot go through generator
+// expansion, but must produce byte-identical results to a fresh
+// build-and-solve.
+//
+// ctx cancels an in-flight distributed run at its next round barrier
+// (Canceled is set on the result). tr receives the run's trace events; when
+// it is an *obs.Collector the result's Spans/GatherMsgs fields are filled
+// from it, as jobExec.run fills them for sweep jobs. Panics are isolated
+// into the Error field. oracle may be nil (each oracle consult then solves).
+func SolveInstance(ctx context.Context, g, power *graph.Graph, job Job, tr obs.Tracer, oracle *OracleCache) (out *JobResult) {
 	start := time.Now()
-	out = &JobResult{
+	out = newJobResult(job)
+	defer func() {
+		out.Elapsed = time.Since(start)
+		if col, ok := tr.(*obs.Collector); ok && col != nil {
+			out.Spans = col.SpanSummary()
+			spanMsgs := col.SpanMessages()
+			out.GatherMsgs = spanMsgs["phase2-sparsify"] + spanMsgs["phase2-near"] + spanMsgs["phase2-gather"]
+		}
+	}()
+	defer func() {
+		if rec := recover(); rec != nil {
+			*out = *newJobResult(job)
+			out.Error = fmt.Sprintf("panic: %v [%s]", rec, obs.StackSummary(1, 6))
+		}
+	}()
+	fillSolve(ctx, out, g, power, job, tr, oracle)
+	return out
+}
+
+// newJobResult seeds a JobResult with the job's coordinates and the "not
+// measured" sentinels.
+func newJobResult(job Job) *JobResult {
+	return &JobResult{
 		Index:        job.Index,
 		Generator:    job.Generator,
 		N:            job.N,
@@ -440,6 +491,85 @@ func (x *jobExec) run(job Job) (out *JobResult) {
 		Shards:       job.Shards,
 		Optimum:      -1,
 	}
+}
+
+// fillSolve is the execution core shared by sweep jobs (jobExec.run) and
+// resident-instance solves (SolveInstance): run the job's algorithm on the
+// given graph and power graph, verify feasibility on Gʳ, record simulator
+// stats, and consult the exact oracle when enabled.
+func fillSolve(ctx context.Context, out *JobResult, g, power *graph.Graph, job Job, tracer obs.Tracer, oracle *oracleCache) {
+	alg, ok := lookupAlgorithm(job.Algorithm)
+	if !ok {
+		out.Error = fmt.Sprintf("unknown algorithm %q", job.Algorithm)
+		return
+	}
+	out.Model = alg.Model
+	out.Problem = alg.Problem
+
+	res, err := alg.Run(ctx, g, power, job, tracer)
+	if err != nil {
+		out.Error = err.Error()
+		out.Canceled = errors.Is(err, congest.ErrCanceled)
+		return
+	}
+
+	out.Cost = verify.Cost(power, res.Solution)
+	out.SolutionSize = res.Solution.Count()
+	switch alg.Problem {
+	case ProblemMDS:
+		out.Verified, _ = verify.IsDominatingSet(power, res.Solution)
+	default:
+		out.Verified, _ = verify.IsVertexCover(power, res.Solution)
+	}
+	out.Rounds = res.Stats.Rounds
+	out.Messages = res.Stats.Messages
+	out.TotalBits = res.Stats.TotalBits
+	out.MaxRoundBits = res.Stats.MaxRoundBits
+	out.MaxRoundMessages = res.Stats.MaxRoundMessages
+	out.Bandwidth = res.Stats.Bandwidth
+	out.PhaseISize = res.PhaseISize
+	out.FallbackJoins = res.FallbackJoins
+	if res.LeaderSolve != nil {
+		out.LeaderPath = res.LeaderSolve.Path
+		out.LeaderKernelN = res.LeaderSolve.KernelN
+	}
+
+	if job.OracleN > 0 && job.N <= job.OracleN {
+		key := oracleKey{
+			gen: job.Generator.Key(), n: job.N, power: job.Power,
+			seed: job.instanceSeed(), problem: alg.Problem,
+		}
+		var opt int64
+		switch {
+		case alg.Exact:
+			// The algorithm's own output is the optimum — don't pay the
+			// exponential solve a second time, and seed the cache for the
+			// other algorithms on this instance.
+			opt = oracle.optimum(key, func() int64 { return out.Cost })
+		case alg.Problem == ProblemMDS:
+			opt = oracle.optimum(key, func() int64 {
+				return verify.Cost(power, kernel.DominatingSet(power))
+			})
+		default:
+			opt = oracle.optimum(key, func() int64 {
+				return verify.Cost(power, kernel.VertexCover(power))
+			})
+		}
+		out.Optimum = opt
+		out.Ratio = verify.RatioOf(out.Cost, opt).Value
+	}
+}
+
+// run executes one job start to finish: build the instance from the job's
+// seed, run the algorithm, verify feasibility on Gʳ, and consult the exact
+// oracle when enabled.  Panics anywhere inside are isolated into the
+// result's Error field — with a deterministic stack summary — so one bad
+// cell cannot take down a sweep. A span-only obs.Collector is attached to
+// every job (JobResult.Spans); with a trace directory, a JSONLWriter
+// streams the full event feed to job-<index>.jsonl alongside it.
+func (x *jobExec) run(ctx context.Context, job Job) (out *JobResult) {
+	start := time.Now()
+	out = newJobResult(job)
 
 	col := &obs.Collector{}
 	var tracer obs.Tracer = col
@@ -486,24 +616,11 @@ func (x *jobExec) run(job Job) (out *JobResult) {
 	}()
 	defer func() {
 		if rec := recover(); rec != nil {
-			*out = JobResult{
-				Index: job.Index, Generator: job.Generator, N: job.N,
-				Power: job.Power, Algorithm: job.Algorithm,
-				Epsilon: job.Epsilon, Engine: job.Engine, Gather: job.Gather,
-				Trial: job.Trial, Seed: job.Seed, InstanceSeed: job.InstanceSeed,
-				Optimum: -1,
-				Error:   fmt.Sprintf("panic: %v [%s]", rec, obs.StackSummary(1, 6)),
-			}
+			*out = *newJobResult(job)
+			out.Shards = 0
+			out.Error = fmt.Sprintf("panic: %v [%s]", rec, obs.StackSummary(1, 6))
 		}
 	}()
-
-	alg, ok := lookupAlgorithm(job.Algorithm)
-	if !ok {
-		out.Error = fmt.Sprintf("unknown algorithm %q", job.Algorithm)
-		return out
-	}
-	out.Model = alg.Model
-	out.Problem = alg.Problem
 
 	rng := rand.New(rand.NewSource(job.instanceSeed()))
 	g, err := job.Generator.Build(job.N, rng)
@@ -515,56 +632,6 @@ func (x *jobExec) run(job Job) (out *JobResult) {
 	// Materialize Gʳ once: the centralized baselines run on it, and the
 	// feasibility check and oracle below need it either way.
 	power := g.Power(job.Power)
-	res, err := alg.Run(g, power, job, tracer)
-	if err != nil {
-		out.Error = err.Error()
-		return out
-	}
-
-	out.Cost = verify.Cost(power, res.Solution)
-	out.SolutionSize = res.Solution.Count()
-	switch alg.Problem {
-	case ProblemMDS:
-		out.Verified, _ = verify.IsDominatingSet(power, res.Solution)
-	default:
-		out.Verified, _ = verify.IsVertexCover(power, res.Solution)
-	}
-	out.Rounds = res.Stats.Rounds
-	out.Messages = res.Stats.Messages
-	out.TotalBits = res.Stats.TotalBits
-	out.MaxRoundBits = res.Stats.MaxRoundBits
-	out.MaxRoundMessages = res.Stats.MaxRoundMessages
-	out.Bandwidth = res.Stats.Bandwidth
-	out.PhaseISize = res.PhaseISize
-	out.FallbackJoins = res.FallbackJoins
-	if res.LeaderSolve != nil {
-		out.LeaderPath = res.LeaderSolve.Path
-		out.LeaderKernelN = res.LeaderSolve.KernelN
-	}
-
-	if job.OracleN > 0 && job.N <= job.OracleN {
-		key := oracleKey{
-			gen: job.Generator.Key(), n: job.N, power: job.Power,
-			seed: job.instanceSeed(), problem: alg.Problem,
-		}
-		var opt int64
-		switch {
-		case alg.Exact:
-			// The algorithm's own output is the optimum — don't pay the
-			// exponential solve a second time, and seed the cache for the
-			// other algorithms on this instance.
-			opt = x.oracle.optimum(key, func() int64 { return out.Cost })
-		case alg.Problem == ProblemMDS:
-			opt = x.oracle.optimum(key, func() int64 {
-				return verify.Cost(power, kernel.DominatingSet(power))
-			})
-		default:
-			opt = x.oracle.optimum(key, func() int64 {
-				return verify.Cost(power, kernel.VertexCover(power))
-			})
-		}
-		out.Optimum = opt
-		out.Ratio = verify.RatioOf(out.Cost, opt).Value
-	}
+	fillSolve(ctx, out, g, power, job, tracer, x.oracle)
 	return out
 }

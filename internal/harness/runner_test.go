@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"encoding/json"
 	"math/rand"
 	"runtime"
 	"strings"
@@ -137,7 +138,7 @@ func TestCancellationFlushesPartialResults(t *testing.T) {
 func TestPanicIsolation(t *testing.T) {
 	algorithms["test-panic"] = &Algorithm{
 		Name: "test-panic", Model: ModelCentralized, Problem: ProblemMVC,
-		Run: func(*graph.Graph, *graph.Graph, Job, obs.Tracer) (*core.Result, error) {
+		Run: func(context.Context, *graph.Graph, *graph.Graph, Job, obs.Tracer) (*core.Result, error) {
 			panic("boom")
 		},
 	}
@@ -244,3 +245,73 @@ type failSink struct{}
 
 func (failSink) Write(*JobResult) error { return errors.New("disk full") }
 func (failSink) Close() error           { return nil }
+
+// TestSolveInstanceMatchesExecuteJob: solving a pre-built instance through
+// the serving entry point must serialize byte-for-byte like the sweep path
+// building the same instance from the job's seed — the contract that lets
+// the server hold graphs resident without perturbing results.
+func TestSolveInstanceMatchesExecuteJob(t *testing.T) {
+	for _, algName := range []string{"mvc-congest", "mds-congest", "gavril"} {
+		job := Job{
+			Generator: GeneratorSpec{Name: "connected-gnp"},
+			N:         20, Power: 2,
+			Algorithm: algName, Epsilon: 0.5,
+			Seed: 404, Engine: "batch", OracleN: 20,
+		}
+		want := executeJob(job, nil)
+		if want.Error != "" {
+			t.Fatalf("%s: sweep path failed: %s", algName, want.Error)
+		}
+
+		rng := rand.New(rand.NewSource(job.instanceSeed()))
+		g, err := job.Generator.Build(job.N, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := &obs.Collector{}
+		got := SolveInstance(context.Background(), g, g.Power(job.Power), job, col, NewOracleCache())
+		if got.Canceled {
+			t.Fatalf("%s: spurious Canceled flag", algName)
+		}
+		wantJSON, _ := json.Marshal(want)
+		gotJSON, _ := json.Marshal(got)
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Fatalf("%s: SolveInstance diverged from executeJob:\n sweep: %s\n serve: %s",
+				algName, wantJSON, gotJSON)
+		}
+	}
+}
+
+// TestSolveInstanceCanceled: a canceled context aborts a distributed solve
+// at the round barrier and flags the result as Canceled (so callers drop it)
+// rather than reporting it as an algorithm fault.
+func TestSolveInstanceCanceled(t *testing.T) {
+	job := Job{
+		Generator: GeneratorSpec{Name: "connected-gnp"},
+		N:         24, Power: 2,
+		Algorithm: "mvc-congest", Epsilon: 0.5,
+		Seed: 7, Engine: "batch",
+	}
+	rng := rand.New(rand.NewSource(job.instanceSeed()))
+	g, err := job.Generator.Build(job.N, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := SolveInstance(ctx, g, g.Power(job.Power), job, nil, nil)
+	if !res.Canceled {
+		t.Fatalf("want Canceled, got error=%q", res.Error)
+	}
+	if !strings.Contains(res.Error, "canceled") {
+		t.Fatalf("error %q does not mention cancellation", res.Error)
+	}
+
+	// Centralized baselines have no round barrier: they run to completion
+	// regardless of the context, and must not be flagged.
+	job.Algorithm = "gavril"
+	res = SolveInstance(ctx, g, g.Power(job.Power), job, nil, nil)
+	if res.Canceled || res.Error != "" {
+		t.Fatalf("centralized solve under canceled ctx: canceled=%v err=%q", res.Canceled, res.Error)
+	}
+}

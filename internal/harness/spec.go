@@ -451,6 +451,12 @@ func LoadSpec(path string) (*Spec, error) {
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("harness: parsing spec %s: %w", path, err)
 	}
+	// Decode parses exactly one JSON value; anything after it (a concatenated
+	// second spec, shell garbage from a bad redirect, a truncated merge) must
+	// fail loudly instead of silently loading the first value as valid.
+	if tok, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("harness: parsing spec %s: trailing content after spec object (next token %v)", path, tok)
+	}
 	if s.Name == "" {
 		s.Name = "sweep"
 	}

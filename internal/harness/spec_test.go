@@ -150,6 +150,32 @@ func TestLoadSpecRejectsUnknownFields(t *testing.T) {
 	}
 }
 
+func TestLoadSpecRejectsTrailingGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.json")
+	good := `{"name":"x","rootSeed":1,"generators":[{"name":"path"}],"sizes":[8],"algorithms":["gavril"]}`
+	for _, trailing := range []string{
+		good,       // a concatenated second spec
+		`{}`,       // a second JSON value
+		`garbage]`, // plain corruption
+		`0`,        // a stray scalar
+	} {
+		if err := os.WriteFile(path, []byte(good+"\n"+trailing), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSpec(path); err == nil {
+			t.Errorf("spec with trailing %q loaded without error", trailing)
+		}
+	}
+	// Trailing whitespace and newlines are not garbage.
+	if err := os.WriteFile(path, []byte(good+"\n\n  \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(path); err != nil {
+		t.Errorf("spec with trailing whitespace rejected: %v", err)
+	}
+}
+
 func TestGeneratorBuildSizes(t *testing.T) {
 	for _, name := range GeneratorNames() {
 		g := GeneratorSpec{Name: name}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bufio"
+	"context"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -52,7 +53,7 @@ func TestRegistryTraceConformance(t *testing.T) {
 					t.Fatal(err)
 				}
 				col := &obs.Collector{CollectRounds: true}
-				res, err := alg.Run(g, g.Power(r), job, col)
+				res, err := alg.Run(context.Background(), g, g.Power(r), job, col)
 				if err != nil {
 					t.Fatalf("%s r=%d %s: %v", info.Name, r, engine, err)
 				}
@@ -230,7 +231,7 @@ func TestCSVHeaderPinned(t *testing.T) {
 func TestTraceFileCarriesSpansAndStack(t *testing.T) {
 	algorithms["test-panic"] = &Algorithm{
 		Name: "test-panic", Model: ModelCentralized, Problem: ProblemMVC,
-		Run: func(*graph.Graph, *graph.Graph, Job, obs.Tracer) (*core.Result, error) {
+		Run: func(context.Context, *graph.Graph, *graph.Graph, Job, obs.Tracer) (*core.Result, error) {
 			panic("kaboom")
 		},
 	}

@@ -1,0 +1,111 @@
+package kernel
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"powergraph/internal/bitset"
+	"powergraph/internal/graph"
+	"powergraph/internal/verify"
+)
+
+func sameSet(a, b *bitset.Set) bool {
+	return slices.Equal(a.Elements(), b.Elements())
+}
+
+// TestIncrementalMatchesColdSolve: on sparse multi-component graphs
+// (weighted and not), the cached solver must return exactly what a cold
+// instance returns, with exact cost and feasibility for both problems.
+func TestIncrementalMatchesColdSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 6; trial++ {
+		g := graph.GNP(60, 0.04, rng) // sparse: several components w.h.p.
+		if trial%2 == 1 {
+			g = graph.WithRandomWeights(g, 30, rng)
+		}
+		inc := NewIncremental()
+
+		vc := inc.VertexCover(g)
+		if ok, w := verify.IsVertexCover(g, vc); !ok {
+			t.Fatalf("trial %d: uncovered edge %v", trial, w)
+		}
+		if got, want := g.SetWeightOf(vc), g.SetWeightOf(VertexCover(g)); got != want {
+			t.Fatalf("trial %d: VC cost %d, exact optimum %d", trial, got, want)
+		}
+		if !sameSet(vc, NewIncremental().VertexCover(g)) {
+			t.Fatalf("trial %d: VC diverges from a cold instance", trial)
+		}
+
+		ds := inc.DominatingSet(g)
+		if ok, w := verify.IsDominatingSet(g, ds); !ok {
+			t.Fatalf("trial %d: undominated vertex %d", trial, w)
+		}
+		if got, want := g.SetWeightOf(ds), g.SetWeightOf(DominatingSet(g)); got != want {
+			t.Fatalf("trial %d: DS cost %d, exact optimum %d", trial, got, want)
+		}
+		if !sameSet(ds, NewIncremental().DominatingSet(g)) {
+			t.Fatalf("trial %d: DS diverges from a cold instance", trial)
+		}
+	}
+}
+
+// TestIncrementalChurnReusesComponents drives an overlay through random
+// edge churn and checks, at every step, that the warm cache's answer is
+// byte-identical to a cold solve of the current graph — and that the warm
+// instance really is skipping solves for untouched components.
+func TestIncrementalChurnReusesComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	base := graph.WithRandomWeights(graph.GNP(50, 0.05, rng), 20, rng)
+	ov := graph.NewOverlay(base)
+	inc := NewIncremental()
+	var coldSolves int64
+
+	for step := 0; step < 15; step++ {
+		var edits []graph.EdgeEdit
+		for len(edits) < 1+rng.Intn(3) {
+			u, v := rng.Intn(50), rng.Intn(50)
+			if u == v {
+				continue
+			}
+			cur := ov.HasEdge(u, v)
+			edits = append(edits, graph.EdgeEdit{U: u, V: v, Del: cur})
+		}
+		if err := ov.Apply(edits); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		g := ov.Materialize()
+
+		cold := NewIncremental()
+		want := cold.VertexCover(g)
+		coldSolves += cold.Solves()
+		got := inc.VertexCover(g)
+		if !sameSet(got, want) {
+			t.Fatalf("step %d: warm cache diverged from cold solve", step)
+		}
+		if ok, w := verify.IsVertexCover(g, got); !ok {
+			t.Fatalf("step %d: uncovered edge %v", step, w)
+		}
+	}
+	if inc.Solves() >= coldSolves {
+		t.Fatalf("cache ineffective: %d warm solves vs %d cold", inc.Solves(), coldSolves)
+	}
+}
+
+// TestIncrementalSharesIdenticalComponents: components with equal canonical
+// content resolve through a single solver invocation.
+func TestIncrementalSharesIdenticalComponents(t *testing.T) {
+	b := graph.NewBuilder(8) // two disjoint copies of P4
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {6, 7}} {
+		b.MustAddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	inc := NewIncremental()
+	vc := inc.VertexCover(g)
+	if inc.Solves() != 1 {
+		t.Fatalf("two identical components took %d solves, want 1", inc.Solves())
+	}
+	if ok, w := verify.IsVertexCover(g, vc); !ok {
+		t.Fatalf("uncovered edge %v", w)
+	}
+}

@@ -1,0 +1,20 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"powergraph/internal/graph"
+	"powergraph/internal/harness"
+)
+
+// harnessGeneratorSpec keeps the HTTP test bodies readable.
+type harnessGeneratorSpec = harness.GeneratorSpec
+
+func seededRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// mustGNP builds a small seeded connected instance for server tests.
+func mustGNP(t *testing.T, n int, seed int64) *graph.Graph {
+	t.Helper()
+	return graph.ConnectedGNP(n, 0.15, rand.New(rand.NewSource(seed)))
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powergraph/internal/harness"
+)
+
+// LoadSpec declares one serving benchmark: a resident graph, a query mix,
+// and a churn cadence, driven for a fixed duration by concurrent clients
+// over real HTTP. Loaded from JSON (specs/serve-load.json) with the same
+// strictness as harness specs: unknown fields and trailing garbage are
+// rejected.
+type LoadSpec struct {
+	Name string `json:"name"`
+	// DurationMs bounds the drive phase's wall-clock time.
+	DurationMs int `json:"durationMs"`
+	// Clients is the number of concurrent load-generating clients.
+	Clients int `json:"clients"`
+	// Seed drives every client's request randomness.
+	Seed int64 `json:"seed"`
+
+	// Graph is the resident instance under load.
+	Graph struct {
+		Generator harness.GeneratorSpec `json:"generator"`
+		N         int                   `json:"n"`
+		Seed      int64                 `json:"seed"`
+	} `json:"graph"`
+
+	// Solves is the query mix, drawn uniformly per request.
+	Solves []SolveRequest `json:"solves"`
+	// ChurnEvery inserts one churn request after every ChurnEvery solves
+	// per client (0 disables churn). ChurnBatch is the edits per batch.
+	ChurnEvery int `json:"churnEvery,omitempty"`
+	ChurnBatch int `json:"churnBatch,omitempty"`
+}
+
+// LoadLoadSpec reads and validates a load spec file.
+func LoadLoadSpec(path string) (*LoadSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var s LoadSpec
+	if err := decodeStrict(f, &s); err != nil {
+		return nil, fmt.Errorf("serve: parsing load spec %s: %w", path, err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, fmt.Errorf("serve: load spec %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func (s *LoadSpec) validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("missing name")
+	case s.DurationMs <= 0:
+		return fmt.Errorf("durationMs must be > 0")
+	case s.Clients <= 0:
+		return fmt.Errorf("clients must be > 0")
+	case s.Graph.N <= 0:
+		return fmt.Errorf("graph.n must be > 0")
+	case len(s.Solves) == 0:
+		return fmt.Errorf("need at least one solve in the mix")
+	case s.ChurnEvery > 0 && s.ChurnBatch <= 0:
+		return fmt.Errorf("churnBatch must be > 0 when churnEvery is set")
+	}
+	return nil
+}
+
+// BenchReport is the serialized outcome of a load run (BENCH_serve.json).
+// QPS and latency quantiles are wall-clock measurements; Checks carries the
+// invariants the run verified (request failures are a hard error instead).
+type BenchReport struct {
+	Name       string  `json:"name"`
+	GraphN     int     `json:"graphN"`
+	GraphM     int     `json:"graphM"`
+	Clients    int     `json:"clients"`
+	DurationMs float64 `json:"durationMs"`
+
+	Requests int64   `json:"requests"`
+	Solves   int64   `json:"solves"`
+	Churns   int64   `json:"churns"`
+	QPS      float64 `json:"qps"`
+
+	// Endpoints holds the server-side per-endpoint latency summary
+	// (p50/p95 in milliseconds) for the load phase.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+
+	// Instance is the resident graph's final stats: how much churn it
+	// absorbed and how often the incremental splice path served it.
+	Instance InstanceStats `json:"instance"`
+}
+
+// RunLoad builds the spec's resident graph in a fresh in-process Server,
+// drives the mixed load over real HTTP for the configured duration, and
+// returns the measured report. Any non-2xx response aborts the run.
+func RunLoad(spec *LoadSpec) (*BenchReport, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	g, err := spec.Graph.Generator.Build(spec.Graph.N, rand.New(rand.NewSource(spec.Graph.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	srv := New(Options{})
+	inst, err := srv.AddGraph("bench", g)
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var requests, solves, churns atomic.Int64
+	var firstErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+
+	post := func(client *http.Client, path string, body any) error {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			diag, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, diag)
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+
+	start := time.Now()
+	deadline := start.Add(time.Duration(spec.DurationMs) * time.Millisecond)
+	var wg sync.WaitGroup
+	for c := 0; c < spec.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			rng := rand.New(rand.NewSource(spec.Seed + int64(c)*0x9e3779b9))
+			n := spec.Graph.N
+			sinceChurn := 0
+			for time.Now().Before(deadline) && !failed() {
+				if spec.ChurnEvery > 0 && sinceChurn >= spec.ChurnEvery {
+					sinceChurn = 0
+					// Each batch inserts random non-edges of the base graph
+					// and deletes them again within the same batch. Batches
+					// are net-zero, so the view always equals the base
+					// between batches; since the server applies batches
+					// atomically, concurrent clients can never invalidate
+					// each other's edits — while the server still pays the
+					// full incremental-recompute path for every batch.
+					var edits []edgeEditJSON
+					for len(edits) < 2*spec.ChurnBatch {
+						u, v := rng.Intn(n), rng.Intn(n)
+						if u == v || g.HasEdge(u, v) {
+							continue
+						}
+						edits = append(edits,
+							edgeEditJSON{U: u, V: v},
+							edgeEditJSON{U: u, V: v, Del: true})
+					}
+					if err := post(client, "/v1/graphs/bench/edges", edgeBatch{Edits: edits}); err != nil {
+						fail(err)
+						return
+					}
+					requests.Add(1)
+					churns.Add(1)
+					continue
+				}
+				req := spec.Solves[rng.Intn(len(spec.Solves))]
+				if err := post(client, "/v1/graphs/bench/solve", req); err != nil {
+					fail(err)
+					return
+				}
+				requests.Add(1)
+				solves.Add(1)
+				sinceChurn++
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if failed() {
+		return nil, firstErr
+	}
+
+	info := inst.Info()
+	rep := &BenchReport{
+		Name: spec.Name, GraphN: info.N, GraphM: info.M,
+		Clients: spec.Clients, DurationMs: float64(elapsed.Nanoseconds()) / 1e6,
+		Requests: requests.Load(), Solves: solves.Load(), Churns: churns.Load(),
+		Endpoints: srv.metrics.snapshot(),
+		Instance:  info.Stats,
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	return rep, nil
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powergraph/internal/harness"
+)
+
+// TestRunLoadSmoke runs a short mixed load against an in-process server and
+// checks the report's accounting invariants.
+func TestRunLoadSmoke(t *testing.T) {
+	spec := &LoadSpec{
+		Name: "smoke", DurationMs: 300, Clients: 3, Seed: 1,
+		Solves: []SolveRequest{
+			{Algorithm: "mvc-congest", Power: 2, Epsilon: 0.5, Engine: "batch"},
+			{Algorithm: "gavril", Power: 2},
+		},
+		ChurnEvery: 4, ChurnBatch: 2,
+	}
+	spec.Graph.Generator = harness.GeneratorSpec{Name: "connected-gnp"}
+	spec.Graph.N = 32
+	spec.Graph.Seed = 9
+
+	rep, err := RunLoad(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Requests != rep.Solves+rep.Churns {
+		t.Fatalf("request accounting broken: %+v", rep)
+	}
+	if rep.QPS <= 0 {
+		t.Fatalf("no throughput measured: %+v", rep)
+	}
+	if spec.ChurnEvery > 0 && rep.Churns == 0 {
+		t.Fatalf("churn never ran: %+v", rep)
+	}
+	if _, ok := rep.Endpoints["solve"]; !ok {
+		t.Fatalf("no solve endpoint stats: %+v", rep.Endpoints)
+	}
+	if rep.Instance.Batches != rep.Churns {
+		t.Fatalf("instance absorbed %d batches for %d churn requests", rep.Instance.Batches, rep.Churns)
+	}
+}
+
+// TestLoadLoadSpecStrict mirrors the harness spec-loader contract: unknown
+// fields, trailing garbage, and invalid values are rejected with a
+// diagnostic naming the file.
+func TestLoadLoadSpecStrict(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "load.json")
+	good := `{"name":"x","durationMs":100,"clients":1,"graph":{"generator":{"name":"path"},"n":8},"solves":[{"algorithm":"gavril"}]}`
+	if err := os.WriteFile(path, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLoadSpec(path); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	for label, bad := range map[string]string{
+		"unknown field":    strings.Replace(good, `"clients"`, `"cleints"`, 1),
+		"trailing garbage": good + "\n{}",
+		"no solves":        strings.Replace(good, `"solves":[{"algorithm":"gavril"}]`, `"solves":[]`, 1),
+		"zero duration":    strings.Replace(good, `"durationMs":100`, `"durationMs":0`, 1),
+	} {
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadLoadSpec(path); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+	// The real checked-in spec must load.
+	if _, err := LoadLoadSpec(filepath.Join("..", "..", "specs", "serve-load.json")); err != nil {
+		t.Errorf("specs/serve-load.json: %v", err)
+	}
+}

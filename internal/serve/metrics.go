@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds the per-endpoint sample ring: quantiles are computed
+// over the most recent latencyWindow observations, which keeps memory flat
+// under sustained load.
+const latencyWindow = 1 << 14
+
+// EndpointStats is one endpoint's latency summary.
+type EndpointStats struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	P50Ms  float64 `json:"p50Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+}
+
+// metrics records per-endpoint request latencies in a bounded ring and
+// serves p50/p95 snapshots. Safe for concurrent use.
+type metrics struct {
+	mu sync.Mutex
+	m  map[string]*epRing
+}
+
+type epRing struct {
+	count, errors int64
+	samples       []float64 // ms, ring of latencyWindow
+	next          int
+	full          bool
+}
+
+func newMetrics() *metrics { return &metrics{m: make(map[string]*epRing)} }
+
+func (m *metrics) observe(endpoint string, d time.Duration, isErr bool) {
+	ms := float64(d.Nanoseconds()) / 1e6
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.m[endpoint]
+	if r == nil {
+		r = &epRing{samples: make([]float64, 0, 256)}
+		m.m[endpoint] = r
+	}
+	r.count++
+	if isErr {
+		r.errors++
+	}
+	if len(r.samples) < latencyWindow {
+		r.samples = append(r.samples, ms)
+	} else {
+		r.samples[r.next] = ms
+		r.full = true
+	}
+	r.next = (r.next + 1) % latencyWindow
+}
+
+// snapshot summarizes every endpoint seen so far.
+func (m *metrics) snapshot() map[string]EndpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]EndpointStats, len(m.m))
+	for ep, r := range m.m {
+		s := EndpointStats{Count: r.count, Errors: r.errors}
+		if n := len(r.samples); n > 0 {
+			sorted := make([]float64, n)
+			copy(sorted, r.samples)
+			sort.Float64s(sorted)
+			s.P50Ms = quantile(sorted, 0.50)
+			s.P95Ms = quantile(sorted, 0.95)
+		}
+		out[ep] = s
+	}
+	return out
+}
+
+// quantile reads the q-quantile from an ascending slice (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"powergraph/internal/graph"
+	"powergraph/internal/harness"
+	"powergraph/internal/obs"
+)
+
+// StatusClientClosedRequest is the status reported when a solve is aborted
+// because the client's request context was canceled (nginx's 499
+// convention; net/http has no standard constant for it).
+const StatusClientClosedRequest = 499
+
+// Options tunes a Server. The zero value is ready to use.
+type Options struct {
+	// Workers bounds concurrent solve executions across all graphs
+	// (≤ 0 → GOMAXPROCS). Requests beyond the bound queue on their own
+	// context, so a client that gives up stops waiting for a slot.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// Server hosts resident graph instances behind an HTTP/JSON API:
+//
+//	GET    /healthz                  liveness + runtime snapshot
+//	GET    /v1/graphs                list resident instances
+//	POST   /v1/graphs                create (generator or edge-list body)
+//	GET    /v1/graphs/{id}           one instance's info
+//	DELETE /v1/graphs/{id}           drop an instance
+//	POST   /v1/graphs/{id}/solve     run a query (SolveRequest body)
+//	POST   /v1/graphs/{id}/edges     churn (JSON batch or NDJSON stream)
+//	GET    /v1/stats                 per-endpoint latency quantiles
+//
+// Construct with New, mount Handler on any http.Server.
+type Server struct {
+	opts    Options
+	mu      sync.RWMutex
+	graphs  map[string]*Instance
+	sem     chan struct{}
+	metrics *metrics
+	start   time.Time
+}
+
+// New returns an empty server.
+func New(opts Options) *Server {
+	return &Server{
+		opts:    opts,
+		graphs:  make(map[string]*Instance),
+		sem:     make(chan struct{}, opts.workers()),
+		metrics: newMetrics(),
+		start:   time.Now(),
+	}
+}
+
+// AddGraph registers a pre-built graph under id (the preload path of
+// cmd/powerserve and the tests' shortcut past the HTTP create endpoint).
+func (s *Server) AddGraph(id string, g *graph.Graph) (*Instance, error) {
+	if id == "" {
+		return nil, fmt.Errorf("serve: empty graph id")
+	}
+	inst := NewInstance(id, g)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.graphs[id]; dup {
+		return nil, fmt.Errorf("serve: graph %q already exists", id)
+	}
+	s.graphs[id] = inst
+	return inst, nil
+}
+
+func (s *Server) instance(id string) *Instance {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graphs[id]
+}
+
+// Handler builds the routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/graphs", s.instrument("graphs-list", s.handleListGraphs))
+	mux.HandleFunc("POST /v1/graphs", s.instrument("graphs-create", s.handleCreateGraph))
+	mux.HandleFunc("GET /v1/graphs/{id}", s.instrument("graphs-get", s.handleGetGraph))
+	mux.HandleFunc("DELETE /v1/graphs/{id}", s.instrument("graphs-delete", s.handleDeleteGraph))
+	mux.HandleFunc("POST /v1/graphs/{id}/solve", s.instrument("solve", s.handleSolve))
+	mux.HandleFunc("POST /v1/graphs/{id}/edges", s.instrument("edges", s.handleEdges))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	return mux
+}
+
+// httpError carries a status code out of a handler.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errStatus(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// instrument adapts an error-returning handler: it serializes failures as
+// {"error": ...} with the carried status and records the request latency
+// under the endpoint label.
+func (s *Server) instrument(label string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		err := h(w, r)
+		s.metrics.observe(label, time.Since(start), err != nil)
+		if err == nil {
+			return
+		}
+		status := http.StatusInternalServerError
+		var he *httpError
+		if errors.As(err, &he) {
+			status = he.status
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// decodeStrict decodes one JSON value from r into v, rejecting unknown
+// fields and trailing garbage (the same contract harness.LoadSpec enforces
+// on spec files).
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if tok, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing content after JSON body (next token %v)", tok)
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	snap := obs.ReadRuntime()
+	s.mu.RLock()
+	n := len(s.graphs)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok": true, "graphs": n, "goroutines": snap.Goroutines,
+	})
+	return nil
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) error {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.graphs))
+	for id := range s.graphs {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	infos := make([]InstanceInfo, 0, len(ids))
+	for _, id := range ids {
+		if inst := s.instance(id); inst != nil {
+			infos = append(infos, inst.Info())
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+	return nil
+}
+
+// CreateGraphRequest describes a new resident graph: either a registry
+// generator (Generator + N + Seed, optionally weighted through the spec's
+// MaxWeight) or an inline edge list in the `n`/`e`/`w` text format of
+// graph.ReadEdgeList. Exactly one of the two must be present.
+type CreateGraphRequest struct {
+	ID        string                 `json:"id"`
+	Generator *harness.GeneratorSpec `json:"generator,omitempty"`
+	N         int                    `json:"n,omitempty"`
+	Seed      int64                  `json:"seed,omitempty"`
+	EdgeList  string                 `json:"edgeList,omitempty"`
+}
+
+func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) error {
+	var req CreateGraphRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		return errStatus(http.StatusBadRequest, "serve: create: %v", err)
+	}
+	if req.ID == "" {
+		return errStatus(http.StatusBadRequest, "serve: create: missing graph id")
+	}
+	var g *graph.Graph
+	switch {
+	case req.Generator != nil && req.EdgeList != "":
+		return errStatus(http.StatusBadRequest, "serve: create: generator and edgeList are mutually exclusive")
+	case req.Generator != nil:
+		if req.N <= 0 {
+			return errStatus(http.StatusBadRequest, "serve: create: generator needs n > 0")
+		}
+		built, err := req.Generator.Build(req.N, rand.New(rand.NewSource(req.Seed)))
+		if err != nil {
+			return errStatus(http.StatusBadRequest, "serve: create: %v", err)
+		}
+		g = built
+	case req.EdgeList != "":
+		parsed, err := graph.ReadEdgeList(strings.NewReader(req.EdgeList))
+		if err != nil {
+			return errStatus(http.StatusBadRequest, "serve: create: %v", err)
+		}
+		g = parsed
+	default:
+		return errStatus(http.StatusBadRequest, "serve: create: need generator or edgeList")
+	}
+	inst, err := s.AddGraph(req.ID, g)
+	if err != nil {
+		return errStatus(http.StatusConflict, "%v", err)
+	}
+	writeJSON(w, http.StatusCreated, inst.Info())
+	return nil
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) error {
+	inst := s.instance(r.PathValue("id"))
+	if inst == nil {
+		return errStatus(http.StatusNotFound, "serve: no graph %q", r.PathValue("id"))
+	}
+	writeJSON(w, http.StatusOK, inst.Info())
+	return nil
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.graphs[id]
+	delete(s.graphs, id)
+	s.mu.Unlock()
+	if !ok {
+		return errStatus(http.StatusNotFound, "serve: no graph %q", id)
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+	return nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) error {
+	inst := s.instance(r.PathValue("id"))
+	if inst == nil {
+		return errStatus(http.StatusNotFound, "serve: no graph %q", r.PathValue("id"))
+	}
+	var req SolveRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		return errStatus(http.StatusBadRequest, "serve: solve: %v", err)
+	}
+	if req.Algorithm == "" {
+		return errStatus(http.StatusBadRequest, "serve: solve: missing algorithm")
+	}
+
+	// Bound concurrent executions; a client that disconnects while queued
+	// stops waiting.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		return errStatus(StatusClientClosedRequest, "serve: solve: %v", r.Context().Err())
+	}
+
+	resp, err := inst.Solve(r.Context(), req)
+	switch {
+	case errors.Is(err, ErrSolveCanceled):
+		return errStatus(StatusClientClosedRequest, "%v", err)
+	case err != nil:
+		return errStatus(http.StatusBadRequest, "%v", err)
+	case resp.Error != "":
+		// The harness isolated an algorithm-level failure (unknown
+		// algorithm, unsupported power, panic): a client error, with the
+		// diagnostic in the standard envelope.
+		return errStatus(http.StatusBadRequest, "serve: solve: %s", resp.Error)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// edgeBatch is the JSON body of a churn request.
+type edgeBatch struct {
+	Edits []edgeEditJSON `json:"edits"`
+}
+
+type edgeEditJSON struct {
+	U   int  `json:"u"`
+	V   int  `json:"v"`
+	Del bool `json:"del,omitempty"`
+}
+
+// handleEdges accepts churn as either a JSON batch {"edits":[...]} or, with
+// Content-Type application/x-ndjson, a stream of one {"u","v","del"} object
+// per line. Either way the whole request is applied as one atomic batch:
+// cached powers update incrementally, or nothing changes and the offending
+// edit's error is returned.
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) error {
+	inst := s.instance(r.PathValue("id"))
+	if inst == nil {
+		return errStatus(http.StatusNotFound, "serve: no graph %q", r.PathValue("id"))
+	}
+	var edits []graph.EdgeEdit
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/x-ndjson") {
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" {
+				continue
+			}
+			var e edgeEditJSON
+			if err := decodeStrict(strings.NewReader(text), &e); err != nil {
+				return errStatus(http.StatusBadRequest, "serve: edges: line %d: %v", line, err)
+			}
+			edits = append(edits, graph.EdgeEdit{U: e.U, V: e.V, Del: e.Del})
+		}
+		if err := sc.Err(); err != nil {
+			return errStatus(http.StatusBadRequest, "serve: edges: %v", err)
+		}
+	} else {
+		var batch edgeBatch
+		if err := decodeStrict(r.Body, &batch); err != nil {
+			return errStatus(http.StatusBadRequest, "serve: edges: %v", err)
+		}
+		for _, e := range batch.Edits {
+			edits = append(edits, graph.EdgeEdit{U: e.U, V: e.V, Del: e.Del})
+		}
+	}
+	res, err := inst.Churn(edits)
+	if err != nil {
+		return errStatus(http.StatusBadRequest, "serve: edges: %v", err)
+	}
+	writeJSON(w, http.StatusOK, res)
+	return nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	snap := obs.ReadRuntime()
+	s.mu.RLock()
+	n := len(s.graphs)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptimeMs":   float64(time.Since(s.start).Nanoseconds()) / 1e6,
+		"graphs":     n,
+		"goroutines": snap.Goroutines,
+		"heapBytes":  snap.HeapBytes,
+		"endpoints":  s.metrics.snapshot(),
+	})
+	return nil
+}
