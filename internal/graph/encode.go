@@ -40,6 +40,14 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 
 // ReadEdgeList decodes a graph from the edge-list format.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return ReadEdgeListLimit(r, 0)
+}
+
+// ReadEdgeListLimit decodes a graph from the edge-list format, rejecting a
+// vertex count above maxN (maxN ≤ 0 means unlimited) before any allocation
+// proportional to it happens. Servers parsing untrusted input use this so a
+// tiny body declaring `n 2000000000` cannot allocate gigabytes.
+func ReadEdgeListLimit(r io.Reader, maxN int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
 	var b *Builder
@@ -62,6 +70,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			n, err := strconv.Atoi(fields[1])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNo, fields[1])
+			}
+			if maxN > 0 && n > maxN {
+				return nil, fmt.Errorf("graph: line %d: vertex count %d exceeds the limit %d", lineNo, n, maxN)
 			}
 			b = NewBuilder(n)
 		case "e":

@@ -167,6 +167,23 @@ func TestReadEdgeListErrors(t *testing.T) {
 	}
 }
 
+func TestReadEdgeListLimit(t *testing.T) {
+	// A header above the cap fails with a line-numbered error before any
+	// allocation proportional to the declared count.
+	_, err := ReadEdgeListLimit(strings.NewReader("# big\nn 2000000000\n"), 1000)
+	if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized header: %v", err)
+	}
+	// At or below the cap the loader behaves exactly like ReadEdgeList.
+	g, err := ReadEdgeListLimit(strings.NewReader("n 3\ne 0 1\n"), 3)
+	if err != nil || g.N() != 3 || g.M() != 1 {
+		t.Fatalf("within limit: g=%v err=%v", g, err)
+	}
+	if _, err := ReadEdgeListLimit(strings.NewReader("n 3\ne 0 1\n"), 0); err != nil {
+		t.Fatalf("maxN=0 must mean unlimited: %v", err)
+	}
+}
+
 func TestReadEdgeListIgnoresComments(t *testing.T) {
 	in := "# comment\n\nn 3\n# another\ne 0 1\n"
 	g, err := ReadEdgeList(strings.NewReader(in))

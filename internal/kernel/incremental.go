@@ -49,6 +49,13 @@ type incEntry struct {
 	local []int32
 }
 
+// maxIncrementalEntries bounds the component cache: a long-lived serving
+// instance under churn sees an unbounded stream of distinct component
+// contents, and the keys embed full adjacency encodings. At the cap the
+// cache resets wholesale — the entries are pure memoization, so dropping
+// them costs recomputation, never correctness.
+const maxIncrementalEntries = 1 << 16
+
 // NewIncremental returns an empty component cache.
 func NewIncremental() *Incremental {
 	return &Incremental{m: make(map[incKey]*incEntry)}
@@ -97,6 +104,11 @@ func (inc *Incremental) entry(key incKey) *incEntry {
 	defer inc.mu.Unlock()
 	e := inc.m[key]
 	if e == nil {
+		if len(inc.m) >= maxIncrementalEntries {
+			// Entries already handed out keep resolving through their own
+			// pointers; only future lookups re-solve.
+			inc.m = make(map[incKey]*incEntry)
+		}
 		e = &incEntry{}
 		inc.m[key] = e
 	}

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"powergraph/internal/graph"
+)
+
+// TestSolveChurnVersionConsistency hammers Solve and Churn concurrently and
+// checks that every response's Version labels exactly the graph content the
+// solve ran on. The churner toggles one fixed edge per batch, so the edge
+// count of version v is known in closed form: a response pairing version N
+// with the view of version N±1 (the TOCTOU this test pins down) shows up as
+// an impossible (Version, M) combination.
+func TestSolveChurnVersionConsistency(t *testing.T) {
+	base := mustGNP(t, 32, 3)
+	inst := NewInstance("race", base)
+	if _, err := inst.power(2); err != nil {
+		t.Fatal(err)
+	}
+
+	cu, cv := -1, -1
+	for u := 0; u < base.N() && cu < 0; u++ {
+		for v := u + 1; v < base.N(); v++ {
+			if !base.HasEdge(u, v) {
+				cu, cv = u, v
+				break
+			}
+		}
+	}
+	m0 := base.M()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			if _, err := inst.Churn([]graph.EdgeEdit{{U: cu, V: cv, Del: i%2 == 1}}); err != nil {
+				t.Errorf("churn %d: %v", i, err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// Distinct seeds make every request a fresh execution rather
+				// than a cache hit.
+				resp, err := inst.Solve(context.Background(), SolveRequest{
+					Algorithm: "gavril", Power: 2, Seed: int64(w*100000 + i),
+				})
+				if err != nil {
+					t.Errorf("solve: %v", err)
+					return
+				}
+				// Version v is the result of v one-edit batches alternating
+				// insert/delete, so its view has m0 + v%2 edges.
+				if want := m0 + int(resp.Version%2); resp.M != want {
+					t.Errorf("version %d paired with M=%d, want %d", resp.Version, resp.M, want)
+					return
+				}
+			}
+		}(w)
+	}
+	<-done
+	wg.Wait()
+}
+
+// TestSolveWaiterRetriggersAfterLeaderCancel pins the single-flight
+// semantics: when the leading execution dies with its own client's
+// cancellation, a duplicate waiter whose context is still live must elect
+// itself leader and produce a real result instead of inheriting the 499.
+func TestSolveWaiterRetriggersAfterLeaderCancel(t *testing.T) {
+	inst := NewInstance("g", mustGNP(t, 24, 7))
+	req := SolveRequest{Algorithm: "gavril", Power: 2}
+	version, _, _, err := inst.snapshot(req.Power)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant an in-flight leader's entry by hand so the test controls when and
+	// how it fails.
+	key := inst.cacheKey(req, version)
+	e := &resEntry{done: make(chan struct{})}
+	inst.resMu.Lock()
+	inst.results[key] = e
+	inst.resMu.Unlock()
+
+	type result struct {
+		resp *SolveResponse
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := inst.Solve(context.Background(), req)
+		got <- result{resp, err}
+	}()
+
+	// Let the waiter park on the leader's done channel, then fail the leader
+	// exactly the way Solve's error path does: clear the flight, drop the
+	// entry, wake the waiters with no result recorded.
+	time.Sleep(20 * time.Millisecond)
+	e.mu.Lock()
+	ch := e.done
+	e.done = nil
+	e.mu.Unlock()
+	inst.resMu.Lock()
+	delete(inst.results, key)
+	inst.resMu.Unlock()
+	close(ch)
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("waiter inherited the leader's failure: %v", r.err)
+	}
+	if r.resp.Cached {
+		t.Fatal("waiter's re-execution reported itself as cached")
+	}
+
+	// A waiter whose own context dies while parked still gets the 499.
+	e2 := &resEntry{done: make(chan struct{})}
+	inst.resMu.Lock()
+	inst.results[key] = e2
+	inst.resMu.Unlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := inst.Solve(ctx, req); err == nil {
+		t.Fatal("canceled waiter returned without error")
+	}
+	inst.resMu.Lock()
+	delete(inst.results, key)
+	inst.resMu.Unlock()
+	close(e2.done)
+}
+
+// TestResultCacheBounded: at the entry cap the per-version result cache
+// resets instead of growing without limit.
+func TestResultCacheBounded(t *testing.T) {
+	inst := NewInstance("g", mustGNP(t, 12, 1))
+	inst.resMu.Lock()
+	for i := 0; i < maxCachedResults; i++ {
+		inst.results[fmt.Sprintf("pad%d", i)] = &resEntry{resp: &SolveResponse{}}
+	}
+	inst.resMu.Unlock()
+	if _, err := inst.Solve(context.Background(), SolveRequest{Algorithm: "gavril"}); err != nil {
+		t.Fatal(err)
+	}
+	inst.resMu.Lock()
+	n := len(inst.results)
+	inst.resMu.Unlock()
+	if n != 1 {
+		t.Fatalf("cache not reset at cap: %d entries", n)
+	}
+}
+
+// TestServerRequestBounds: client-controlled allocations are capped — graph
+// size on create (generator n and edge-list header), edits per churn batch,
+// and request body bytes.
+func TestServerRequestBounds(t *testing.T) {
+	srv := New(Options{})
+	if _, err := srv.AddGraph("g", mustGNP(t, 16, 11)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, body := doJSON(t, ts, "POST", "/v1/graphs", CreateGraphRequest{
+		ID: "big", N: MaxGraphN + 1, Generator: &harnessGeneratorSpec{Name: "path"},
+	})
+	if status != http.StatusBadRequest || !strings.Contains(body["error"].(string), "limit") {
+		t.Errorf("oversized generator n accepted: HTTP %d %v", status, body)
+	}
+
+	// An edge-list header declaring more vertices than the cap is rejected
+	// before the CSR builder allocates for it.
+	status, body = doJSON(t, ts, "POST", "/v1/graphs", CreateGraphRequest{
+		ID: "big", EdgeList: fmt.Sprintf("n %d\n", MaxGraphN+1),
+	})
+	if status != http.StatusBadRequest || !strings.Contains(body["error"].(string), "limit") {
+		t.Errorf("oversized edge-list header accepted: HTTP %d %v", status, body)
+	}
+
+	edits := make([]map[string]any, MaxChurnEdits+1)
+	for i := range edits {
+		edits[i] = map[string]any{"u": 0, "v": 1}
+	}
+	status, body = doJSON(t, ts, "POST", "/v1/graphs/g/edges", map[string]any{"edits": edits})
+	if status != http.StatusBadRequest || !strings.Contains(body["error"].(string), "limit") {
+		t.Errorf("oversized churn batch accepted: HTTP %d %v", status, body)
+	}
+
+	var nd strings.Builder
+	for i := 0; i <= MaxChurnEdits; i++ {
+		nd.WriteString("{\"u\":0,\"v\":1}\n")
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/graphs/g/edges", "application/x-ndjson",
+		strings.NewReader(nd.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized NDJSON churn accepted: HTTP %d", resp.StatusCode)
+	}
+
+	// A solve body past its byte bound comes back as 413, not an OOM.
+	resp, err = ts.Client().Post(ts.URL+"/v1/graphs/g/solve", "application/json",
+		strings.NewReader(`{"algorithm":"`+strings.Repeat("a", MaxSolveBodyBytes+1)+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized solve body: HTTP %d, want 413", resp.StatusCode)
+	}
+}

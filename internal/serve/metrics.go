@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -76,11 +77,20 @@ func (m *metrics) snapshot() map[string]EndpointStats {
 	return out
 }
 
-// quantile reads the q-quantile from an ascending slice (nearest-rank).
+// quantile reads the q-quantile from an ascending slice using the
+// nearest-rank definition: the ⌈q·n⌉-th smallest sample (so p95 of 100
+// samples is the 95th, not the floor-interpolated 94th).
 func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
 	return sorted[i]
 }

@@ -1,0 +1,29 @@
+package serve
+
+import "testing"
+
+// TestQuantileNearestRank pins the advertised nearest-rank definition: the
+// q-quantile of n ascending samples is the ⌈q·n⌉-th smallest, so p95 of
+// 1..100 is exactly 95 (not the floor-interpolated 94).
+func TestQuantileNearestRank(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i + 1)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 50}, {0.95, 95}, {1.0, 100}, {0.0, 1},
+	} {
+		if got := quantile(samples, tc.q); got != tc.want {
+			t.Errorf("quantile(1..100, %v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := quantile([]float64{7}, 0.95); got != 7 {
+		t.Errorf("single sample: %v", got)
+	}
+	if got := quantile(nil, 0.95); got != 0 {
+		t.Errorf("empty: %v", got)
+	}
+}

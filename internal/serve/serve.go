@@ -45,6 +45,12 @@ const MaxServePower = 4
 // its new base so per-row merge costs stay bounded.
 const compactPending = 1 << 12
 
+// maxCachedResults bounds the per-version solve-result cache. Churn already
+// swaps the map wholesale, but between churns distinct requests (varying
+// seeds, epsilons, …) would otherwise grow it without limit; at the cap the
+// map is reset, trading a few recomputes for flat memory.
+const maxCachedResults = 1 << 10
+
 // InstanceStats counts what churn and recomputation did over an instance's
 // lifetime. All fields are cumulative.
 type InstanceStats struct {
@@ -88,10 +94,14 @@ type Instance struct {
 	oracle *kernel.Incremental
 }
 
+// resEntry is one single-flight slot in the per-version result cache.
+// Execution is channel-based rather than sync.Once so that when the leader's
+// request context is canceled mid-run, waiters whose own contexts are still
+// live elect a new leader and re-execute instead of inheriting the 499.
 type resEntry struct {
-	once sync.Once
+	mu   sync.Mutex
+	done chan struct{} // non-nil while an execution is in flight
 	resp *SolveResponse
-	err  error
 }
 
 // NewInstance wraps g as a resident instance under the given id.
@@ -133,25 +143,41 @@ func (inst *Instance) Info() InstanceInfo {
 	}
 }
 
-// power returns Gʳ of the current view, computing and caching it on first
-// use. Subsequent churn maintains every cached power incrementally.
-func (inst *Instance) power(r int) (*graph.Graph, error) {
+// snapshot reads one mutually consistent (version, view, Gʳ) triple,
+// computing and caching the power graph on first use. Churn swaps all three
+// under the exclusive lock, so reading them inside a single critical section
+// is what guarantees a solve never pairs a view from version N+1 with a Gʳ
+// from version N; callers must carry the whole triple rather than re-reading
+// any part of it later.
+func (inst *Instance) snapshot(r int) (version uint64, view, power *graph.Graph, err error) {
 	if r < 1 || r > MaxServePower {
-		return nil, fmt.Errorf("serve: power must be in [1, %d], got %d", MaxServePower, r)
+		return 0, nil, nil, fmt.Errorf("serve: power must be in [1, %d], got %d", MaxServePower, r)
 	}
 	inst.mu.RLock()
-	p := inst.powers[r]
-	inst.mu.RUnlock()
-	if p != nil {
-		return p, nil
+	if p := inst.powers[r]; p != nil {
+		version, view = inst.version, inst.view
+		inst.mu.RUnlock()
+		return version, view, p, nil
 	}
+	inst.mu.RUnlock()
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
-	if p = inst.powers[r]; p == nil {
+	p := inst.powers[r]
+	if p == nil {
+		// Computed against the state the exclusive lock pins, so the triple
+		// returned below is consistent even if churn ran between the RUnlock
+		// above and this Lock.
 		p = inst.view.Power(r)
 		inst.powers[r] = p
 	}
-	return p, nil
+	return inst.version, inst.view, p, nil
+}
+
+// power returns Gʳ of the current view, computing and caching it on first
+// use. Subsequent churn maintains every cached power incrementally.
+func (inst *Instance) power(r int) (*graph.Graph, error) {
+	_, _, p, err := inst.snapshot(r)
+	return p, err
 }
 
 // PowerUpdate reports how one cached Gʳ was brought up to date by a churn
@@ -285,54 +311,83 @@ func (inst *Instance) cacheKey(req SolveRequest, version uint64) string {
 // Solve answers one query. Identical requests against the same graph
 // version share one execution and return identical responses (the repeat
 // marked Cached); ctx cancels an in-flight distributed run at its next
-// round barrier.
+// round barrier. The (version, view, Gʳ) triple the solve runs on is read in
+// one snapshot, so the response's Version always labels the exact content it
+// was computed on even while churn runs concurrently.
 func (inst *Instance) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
 	if req.Power == 0 {
 		req.Power = 2
 	}
-	inst.mu.RLock()
-	version := inst.version
-	inst.mu.RUnlock()
+	version, view, power, err := inst.snapshot(req.Power)
+	if err != nil {
+		return nil, err
+	}
 
 	key := inst.cacheKey(req, version)
 	inst.resMu.Lock()
 	e := inst.results[key]
-	fresh := e == nil
-	if fresh {
+	if e == nil {
+		if len(inst.results) >= maxCachedResults {
+			inst.results = make(map[string]*resEntry)
+		}
 		e = &resEntry{}
 		inst.results[key] = e
 	}
 	inst.resMu.Unlock()
 
-	e.once.Do(func() { e.resp, e.err = inst.solveUncached(ctx, req, version) })
-	if e.err != nil {
-		// A canceled or failed execution must not poison the cache for the
-		// next identical request.
-		inst.resMu.Lock()
-		delete(inst.results, key)
-		inst.resMu.Unlock()
-		return nil, e.err
+	for {
+		e.mu.Lock()
+		if e.resp != nil {
+			resp := *e.resp
+			e.mu.Unlock()
+			resp.Cached = true
+			resp.DurationMs = 0
+			inst.mu.Lock()
+			inst.stats.CacheHits++
+			inst.mu.Unlock()
+			return &resp, nil
+		}
+		if e.done == nil {
+			// No execution in flight: lead one under this request's context.
+			ch := make(chan struct{})
+			e.done = ch
+			e.mu.Unlock()
+			resp, err := inst.solveUncached(ctx, req, version, view, power)
+			e.mu.Lock()
+			e.done = nil
+			if err == nil {
+				e.resp = resp
+			}
+			e.mu.Unlock()
+			close(ch)
+			if err != nil {
+				// A canceled or failed execution must not poison the cache
+				// for the next identical request.
+				inst.resMu.Lock()
+				if inst.results[key] == e {
+					delete(inst.results, key)
+				}
+				inst.resMu.Unlock()
+				return nil, err
+			}
+			out := *resp
+			return &out, nil
+		}
+		ch := e.done
+		e.mu.Unlock()
+		select {
+		case <-ch:
+			// Leader finished: either a result is cached now, or its run was
+			// aborted (typically by its own client disconnecting), in which
+			// case the loop elects a new leader under this caller's still-live
+			// context instead of propagating someone else's cancellation.
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %v", ErrSolveCanceled, ctx.Err())
+		}
 	}
-	resp := *e.resp
-	if !fresh {
-		resp.Cached = true
-		resp.DurationMs = 0
-		inst.mu.Lock()
-		inst.stats.CacheHits++
-		inst.mu.Unlock()
-	}
-	return &resp, nil
 }
 
-func (inst *Instance) solveUncached(ctx context.Context, req SolveRequest, version uint64) (*SolveResponse, error) {
-	power, err := inst.power(req.Power)
-	if err != nil {
-		return nil, err
-	}
-	inst.mu.RLock()
-	view := inst.view
-	inst.mu.RUnlock()
-
+func (inst *Instance) solveUncached(ctx context.Context, req SolveRequest, version uint64, view, power *graph.Graph) (*SolveResponse, error) {
 	job := harness.Job{
 		Generator: harness.GeneratorSpec{Name: "resident"},
 		N:         view.N(),

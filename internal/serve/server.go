@@ -24,6 +24,24 @@ import (
 // convention; net/http has no standard constant for it).
 const StatusClientClosedRequest = 499
 
+// Resource bounds on client-controlled allocations: without them a single
+// request (a generator with a huge n, an edge-list header declaring 10⁹
+// vertices, an endless NDJSON stream) could exhaust server memory.
+const (
+	// MaxGraphN caps the vertex count of a created graph, whether it comes
+	// from a registry generator or an edge-list header.
+	MaxGraphN = 2_000_000
+	// MaxChurnEdits caps the edits accepted in one churn batch (both the
+	// JSON and the NDJSON form).
+	MaxChurnEdits = 1 << 16
+	// MaxCreateBodyBytes, MaxEdgesBodyBytes, and MaxSolveBodyBytes bound
+	// the request bodies of the corresponding endpoints; beyond them the
+	// request fails with 413 before anything is buffered.
+	MaxCreateBodyBytes = 64 << 20
+	MaxEdgesBodyBytes  = 16 << 20
+	MaxSolveBodyBytes  = 1 << 20
+)
+
 // Options tunes a Server. The zero value is ready to use.
 type Options struct {
 	// Workers bounds concurrent solve executions across all graphs
@@ -162,6 +180,16 @@ func decodeStrict(r io.Reader, v any) error {
 	return nil
 }
 
+// bodyStatus maps a request-body decode failure to its HTTP status: 413 when
+// the MaxBytesReader bound tripped, 400 for everything else.
+func bodyStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 	snap := obs.ReadRuntime()
 	s.mu.RLock()
@@ -205,8 +233,8 @@ type CreateGraphRequest struct {
 
 func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) error {
 	var req CreateGraphRequest
-	if err := decodeStrict(r.Body, &req); err != nil {
-		return errStatus(http.StatusBadRequest, "serve: create: %v", err)
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, MaxCreateBodyBytes), &req); err != nil {
+		return errStatus(bodyStatus(err), "serve: create: %v", err)
 	}
 	if req.ID == "" {
 		return errStatus(http.StatusBadRequest, "serve: create: missing graph id")
@@ -219,13 +247,16 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) error
 		if req.N <= 0 {
 			return errStatus(http.StatusBadRequest, "serve: create: generator needs n > 0")
 		}
+		if req.N > MaxGraphN {
+			return errStatus(http.StatusBadRequest, "serve: create: n %d exceeds the limit %d", req.N, MaxGraphN)
+		}
 		built, err := req.Generator.Build(req.N, rand.New(rand.NewSource(req.Seed)))
 		if err != nil {
 			return errStatus(http.StatusBadRequest, "serve: create: %v", err)
 		}
 		g = built
 	case req.EdgeList != "":
-		parsed, err := graph.ReadEdgeList(strings.NewReader(req.EdgeList))
+		parsed, err := graph.ReadEdgeListLimit(strings.NewReader(req.EdgeList), MaxGraphN)
 		if err != nil {
 			return errStatus(http.StatusBadRequest, "serve: create: %v", err)
 		}
@@ -269,8 +300,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) error {
 		return errStatus(http.StatusNotFound, "serve: no graph %q", r.PathValue("id"))
 	}
 	var req SolveRequest
-	if err := decodeStrict(r.Body, &req); err != nil {
-		return errStatus(http.StatusBadRequest, "serve: solve: %v", err)
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, MaxSolveBodyBytes), &req); err != nil {
+		return errStatus(bodyStatus(err), "serve: solve: %v", err)
 	}
 	if req.Algorithm == "" {
 		return errStatus(http.StatusBadRequest, "serve: solve: missing algorithm")
@@ -322,9 +353,10 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) error {
 	if inst == nil {
 		return errStatus(http.StatusNotFound, "serve: no graph %q", r.PathValue("id"))
 	}
+	body := http.MaxBytesReader(w, r.Body, MaxEdgesBodyBytes)
 	var edits []graph.EdgeEdit
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/x-ndjson") {
-		sc := bufio.NewScanner(r.Body)
+		sc := bufio.NewScanner(body)
 		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 		line := 0
 		for sc.Scan() {
@@ -333,6 +365,9 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) error {
 			if text == "" {
 				continue
 			}
+			if len(edits) >= MaxChurnEdits {
+				return errStatus(http.StatusBadRequest, "serve: edges: line %d: batch exceeds the limit of %d edits", line, MaxChurnEdits)
+			}
 			var e edgeEditJSON
 			if err := decodeStrict(strings.NewReader(text), &e); err != nil {
 				return errStatus(http.StatusBadRequest, "serve: edges: line %d: %v", line, err)
@@ -340,12 +375,15 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) error {
 			edits = append(edits, graph.EdgeEdit{U: e.U, V: e.V, Del: e.Del})
 		}
 		if err := sc.Err(); err != nil {
-			return errStatus(http.StatusBadRequest, "serve: edges: %v", err)
+			return errStatus(bodyStatus(err), "serve: edges: %v", err)
 		}
 	} else {
 		var batch edgeBatch
-		if err := decodeStrict(r.Body, &batch); err != nil {
-			return errStatus(http.StatusBadRequest, "serve: edges: %v", err)
+		if err := decodeStrict(body, &batch); err != nil {
+			return errStatus(bodyStatus(err), "serve: edges: %v", err)
+		}
+		if len(batch.Edits) > MaxChurnEdits {
+			return errStatus(http.StatusBadRequest, "serve: edges: batch of %d edits exceeds the limit %d", len(batch.Edits), MaxChurnEdits)
 		}
 		for _, e := range batch.Edits {
 			edits = append(edits, graph.EdgeEdit{U: e.U, V: e.V, Del: e.Del})
